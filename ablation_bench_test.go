@@ -1,0 +1,137 @@
+package seqpoint_test
+
+// Ablation benchmarks for the simulator design choices DESIGN.md §5
+// calls out. Each reports, as custom metrics, how much a modeled
+// mechanism contributes to the behaviours the paper's evaluation rests
+// on — so a change that silently disables one shows up as a metric
+// shift in `go test -bench=Ablation`.
+
+import (
+	"testing"
+
+	"seqpoint/internal/core"
+	"seqpoint/internal/gpusim"
+	"seqpoint/internal/models"
+	"seqpoint/internal/profiler"
+)
+
+// iterTime prices one GNMT training iteration at the given SL under cfg.
+func iterTime(b *testing.B, cfg gpusim.Config, sl int) float64 {
+	b.Helper()
+	sim, err := gpusim.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := profiler.ProfileIteration(sim, models.NewGNMT(), 64, sl)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p.TimeUS
+}
+
+// BenchmarkAblationLaunchOverhead quantifies how much of a short-SL
+// iteration is kernel-launch overhead vs a long-SL one. This asymmetry
+// is the mechanism behind the SL-1 dip in the sensitivity curves
+// (Fig. 13): small iterations are launch-bound, so core-clock and CU
+// changes speed them up less.
+func BenchmarkAblationLaunchOverhead(b *testing.B) {
+	withLaunch := gpusim.VegaFE()
+	noLaunch := withLaunch
+	noLaunch.LaunchOverheadUS = 0
+
+	var shortShare, longShare float64
+	for i := 0; i < b.N; i++ {
+		shortShare = 1 - iterTime(b, noLaunch, 2)/iterTime(b, withLaunch, 2)
+		longShare = 1 - iterTime(b, noLaunch, 150)/iterTime(b, withLaunch, 150)
+	}
+	b.ReportMetric(shortShare*100, "launch-share-sl2-%")
+	b.ReportMetric(longShare*100, "launch-share-sl150-%")
+	if shortShare <= longShare {
+		b.Fatal("launch overhead must weigh more on short iterations")
+	}
+}
+
+// BenchmarkAblationCacheSensitivity quantifies the cache model: the
+// slowdown from disabling L2 must grow with sequence length (working
+// sets cross the L2 capacity as shapes grow), which is what makes
+// config #5's uplift SL-dependent in Figs 13/14 — and what breaks
+// narrow-band samplers.
+func BenchmarkAblationCacheSensitivity(b *testing.B) {
+	cfgs := gpusim.TableII()
+	full, noL2 := cfgs[0], cfgs[4]
+
+	var slowdownShort, slowdownLong float64
+	for i := 0; i < b.N; i++ {
+		slowdownShort = iterTime(b, noL2, 10)/iterTime(b, full, 10) - 1
+		slowdownLong = iterTime(b, noL2, 180)/iterTime(b, full, 180) - 1
+	}
+	b.ReportMetric(slowdownShort*100, "no-l2-slowdown-sl10-%")
+	b.ReportMetric(slowdownLong*100, "no-l2-slowdown-sl180-%")
+}
+
+// BenchmarkAblationWaveQuantization quantifies the wave-quantized
+// occupancy model: reducing active CUs from 64 to 16 must hurt a large
+// iteration by more than the pure 4x resource ratio's memory-bound
+// floor, and the hurt must vary with SL (kernel shapes fill partial
+// waves differently) — the source of config #3's SL-dependent uplift.
+func BenchmarkAblationWaveQuantization(b *testing.B) {
+	cfgs := gpusim.TableII()
+	full, quarter := cfgs[0], cfgs[2]
+
+	var s20, s100, s200 float64
+	for i := 0; i < b.N; i++ {
+		s20 = iterTime(b, quarter, 20) / iterTime(b, full, 20)
+		s100 = iterTime(b, quarter, 100) / iterTime(b, full, 100)
+		s200 = iterTime(b, quarter, 200) / iterTime(b, full, 200)
+	}
+	b.ReportMetric(s20, "16cu-slowdown-sl20-x")
+	b.ReportMetric(s100, "16cu-slowdown-sl100-x")
+	b.ReportMetric(s200, "16cu-slowdown-sl200-x")
+}
+
+// BenchmarkAblationPriorWindowPlacement quantifies how much the `prior`
+// baseline's accuracy depends on where its contiguous window lands in
+// DS2's sorted first epoch — the artifact the paper dissects in
+// Section VI-D. Early windows (short iterations) underestimate badly;
+// mid-epoch windows land near the representative band.
+func BenchmarkAblationPriorWindowPlacement(b *testing.B) {
+	s := bsuite(b)
+	run, err := s.Lab.Run(s.DS2, s.Calib())
+	if err != nil {
+		b.Fatal(err)
+	}
+	epochSLs, err := run.EpochSLs(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	statBySL := make(map[int]float64, len(run.BySL))
+	for sl, p := range run.BySL {
+		statBySL[sl] = p.TimeUS
+	}
+
+	var earlyErr, midErr float64
+	for i := 0; i < b.N; i++ {
+		early, err := priorErr(epochSLs, statBySL, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mid, err := priorErr(epochSLs, statBySL, len(epochSLs)/2-25)
+		if err != nil {
+			b.Fatal(err)
+		}
+		earlyErr, midErr = early, mid
+	}
+	b.ReportMetric(earlyErr, "early-window-err-%")
+	b.ReportMetric(midErr, "mid-window-err-%")
+	if earlyErr < midErr {
+		b.Fatal("on a sorted epoch, an early window must be less representative than a mid one")
+	}
+}
+
+func priorErr(epochSLs []int, statBySL map[int]float64, warmup int) (float64, error) {
+	sel, err := core.Prior(epochSLs, statBySL, warmup, 50)
+	if err != nil {
+		return 0, err
+	}
+	return sel.ErrorPct, nil
+}

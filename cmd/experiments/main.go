@@ -1,0 +1,74 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (Table I, Table II, Figs 3-9 and 11-16, the Section VI-F
+// profiling-cost analysis and the Section VII-C k-means ablation) from
+// the simulated substrate, writing the renderings to stdout or a file.
+// Its output is the data recorded in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	experiments [-seed 1] [-o experiments.txt]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"seqpoint/internal/experiments"
+)
+
+func main() {
+	var (
+		seed   = flag.Int64("seed", experiments.DefaultSeed, "dataset/shuffle seed")
+		out    = flag.String("o", "", "write output to this file instead of stdout")
+		csvDir = flag.String("csv", "", "also write figure-backing CSV files into this directory")
+	)
+	flag.Parse()
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	start := time.Now()
+	suite := experiments.NewSuite(*seed)
+	if err := suite.RunAll(w); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+
+	if *csvDir != "" {
+		if err := writeCSVs(suite, *csvDir); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(w, "\nwrote figure CSVs to %s\n", *csvDir)
+	}
+	fmt.Fprintf(w, "\nall experiments completed in %s\n", time.Since(start).Round(time.Millisecond))
+}
+
+// writeCSVs dumps the figure-backing data series, one file per figure.
+func writeCSVs(suite *experiments.Suite, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	bundle, err := suite.CSVBundle()
+	if err != nil {
+		return err
+	}
+	for name, content := range bundle {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

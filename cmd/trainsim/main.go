@@ -1,0 +1,147 @@
+// Command trainsim runs the simulated training of a model on a hardware
+// configuration and dumps the per-unique-SL iteration profile as CSV
+// (seqlen, iterations, iteration time, counters) plus a run summary.
+// The CSV is the raw data behind the paper's Figs 7 and 9.
+//
+// Usage:
+//
+//	trainsim -model ds2 -config 3 -epochs 2 -o profile.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"seqpoint/internal/experiments"
+	"seqpoint/internal/gpusim"
+	"seqpoint/internal/profiler"
+	"seqpoint/internal/report"
+)
+
+// writeTrace prices one iteration at traceSL and writes its kernel
+// timeline as Chrome trace-event JSON.
+func writeTrace(w experiments.Workload, cfg gpusim.Config, traceSL int, path string) error {
+	sim, err := gpusim.New(cfg)
+	if err != nil {
+		return err
+	}
+	invs, err := profiler.TraceIteration(sim, w.Model, w.Batch, traceSL)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return profiler.WriteChromeTrace(f, invs)
+}
+
+func main() {
+	var (
+		model   = flag.String("model", "ds2", "model to train: ds2, gnmt, transformer, seq2seq or cnn")
+		cfgIdx  = flag.Int("config", 1, "Table II configuration number (1-5)")
+		epochs  = flag.Int("epochs", experiments.DefaultEpochs, "epochs to simulate")
+		batch   = flag.Int("batch", experiments.DefaultBatch, "minibatch size")
+		seed    = flag.Int64("seed", experiments.DefaultSeed, "dataset/shuffle seed")
+		outCSV  = flag.String("o", "", "write per-SL profile CSV to this file (default: stdout table only)")
+		traceSL = flag.Int("trace-sl", 0, "also write a Chrome trace of one iteration at this SL")
+		traceTo = flag.String("trace-o", "trace.json", "Chrome trace output path (with -trace-sl)")
+	)
+	flag.Parse()
+
+	if err := run(*model, *cfgIdx, *epochs, *batch, *seed, *outCSV, *traceSL, *traceTo); err != nil {
+		fmt.Fprintln(os.Stderr, "trainsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(model string, cfgIdx, epochs, batch int, seed int64, outCSV string, traceSL int, traceTo string) error {
+	cfgs := gpusim.TableII()
+	if cfgIdx < 1 || cfgIdx > len(cfgs) {
+		return fmt.Errorf("config %d outside Table II range 1-%d", cfgIdx, len(cfgs))
+	}
+	cfg := cfgs[cfgIdx-1]
+
+	var w experiments.Workload
+	switch model {
+	case "ds2":
+		w = experiments.DS2Workload(seed)
+	case "gnmt":
+		w = experiments.GNMTWorkload(seed)
+	case "transformer":
+		w = experiments.TransformerWorkload(seed)
+	case "seq2seq":
+		w = experiments.Seq2SeqWorkload(seed)
+	case "cnn":
+		w = experiments.CNNWorkload(seed)
+	default:
+		return fmt.Errorf("unknown model %q (want ds2, gnmt, transformer, seq2seq or cnn)", model)
+	}
+	w.Batch = batch
+	w.Epochs = epochs
+
+	if traceSL > 0 {
+		if err := writeTrace(w, cfg, traceSL, traceTo); err != nil {
+			return err
+		}
+		fmt.Printf("wrote Chrome trace of one %s iteration at SL %d to %s\n",
+			w.Name, traceSL, traceTo)
+	}
+
+	lab := experiments.NewLab()
+	r, err := lab.Run(w, cfg)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("model=%s dataset=%s config=%s epochs=%d batch=%d\n",
+		w.Name, w.Train.Name, cfg, epochs, batch)
+	st := report.NewTable("Run summary", "quantity", "value").Align(1, report.AlignRight)
+	st.AddStringRow("training iterations", report.Count(r.Iterations))
+	st.AddStringRow("unique seqlens", report.Count(len(r.BySL)))
+	st.AddStringRow("training time", report.US(r.TrainUS))
+	st.AddStringRow("evaluation time", report.US(r.EvalUS))
+	st.AddStringRow("autotune time", report.US(r.AutotuneUS))
+	st.AddStringRow("total time", report.US(r.TotalUS()))
+	st.AddStringRow("throughput", fmt.Sprintf("%.1f samples/s", r.Throughput()))
+	fmt.Print(st.String())
+
+	sum, err := r.EpochSummary(0)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("Per-SL profile (epoch 0)",
+		"seqlen", "iterations", "iter_time_us", "valu_insts", "load_bytes", "store_bytes", "write_stall_cycles").
+		AlignNumeric()
+	for _, s := range sum {
+		p := r.BySL[s.SeqLen]
+		t.AddStringRow(
+			fmt.Sprintf("%d", s.SeqLen),
+			fmt.Sprintf("%d", s.Count),
+			fmt.Sprintf("%.1f", s.IterTimeUS),
+			fmt.Sprintf("%.0f", p.Counters.VALUInsts),
+			fmt.Sprintf("%.0f", p.Counters.LoadBytes),
+			fmt.Sprintf("%.0f", p.Counters.StoreBytes),
+			fmt.Sprintf("%.0f", p.Counters.MemWriteStallCycles),
+		)
+	}
+
+	var out io.Writer = os.Stdout
+	if outCSV != "" {
+		f, err := os.Create(outCSV)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+		fmt.Printf("\nwriting %d per-SL rows to %s\n", t.Rows(), outCSV)
+		_, err = io.WriteString(out, t.CSV())
+		return err
+	}
+	fmt.Println()
+	fmt.Print(t.String())
+	return nil
+}

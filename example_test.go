@@ -1,0 +1,76 @@
+package seqpoint_test
+
+import (
+	"fmt"
+	"log"
+
+	"seqpoint"
+)
+
+// ExampleSelect shows the core mechanism on a hand-written epoch log:
+// few unique sequence lengths, so every SL becomes a SeqPoint and the
+// projection is exact.
+func ExampleSelect() {
+	records := []seqpoint.SLRecord{
+		{SeqLen: 20, Freq: 10, Stat: 100}, // 10 iterations, 100 us each
+		{SeqLen: 40, Freq: 5, Stat: 190},
+		{SeqLen: 80, Freq: 2, Stat: 370},
+	}
+	sel, err := seqpoint.Select(records, seqpoint.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("points=%d binned=%v error=%.2f%%\n", len(sel.Points), sel.Binned, sel.ErrorPct)
+	// Output: points=3 binned=false error=0.00%
+}
+
+// ExampleProjectTotal projects a statistic measured per SeqPoint on a
+// different configuration onto the whole epoch (Equation 1).
+func ExampleProjectTotal() {
+	points := []seqpoint.SeqPoint{
+		{SeqLen: 20, Weight: 10, Stat: 100},
+		{SeqLen: 40, Weight: 5, Stat: 190},
+	}
+	// Per-iteration runtimes measured on the target configuration.
+	measured := map[int]float64{20: 150, 40: 290}
+	total, err := seqpoint.ProjectTotal(points, measured)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("projected epoch time: %.0f us\n", total)
+	// Output: projected epoch time: 2950 us
+}
+
+// ExampleScheduleProfiling plans the parallel profiling of SeqPoints
+// over two machines (Section VI-F).
+func ExampleScheduleProfiling() {
+	points := []seqpoint.SeqPoint{
+		{SeqLen: 10, Stat: 5},
+		{SeqLen: 20, Stat: 4},
+		{SeqLen: 30, Stat: 3},
+		{SeqLen: 40, Stat: 3},
+		{SeqLen: 50, Stat: 3},
+	}
+	sched, err := seqpoint.ScheduleProfiling(points, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("serial=%.0f makespan=%.0f speedup=%.1fx\n",
+		sched.SerialUS, sched.MakespanUS, sched.Speedup())
+	// Output: serial=18 makespan=10 speedup=1.8x
+}
+
+// ExampleWorst bounds how badly an arbitrary single-iteration choice
+// can misproject an epoch.
+func ExampleWorst() {
+	records := []seqpoint.SLRecord{
+		{SeqLen: 10, Freq: 9, Stat: 100},
+		{SeqLen: 90, Freq: 1, Stat: 900},
+	}
+	sel, err := seqpoint.Worst(records)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("worst pick: SL %d, error %.0f%%\n", sel.Points[0].SeqLen, sel.ErrorPct)
+	// Output: worst pick: SL 90, error 400%
+}

@@ -1,0 +1,121 @@
+// ds2profile characterizes the heterogeneity of DeepSpeech2 training
+// iterations — the phenomenon that motivates SeqPoint (paper Sections
+// III and IV) — and then shows how few iterations SeqPoint needs to
+// summarize the run.
+//
+// It prints:
+//   - the sequence-length histogram of one training epoch (Fig. 7 style),
+//   - per-iteration runtime and hardware counters at spread-out sequence
+//     lengths (Fig. 4 style),
+//   - the near-linear runtime-vs-SL relationship (Fig. 9 style),
+//   - the selected SeqPoints and the profiling-cost reduction
+//     (Section VI-F style).
+//
+// Run with: go run ./examples/ds2profile
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+
+	"seqpoint"
+)
+
+func main() {
+	train := seqpoint.Subsample(seqpoint.LibriSpeech100h(1), 8192, 1)
+	spec := seqpoint.Spec{
+		Model:    seqpoint.NewDS2(),
+		Train:    train,
+		Batch:    64,
+		Epochs:   1,
+		Schedule: seqpoint.DS2Schedule(),
+		Seed:     1,
+	}
+
+	run, err := seqpoint.Simulate(spec, seqpoint.VegaFE())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// --- Sequence-length histogram of the epoch (Fig. 7). ---
+	sls := run.EpochPlans[0].SeqLens
+	fmt.Printf("DeepSpeech2 on %s: %d iterations/epoch\n\n", train.Name, len(sls))
+	printHistogram(sls, 8)
+
+	// --- Iteration heterogeneity (Figs 3/4). ---
+	unique := run.UniqueSLs()
+	fmt.Printf("\nper-iteration profile at spread-out sequence lengths:\n")
+	fmt.Printf("%8s %12s %14s %14s\n", "seqlen", "runtime", "VALU insts", "DRAM reads")
+	for i := 0; i < 5; i++ {
+		sl := unique[i*(len(unique)-1)/4]
+		p := run.BySL[sl]
+		fmt.Printf("%8d %10.1fms %14.3g %12.1fGB\n",
+			sl, p.TimeUS/1e3, p.Counters.VALUInsts, p.Counters.LoadBytes/1e9)
+	}
+
+	// --- Near-linearity of runtime vs SL (Fig. 9). ---
+	shortest, longest := unique[0], unique[len(unique)-1]
+	tShort := run.BySL[shortest].TimeUS
+	tLong := run.BySL[longest].TimeUS
+	fmt.Printf("\nruntime grows ~linearly with SL: %.1f ms at SL %d -> %.1f ms at SL %d (%.1fx for %.1fx)\n",
+		tShort/1e3, shortest, tLong/1e3, longest,
+		tLong/tShort, float64(longest)/float64(shortest))
+
+	// --- SeqPoint selection and cost reduction (Section VI-F). ---
+	recs, err := seqpoint.RecordsFromRun(run, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sel, err := seqpoint.Select(recs, seqpoint.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var epochUS, pointsUS, maxUS float64
+	for _, r := range recs {
+		epochUS += float64(r.Freq) * r.Stat
+	}
+	for _, p := range sel.Points {
+		pointsUS += p.Stat
+		if p.Stat > maxUS {
+			maxUS = p.Stat
+		}
+	}
+	fmt.Printf("\nSeqPoint summarizes the epoch with %d of %d iterations "+
+		"(self-projection error %.2f%%):\n", len(sel.Points), len(sls), sel.ErrorPct)
+	fmt.Printf("  profiling cost: %.1f s serially (%.0fx less than the %.0f s epoch), "+
+		"%.2f s in parallel (%.0fx less)\n",
+		pointsUS/1e6, epochUS/pointsUS, epochUS/1e6, maxUS/1e6, epochUS/maxUS)
+}
+
+// printHistogram renders a compact SL histogram.
+func printHistogram(sls []int, bins int) {
+	cp := append([]int(nil), sls...)
+	sort.Ints(cp)
+	lo, hi := cp[0], cp[len(cp)-1]
+	span := hi - lo + 1
+	counts := make([]int, bins)
+	for _, sl := range cp {
+		b := (sl - lo) * bins / span
+		if b >= bins {
+			b = bins - 1
+		}
+		counts[b]++
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	fmt.Println("iteration sequence-length histogram:")
+	for b, c := range counts {
+		width := 0
+		if max > 0 {
+			width = c * 40 / max
+		}
+		fmt.Printf("  [%3d-%3d] %4d %s\n",
+			lo+b*span/bins, lo+(b+1)*span/bins-1, c, strings.Repeat("#", width))
+	}
+}

@@ -1,0 +1,107 @@
+// gnmtspeedup projects cross-configuration training speedups for GNMT
+// from a handful of SeqPoint iterations and compares the projections —
+// and those of the paper's baseline strategies — against full simulated
+// runs (the paper's Figs 15/16 experiment).
+//
+// Run with: go run ./examples/gnmtspeedup
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"seqpoint"
+)
+
+func main() {
+	train := seqpoint.Subsample(seqpoint.IWSLT15(1), 16384, 1)
+	spec := seqpoint.Spec{
+		Model:    seqpoint.NewGNMT(),
+		Train:    train,
+		Batch:    64,
+		Epochs:   1,
+		Schedule: seqpoint.GNMTSchedule(),
+		Seed:     1,
+	}
+	cfgs := seqpoint.TableII()
+
+	// Full runs on every configuration: the ground truth.
+	runs := make(map[string]*seqpoint.Run, len(cfgs))
+	for _, cfg := range cfgs {
+		r, err := seqpoint.Simulate(spec, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runs[cfg.Name] = r
+	}
+	base := runs[cfgs[0].Name]
+
+	// Selections on the calibration config.
+	recs, err := seqpoint.RecordsFromRun(base, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	type method struct {
+		name string
+		sel  seqpoint.Selection
+	}
+	var methods []method
+	for _, m := range []struct {
+		name string
+		fn   func([]seqpoint.SLRecord) (seqpoint.Selection, error)
+	}{
+		{"worst", seqpoint.Worst},
+		{"frequent", seqpoint.Frequent},
+		{"median", seqpoint.Median},
+		{"seqpoint", func(r []seqpoint.SLRecord) (seqpoint.Selection, error) {
+			return seqpoint.Select(r, seqpoint.Options{ErrorThresholdPct: 0.1})
+		}},
+	} {
+		sel, err := m.fn(recs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		methods = append(methods, method{m.name, sel})
+	}
+
+	fmt.Printf("GNMT on %s: %d iterations/epoch, %d unique SLs\n\n",
+		train.Name, base.EpochPlans[0].Iterations(), len(recs))
+	fmt.Printf("throughput-uplift projection error (percentage points), config #x -> #1:\n\n")
+	fmt.Printf("%-10s", "method")
+	for _, cfg := range cfgs[1:] {
+		fmt.Printf("  %8s", cfg.Name)
+	}
+	fmt.Printf("  %8s\n", "iters")
+
+	for _, m := range methods {
+		projBase, err := projectThroughput(m.sel, runs[cfgs[0].Name], spec.Batch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s", m.name)
+		for _, cfg := range cfgs[1:] {
+			projTgt, err := projectThroughput(m.sel, runs[cfg.Name], spec.Batch)
+			if err != nil {
+				log.Fatal(err)
+			}
+			projUp := (projBase/projTgt - 1) * 100
+			actUp := (base.Throughput()/runs[cfg.Name].Throughput() - 1) * 100
+			fmt.Printf("  %6.2fpp", math.Abs(projUp-actUp))
+		}
+		fmt.Printf("  %8d\n", len(m.sel.Points))
+	}
+
+	fmt.Printf("\nactual uplifts of #1 over:")
+	for _, cfg := range cfgs[1:] {
+		fmt.Printf("  %s=%.0f%%", cfg.Name,
+			(base.Throughput()/runs[cfg.Name].Throughput()-1)*100)
+	}
+	fmt.Println()
+}
+
+// projectThroughput projects samples/s on a run's config from the
+// selection's per-SL iteration times under that config.
+func projectThroughput(sel seqpoint.Selection, run *seqpoint.Run, batch int) (float64, error) {
+	return seqpoint.ProjectThroughput(sel.Points, seqpoint.IterTimesBySL(run), batch)
+}

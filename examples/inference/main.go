@@ -1,0 +1,90 @@
+// inference applies the SeqPoint insight to inference serving (paper
+// Section VII-E): request sequence length dictates per-request work, so
+// binning request lengths characterizes a serving deployment — its
+// latency distribution and its sensitivity to hardware changes — from a
+// handful of representative requests.
+//
+// Run with: go run ./examples/inference
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"seqpoint"
+)
+
+func main() {
+	// Serving GNMT translation requests with IWSLT-shaped lengths.
+	requests := seqpoint.Subsample(seqpoint.IWSLT15(1), 8192, 1)
+	spec := seqpoint.InferenceSpec{
+		Model:    seqpoint.NewGNMT(),
+		Requests: requests,
+		Batch:    8, // small serving batches: latency matters
+		Seed:     1,
+	}
+	cfgs := seqpoint.TableII()
+
+	calib, err := seqpoint.SimulateInference(spec, cfgs[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	p50, p90, p99 := calib.LatencyPercentiles()
+	fmt.Printf("GNMT serving on %s (%s): %d batches, %d unique request lengths\n",
+		cfgs[0].Name, requests.Name, len(calib.BatchSLs), len(calib.LatencyBySL))
+	fmt.Printf("batch latency: p50 %.1fms  p90 %.1fms  p99 %.1fms  (%.1fx tail spread from SL alone)\n\n",
+		p50/1e3, p90/1e3, p99/1e3, p99/p50)
+
+	// Select representative request lengths exactly as for training.
+	sums := calib.SLSummaries()
+	recs := make([]seqpoint.SLRecord, len(sums))
+	for i, s := range sums {
+		recs[i] = seqpoint.SLRecord{SeqLen: s.SeqLen, Freq: s.Count, Stat: s.IterTimeUS}
+	}
+	sel, err := seqpoint.Select(recs, seqpoint.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("representative request lengths (%d of %d, self error %.2f%%):\n",
+		len(sel.Points), len(recs), sel.ErrorPct)
+	for _, p := range sel.Points {
+		fmt.Printf("  SL %4d  weight %5.0f batches  latency %7.1fms\n",
+			p.SeqLen, p.Weight, p.Stat/1e3)
+	}
+
+	// Project total serving time on every other configuration from
+	// just those requests, and verify against full serving runs.
+	fmt.Printf("\nprojecting serving time across hardware configs from %d requests:\n", len(sel.Points))
+	for _, cfg := range cfgs[1:] {
+		truth, err := seqpoint.SimulateInference(spec, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Measure only the representative request lengths on cfg.
+		sim, err := seqpoint.NewSimulator(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		times := map[int]float64{}
+		for _, p := range sel.Points {
+			// Forward-only pass: serving latency for this SL.
+			lat, ok := truth.LatencyBySL[p.SeqLen]
+			if !ok {
+				prof, err := seqpoint.ProfileIteration(sim, spec.Model, spec.Batch, p.SeqLen)
+				if err != nil {
+					log.Fatal(err)
+				}
+				lat = prof.TimeUS
+			}
+			times[p.SeqLen] = lat
+		}
+		proj, err := seqpoint.ProjectTotal(sel.Points, times)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %s: projected %7.1fs  actual %7.1fs  error %.2f%%\n",
+			cfg.Name, proj/1e6, truth.TotalUS/1e6,
+			math.Abs(proj-truth.TotalUS)/truth.TotalUS*100)
+	}
+}

@@ -1,0 +1,90 @@
+// Quickstart: the complete SeqPoint workflow in one page.
+//
+//  1. Simulate one training epoch of DeepSpeech2 on the calibration
+//     configuration, logging each unique sequence length's iteration
+//     runtime.
+//  2. Select SeqPoints (binning + auto-k).
+//  3. Profile ONLY the SeqPoint iterations on a different hardware
+//     configuration.
+//  4. Project that configuration's total training time and compare with
+//     a full simulation.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"seqpoint"
+)
+
+func main() {
+	// A 4k-utterance subset of the synthetic LibriSpeech-100h keeps the
+	// demo under a couple of seconds; the full corpus works identically.
+	train := seqpoint.Subsample(seqpoint.LibriSpeech100h(1), 4096, 1)
+	spec := seqpoint.Spec{
+		Model:    seqpoint.NewDS2(),
+		Train:    train,
+		Batch:    64,
+		Epochs:   1,
+		Schedule: seqpoint.DS2Schedule(),
+		Seed:     1,
+	}
+	cfgs := seqpoint.TableII()
+
+	// Step 1: the calibration run (config #1).
+	calib, err := seqpoint.Simulate(spec, cfgs[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	recs, err := seqpoint.RecordsFromRun(calib, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("epoch: %d iterations, %d unique sequence lengths\n",
+		calib.EpochPlans[0].Iterations(), len(recs))
+
+	// Step 2: SeqPoint selection.
+	sel, err := seqpoint.Select(recs, seqpoint.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("selected %d SeqPoints (self-projection error %.2f%%):\n",
+		len(sel.Points), sel.ErrorPct)
+	for _, p := range sel.Points {
+		fmt.Printf("  SL %4d  weight %5.0f iterations  runtime %8.1f ms\n",
+			p.SeqLen, p.Weight, p.Stat/1e3)
+	}
+
+	// Step 3: profile only the SeqPoints on config #3 (16 CUs).
+	target := cfgs[2]
+	sim, err := seqpoint.NewSimulator(target)
+	if err != nil {
+		log.Fatal(err)
+	}
+	times := make(map[int]float64, len(sel.Points))
+	for _, p := range sel.Points {
+		prof, err := seqpoint.ProfileIteration(sim, spec.Model, spec.Batch, p.SeqLen)
+		if err != nil {
+			log.Fatal(err)
+		}
+		times[p.SeqLen] = prof.TimeUS
+	}
+
+	// Step 4: project and verify against the full simulation.
+	projected, err := seqpoint.ProjectTotal(sel.Points, times)
+	if err != nil {
+		log.Fatal(err)
+	}
+	truth, err := seqpoint.Simulate(spec, target)
+	if err != nil {
+		log.Fatal(err)
+	}
+	errPct := math.Abs(projected-truth.TrainUS) / truth.TrainUS * 100
+	fmt.Printf("\nconfig %s epoch time: projected %.2f s from %d iterations, "+
+		"actual %.2f s from %d iterations — error %.2f%%\n",
+		target.Name, projected/1e6, len(sel.Points),
+		truth.TrainUS/1e6, truth.Iterations, errPct)
+}

@@ -1,0 +1,204 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestKMeansSeparatedClusters(t *testing.T) {
+	// Two well-separated blobs must be split cleanly.
+	var points [][]float64
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		points = append(points, []float64{rng.NormFloat64() * 0.1})
+	}
+	for i := 0; i < 50; i++ {
+		points = append(points, []float64{100 + rng.NormFloat64()*0.1})
+	}
+	res, err := KMeans(points, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All low points share a cluster; all high points the other.
+	lowCluster := res.Assign[0]
+	for i := 0; i < 50; i++ {
+		if res.Assign[i] != lowCluster {
+			t.Fatalf("low point %d in cluster %d, want %d", i, res.Assign[i], lowCluster)
+		}
+	}
+	highCluster := res.Assign[50]
+	if highCluster == lowCluster {
+		t.Fatal("blobs not separated")
+	}
+	for i := 50; i < 100; i++ {
+		if res.Assign[i] != highCluster {
+			t.Fatalf("high point %d in cluster %d, want %d", i, res.Assign[i], highCluster)
+		}
+	}
+	if res.Sizes[lowCluster] != 50 || res.Sizes[highCluster] != 50 {
+		t.Errorf("sizes = %v, want 50/50", res.Sizes)
+	}
+}
+
+func TestKMeansErrors(t *testing.T) {
+	if _, err := KMeans(nil, 1, 1); err == nil {
+		t.Error("no points should error")
+	}
+	pts := [][]float64{{1}, {2}}
+	if _, err := KMeans(pts, 0, 1); err == nil {
+		t.Error("k=0 should error")
+	}
+	if _, err := KMeans(pts, 3, 1); err == nil {
+		t.Error("k > n should error")
+	}
+	if _, err := KMeans([][]float64{{1}, {1, 2}}, 1, 1); err == nil {
+		t.Error("dimension mismatch should error")
+	}
+}
+
+func TestKMeansKEqualsN(t *testing.T) {
+	pts := [][]float64{{1}, {5}, {9}}
+	res, err := KMeans(pts, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, c := range res.Assign {
+		seen[c] = true
+	}
+	if len(seen) != 3 {
+		t.Errorf("k=n should give each point its own cluster: %v", res.Assign)
+	}
+}
+
+func TestKMeans1D(t *testing.T) {
+	res, err := KMeans1D([]float64{1, 2, 100, 101}, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Assign[0] != res.Assign[1] || res.Assign[2] != res.Assign[3] {
+		t.Errorf("pairs should cluster together: %v", res.Assign)
+	}
+	if res.Assign[0] == res.Assign[2] {
+		t.Error("far pairs should separate")
+	}
+}
+
+func TestNearestToCentroid(t *testing.T) {
+	pts := [][]float64{{0}, {1}, {10}, {11}}
+	res, err := KMeans(pts, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps := res.NearestToCentroid(pts)
+	if len(reps) != 2 {
+		t.Fatalf("reps = %v", reps)
+	}
+	for c, rep := range reps {
+		if rep < 0 {
+			t.Errorf("cluster %d has no representative", c)
+			continue
+		}
+		if res.Assign[rep] != c {
+			t.Errorf("representative %d not a member of cluster %d", rep, c)
+		}
+		// No member is closer to the centroid than the representative.
+		for i, p := range pts {
+			if res.Assign[i] != c {
+				continue
+			}
+			if sqDist(p, res.Centroids[c]) < sqDist(pts[rep], res.Centroids[c])-1e-12 {
+				t.Errorf("point %d closer to centroid %d than representative %d", i, c, rep)
+			}
+		}
+	}
+}
+
+func TestKMeansDeterministic(t *testing.T) {
+	pts := make([][]float64, 60)
+	rng := rand.New(rand.NewSource(4))
+	for i := range pts {
+		pts[i] = []float64{rng.Float64() * 100, rng.Float64() * 100}
+	}
+	a, err := KMeans(pts, 5, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := KMeans(pts, 5, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatal("same seed, different clustering")
+		}
+	}
+}
+
+func TestQuickKMeansInvariants(t *testing.T) {
+	// Every point is assigned a valid cluster; sizes sum to n;
+	// clustering terminates within the iteration bound.
+	f := func(seed int64, n8, k8 uint8) bool {
+		n := int(n8)%50 + 1
+		k := int(k8)%n + 1
+		rng := rand.New(rand.NewSource(seed))
+		pts := make([][]float64, n)
+		for i := range pts {
+			pts[i] = []float64{rng.Float64() * 1000}
+		}
+		res, err := KMeans(pts, k, seed)
+		if err != nil {
+			return false
+		}
+		total := 0
+		for _, s := range res.Sizes {
+			total += s
+		}
+		if total != n {
+			return false
+		}
+		for _, c := range res.Assign {
+			if c < 0 || c >= k {
+				return false
+			}
+		}
+		return res.Iterations <= maxLloydIterations
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickKMeansAssignsToNearestCentroid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pts := make([][]float64, 30)
+		for i := range pts {
+			pts[i] = []float64{rng.Float64() * 100}
+		}
+		res, err := KMeans(pts, 4, seed)
+		if err != nil {
+			return false
+		}
+		for i, p := range pts {
+			d := sqDist(p, res.Centroids[res.Assign[i]])
+			for _, c := range res.Centroids {
+				if sqDist(p, c) < d-1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSqDist(t *testing.T) {
+	if got := sqDist([]float64{0, 0}, []float64{3, 4}); math.Abs(got-25) > 1e-12 {
+		t.Errorf("sqDist = %v, want 25", got)
+	}
+}

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestFrequentPicksMode(t *testing.T) {
+	recs := []SLRecord{
+		{SeqLen: 10, Freq: 1, Stat: 100},
+		{SeqLen: 20, Freq: 7, Stat: 200},
+		{SeqLen: 30, Freq: 2, Stat: 300},
+	}
+	sel, err := Frequent(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Points) != 1 || sel.Points[0].SeqLen != 20 {
+		t.Errorf("frequent picked %+v, want SL 20", sel.Points)
+	}
+	// The single point stands for all 10 iterations.
+	if sel.Points[0].Weight != 10 {
+		t.Errorf("weight = %v, want 10", sel.Points[0].Weight)
+	}
+	// Projection: 10 * 200 = 2000; actual = 100 + 7*200 + 2*300 = 2100.
+	if sel.ProjectedStat != 2000 || sel.ActualStat != 2100 {
+		t.Errorf("proj=%v actual=%v", sel.ProjectedStat, sel.ActualStat)
+	}
+}
+
+func TestMedianPicksWeightedMedian(t *testing.T) {
+	recs := []SLRecord{
+		{SeqLen: 10, Freq: 4, Stat: 1},
+		{SeqLen: 20, Freq: 1, Stat: 2},
+		{SeqLen: 30, Freq: 1, Stat: 3},
+	}
+	sel, err := Median(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 iterations; the 4th (0-indexed 3) has SL 10.
+	if sel.Points[0].SeqLen != 10 {
+		t.Errorf("median picked SL %d, want 10", sel.Points[0].SeqLen)
+	}
+}
+
+func TestWorstMaximizesError(t *testing.T) {
+	recs := []SLRecord{
+		{SeqLen: 10, Freq: 1, Stat: 100},
+		{SeqLen: 20, Freq: 8, Stat: 110},
+		{SeqLen: 30, Freq: 1, Stat: 500},
+	}
+	sel, err := Worst(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Points[0].SeqLen != 30 {
+		t.Errorf("worst picked SL %d, want the outlier 30", sel.Points[0].SeqLen)
+	}
+	// Its error must be at least every other single-SL error.
+	for _, r := range recs {
+		if e := singlePoint(recs, r.SeqLen).ErrorPct; e > sel.ErrorPct+1e-9 {
+			t.Errorf("SL %d has error %v > worst's %v", r.SeqLen, e, sel.ErrorPct)
+		}
+	}
+}
+
+func TestBaselinesEmpty(t *testing.T) {
+	for name, fn := range map[string]func([]SLRecord) (Selection, error){
+		"frequent": Frequent, "median": Median, "worst": Worst,
+	} {
+		if _, err := fn(nil); !errors.Is(err, ErrNoRecords) {
+			t.Errorf("%s(nil) error = %v, want ErrNoRecords", name, err)
+		}
+	}
+}
+
+func TestPriorScalesSampleToEpoch(t *testing.T) {
+	// Epoch of 10 iterations; sample 4 after warmup 2.
+	epochSLs := []int{1, 1, 2, 2, 3, 3, 4, 4, 5, 5}
+	stat := map[int]float64{1: 10, 2: 20, 3: 30, 4: 40, 5: 50}
+	sel, err := Prior(epochSLs, stat, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sampled window: SLs 2,2,3,3 -> mean 25; projected = 25*10 = 250.
+	if sel.ProjectedStat != 250 {
+		t.Errorf("projected = %v, want 250", sel.ProjectedStat)
+	}
+	// Actual: 2*(10+20+30+40+50) = 300.
+	if sel.ActualStat != 300 {
+		t.Errorf("actual = %v, want 300", sel.ActualStat)
+	}
+	if got := TotalWeight(sel.Points); math.Abs(got-10) > 1e-9 {
+		t.Errorf("total weight = %v, want full epoch 10", got)
+	}
+}
+
+func TestPriorSortedEpochBias(t *testing.T) {
+	// On a sorted epoch, an early window underestimates: the paper's
+	// DS2 artifact in reverse — sampling position dictates the bias.
+	var epochSLs []int
+	stat := map[int]float64{}
+	for sl := 1; sl <= 100; sl++ {
+		epochSLs = append(epochSLs, sl)
+		stat[sl] = float64(sl)
+	}
+	early, err := Prior(epochSLs, stat, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid, err := Prior(epochSLs, stat, 45, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if early.ProjectedStat >= early.ActualStat {
+		t.Error("early window on a sorted epoch must underestimate")
+	}
+	if mid.ErrorPct >= early.ErrorPct {
+		t.Errorf("mid-epoch window (%v%%) should beat the early window (%v%%)",
+			mid.ErrorPct, early.ErrorPct)
+	}
+}
+
+func TestPriorErrors(t *testing.T) {
+	stat := map[int]float64{1: 1}
+	if _, err := Prior([]int{1, 1}, stat, -1, 1); err == nil {
+		t.Error("negative warmup should error")
+	}
+	if _, err := Prior([]int{1, 1}, stat, 0, 0); err == nil {
+		t.Error("zero count should error")
+	}
+	if _, err := Prior([]int{1, 1}, stat, 1, 5); err == nil {
+		t.Error("window past epoch end should error")
+	}
+	if _, err := Prior([]int{1, 2}, stat, 0, 2); !errors.Is(err, ErrStatMissing) {
+		t.Error("missing stat for sampled SL should report ErrStatMissing")
+	}
+}
+
+func TestAllMethodsOrder(t *testing.T) {
+	ms := AllMethods()
+	want := []MethodName{MethodWorst, MethodFrequent, MethodMedian, MethodPrior, MethodSeqPoint}
+	if len(ms) != len(want) {
+		t.Fatalf("methods = %v", ms)
+	}
+	for i := range want {
+		if ms[i] != want[i] {
+			t.Errorf("method %d = %s, want %s (paper plotting order)", i, ms[i], want[i])
+		}
+	}
+}
+
+func TestSeqPointBeatsSingleIterationBaselines(t *testing.T) {
+	// The paper's central claim, on a synthetic skewed epoch: SeqPoint's
+	// self-projection error is below every single-iteration strategy's.
+	var recs []SLRecord
+	for sl := 10; sl <= 400; sl += 3 {
+		freq := 1
+		if sl < 120 {
+			freq = 6 // skew toward short iterations
+		}
+		recs = append(recs, SLRecord{SeqLen: sl, Freq: freq, Stat: float64(sl)*2 + 30})
+	}
+	sp, err := Select(recs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, fn := range map[string]func([]SLRecord) (Selection, error){
+		"frequent": Frequent, "median": Median, "worst": Worst,
+	} {
+		b, err := fn(recs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sp.ErrorPct >= b.ErrorPct {
+			t.Errorf("seqpoint (%.3f%%) should beat %s (%.3f%%)", sp.ErrorPct, name, b.ErrorPct)
+		}
+	}
+}

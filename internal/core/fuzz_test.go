@@ -1,0 +1,91 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzSelect drives the SeqPoint selection with fuzzer-generated epoch
+// logs: for any log the parser accepts, the selection must uphold its
+// invariants — weights cover the epoch, representatives come from the
+// log, and the projected statistic is finite.
+func FuzzSelect(f *testing.F) {
+	f.Add(int64(1), uint8(30), uint8(10), 1.0)
+	f.Add(int64(2), uint8(200), uint8(3), 0.1)
+	f.Add(int64(3), uint8(5), uint8(50), 5.0)
+
+	f.Fuzz(func(t *testing.T, seed int64, n8, spread uint8, threshold float64) {
+		n := int(n8)%256 + 1
+		if threshold <= 0 || math.IsNaN(threshold) || math.IsInf(threshold, 0) {
+			threshold = 1
+		}
+
+		// Deterministic pseudo-random log from the fuzz inputs.
+		state := uint64(seed)*2862933555777941757 + 3037000493
+		next := func() uint64 {
+			state = state*2862933555777941757 + 3037000493
+			return state
+		}
+		seen := make(map[int]bool)
+		var recs []SLRecord
+		for len(recs) < n {
+			sl := int(next()%1000) + 1
+			if seen[sl] {
+				continue
+			}
+			seen[sl] = true
+			stat := float64(next()%1_000_000)/100 + float64(sl)*float64(spread)
+			recs = append(recs, SLRecord{
+				SeqLen: sl,
+				Freq:   int(next()%50) + 1,
+				Stat:   stat,
+			})
+		}
+
+		sel, err := Select(recs, Options{ErrorThresholdPct: threshold})
+		if err != nil {
+			t.Fatalf("valid log rejected: %v", err)
+		}
+
+		var iters float64
+		statBySL := make(map[int]float64, len(recs))
+		for _, r := range recs {
+			iters += float64(r.Freq)
+			statBySL[r.SeqLen] = r.Stat
+		}
+		if got := TotalWeight(sel.Points); math.Abs(got-iters) > 1e-6*iters {
+			t.Fatalf("weights %v != epoch iterations %v", got, iters)
+		}
+		for _, p := range sel.Points {
+			want, ok := statBySL[p.SeqLen]
+			if !ok {
+				t.Fatalf("representative SL %d not in the log", p.SeqLen)
+			}
+			if p.Stat != want {
+				t.Fatalf("representative stat %v != logged %v", p.Stat, want)
+			}
+			if p.Weight <= 0 {
+				t.Fatalf("non-positive weight %v", p.Weight)
+			}
+		}
+		if math.IsNaN(sel.ProjectedStat) || math.IsInf(sel.ProjectedStat, 0) {
+			t.Fatalf("projected stat %v", sel.ProjectedStat)
+		}
+		// The auto-k guarantee: threshold met or binning exhausted the
+		// SL span (at which point every SL is isolated and projection
+		// is exact).
+		lo, hi := recs[0].SeqLen, recs[0].SeqLen
+		for _, r := range recs {
+			if r.SeqLen < lo {
+				lo = r.SeqLen
+			}
+			if r.SeqLen > hi {
+				hi = r.SeqLen
+			}
+		}
+		if sel.Binned && sel.ErrorPct > threshold && sel.Bins < hi-lo+1 {
+			t.Fatalf("auto-k stopped early: err %v%% > %v%% with %d bins over span %d",
+				sel.ErrorPct, threshold, sel.Bins, hi-lo+1)
+		}
+	})
+}

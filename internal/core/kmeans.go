@@ -1,0 +1,172 @@
+package core
+
+import (
+	"fmt"
+
+	"seqpoint/internal/cluster"
+)
+
+// SelectKMeansProfiles is the multi-dimensional variant of the Section
+// VII-C ablation: instead of clustering scalar runtimes, it clusters
+// full execution-profile vectors (e.g. [runtime, VALU instructions,
+// DRAM reads, write stalls] per SL), normalizing each dimension to its
+// maximum so no single counter dominates the distance. profiles maps
+// each record's SL to its vector; all vectors must share one dimension.
+//
+// The paper reports that runtime alone is "a good enough proxy" for the
+// full profile; this function is what that claim is verified against.
+func SelectKMeansProfiles(records []SLRecord, profiles map[int][]float64, k int, seed int64) (Selection, error) {
+	recs, err := normalizeRecords(records)
+	if err != nil {
+		return Selection{}, err
+	}
+	if len(recs) == 0 {
+		return Selection{}, ErrNoRecords
+	}
+	if k > len(recs) {
+		k = len(recs)
+	}
+	if k < 1 {
+		return Selection{}, fmt.Errorf("core: k-means needs k >= 1, got %d", k)
+	}
+
+	// Assemble and validate the vectors in record order.
+	var dim int
+	vecs := make([][]float64, len(recs))
+	for i, r := range recs {
+		v, ok := profiles[r.SeqLen]
+		if !ok {
+			return Selection{}, fmt.Errorf("core: no profile vector for SL %d", r.SeqLen)
+		}
+		if i == 0 {
+			dim = len(v)
+			if dim == 0 {
+				return Selection{}, fmt.Errorf("core: empty profile vector for SL %d", r.SeqLen)
+			}
+		} else if len(v) != dim {
+			return Selection{}, fmt.Errorf("core: profile vector for SL %d has dim %d, want %d",
+				r.SeqLen, len(v), dim)
+		}
+		vecs[i] = append([]float64(nil), v...)
+	}
+
+	// Per-dimension max normalization.
+	for d := 0; d < dim; d++ {
+		var max float64
+		for _, v := range vecs {
+			if v[d] > max {
+				max = v[d]
+			}
+		}
+		if max == 0 {
+			continue
+		}
+		for _, v := range vecs {
+			v[d] /= max
+		}
+	}
+
+	res, err := cluster.KMeans(vecs, k, seed)
+	if err != nil {
+		return Selection{}, err
+	}
+	reps := res.NearestToCentroid(vecs)
+
+	weights := make([]float64, k)
+	for i, r := range recs {
+		weights[res.Assign[i]] += float64(r.Freq)
+	}
+
+	var points []SeqPoint
+	for c, repIdx := range reps {
+		if repIdx < 0 {
+			continue
+		}
+		r := recs[repIdx]
+		points = append(points, SeqPoint{
+			SeqLen: r.SeqLen,
+			Weight: weights[c],
+			Stat:   r.Stat,
+			Bin:    c,
+		})
+	}
+
+	actual := epochTotal(recs)
+	proj := projectTotal(points)
+	return Selection{
+		Points:        points,
+		Bins:          k,
+		Binned:        true,
+		ProjectedStat: proj,
+		ActualStat:    actual,
+		ErrorPct:      pctErr(proj, actual),
+	}, nil
+}
+
+// SelectKMeans is the Section VII-C ablation: instead of binning
+// contiguous SL ranges, cluster the per-SL statistics with k-means and
+// take the member nearest each centroid as the representative, weighted
+// by the cluster's iteration population. The paper reports the simple
+// binning performs as well as this; the ablation benchmark verifies the
+// same holds here.
+func SelectKMeans(records []SLRecord, k int, seed int64) (Selection, error) {
+	recs, err := normalizeRecords(records)
+	if err != nil {
+		return Selection{}, err
+	}
+	if len(recs) == 0 {
+		return Selection{}, ErrNoRecords
+	}
+	if k > len(recs) {
+		k = len(recs)
+	}
+	if k < 1 {
+		return Selection{}, fmt.Errorf("core: k-means needs k >= 1, got %d", k)
+	}
+
+	values := make([]float64, len(recs))
+	for i, r := range recs {
+		values[i] = r.Stat
+	}
+	res, err := cluster.KMeans1D(values, k, seed)
+	if err != nil {
+		return Selection{}, err
+	}
+
+	points1d := make([][]float64, len(values))
+	for i, v := range values {
+		points1d[i] = []float64{v}
+	}
+	reps := res.NearestToCentroid(points1d)
+
+	// Weight per cluster: total iteration frequency of its members.
+	weights := make([]float64, k)
+	for i, r := range recs {
+		weights[res.Assign[i]] += float64(r.Freq)
+	}
+
+	var points []SeqPoint
+	for c, repIdx := range reps {
+		if repIdx < 0 {
+			continue
+		}
+		r := recs[repIdx]
+		points = append(points, SeqPoint{
+			SeqLen: r.SeqLen,
+			Weight: weights[c],
+			Stat:   r.Stat,
+			Bin:    c,
+		})
+	}
+
+	actual := epochTotal(recs)
+	proj := projectTotal(points)
+	return Selection{
+		Points:        points,
+		Bins:          k,
+		Binned:        true,
+		ProjectedStat: proj,
+		ActualStat:    actual,
+		ErrorPct:      pctErr(proj, actual),
+	}, nil
+}

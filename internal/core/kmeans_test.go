@@ -1,0 +1,90 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSelectKMeansBasic(t *testing.T) {
+	recs := linearRecords(rangeSLs(1, 100, 1), func(int) int { return 2 }, 3, 10)
+	sel, err := SelectKMeans(recs, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Points) == 0 || len(sel.Points) > 8 {
+		t.Fatalf("points = %d, want 1..8", len(sel.Points))
+	}
+	if got := TotalWeight(sel.Points); math.Abs(got-200) > 1e-9 {
+		t.Errorf("total weight = %v, want 200", got)
+	}
+	// On a linear stat, a few clusters should already project well.
+	if sel.ErrorPct > 5 {
+		t.Errorf("self error = %v%%, want small on linear stats", sel.ErrorPct)
+	}
+}
+
+func TestSelectKMeansKClamped(t *testing.T) {
+	recs := linearRecords([]int{10, 20, 30}, func(int) int { return 1 }, 1, 0)
+	sel, err := SelectKMeans(recs, 50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Points) > 3 {
+		t.Errorf("points = %d, want <= unique SLs", len(sel.Points))
+	}
+	// k = unique count means each SL its own cluster: exact projection.
+	if sel.ErrorPct > 1e-9 {
+		t.Errorf("exhaustive clustering should be exact, err = %v", sel.ErrorPct)
+	}
+}
+
+func TestSelectKMeansErrors(t *testing.T) {
+	if _, err := SelectKMeans(nil, 3, 1); err == nil {
+		t.Error("empty records should error")
+	}
+	recs := linearRecords([]int{1, 2}, func(int) int { return 1 }, 1, 0)
+	if _, err := SelectKMeans(recs, 0, 1); err == nil {
+		t.Error("k=0 should error")
+	}
+}
+
+func TestSelectKMeansComparableToBinning(t *testing.T) {
+	// Section VII-C: on realistic near-linear stats, binning performs
+	// as well as k-means — neither should be drastically worse.
+	recs := linearRecords(rangeSLs(1, 300, 1), func(sl int) int { return 300 - sl + 1 }, 2, 50)
+	binned, err := Select(recs, Options{ErrorThresholdPct: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := binned.Bins
+	km, err := SelectKMeans(recs, k, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if km.ErrorPct > 10*binned.ErrorPct+1 {
+		t.Errorf("k-means err %v%% drastically worse than binning %v%%", km.ErrorPct, binned.ErrorPct)
+	}
+	if binned.ErrorPct > 10*km.ErrorPct+1 {
+		t.Errorf("binning err %v%% drastically worse than k-means %v%%", binned.ErrorPct, km.ErrorPct)
+	}
+}
+
+func TestSelectKMeansDeterministicPerSeed(t *testing.T) {
+	recs := linearRecords(rangeSLs(1, 100, 1), func(sl int) int { return sl%5 + 1 }, 1, 0)
+	a, err := SelectKMeans(recs, 6, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SelectKMeans(recs, 6, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Points) != len(b.Points) {
+		t.Fatal("same seed, different point counts")
+	}
+	for i := range a.Points {
+		if a.Points[i] != b.Points[i] {
+			t.Errorf("point %d differs across identical runs", i)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// profileVectors derives a 3-dim profile per record: runtime plus two
+// correlated counters, the realistic case (counters track runtime).
+func profileVectors(recs []SLRecord) map[int][]float64 {
+	out := make(map[int][]float64, len(recs))
+	for _, r := range recs {
+		out[r.SeqLen] = []float64{r.Stat, r.Stat * 80, r.Stat * 0.3}
+	}
+	return out
+}
+
+func TestSelectKMeansProfilesBasic(t *testing.T) {
+	recs := linearRecords(rangeSLs(1, 120, 1), func(int) int { return 2 }, 2, 10)
+	sel, err := SelectKMeansProfiles(recs, profileVectors(recs), 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Points) == 0 || len(sel.Points) > 8 {
+		t.Fatalf("points = %d", len(sel.Points))
+	}
+	if got := TotalWeight(sel.Points); math.Abs(got-240) > 1e-9 {
+		t.Errorf("total weight = %v, want 240", got)
+	}
+	if sel.ErrorPct > 5 {
+		t.Errorf("self error = %v%% on linear profiles", sel.ErrorPct)
+	}
+}
+
+func TestSelectKMeansProfilesMatchesScalarOnCorrelated(t *testing.T) {
+	// When every counter is proportional to runtime, profile-vector
+	// clustering carries no extra information: accuracy should match
+	// scalar k-means closely — the paper's justification for using
+	// runtime alone.
+	recs := linearRecords(rangeSLs(1, 200, 1), func(sl int) int { return 200 - sl + 1 }, 3, 40)
+	scalar, err := SelectKMeans(recs, 10, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vector, err := SelectKMeansProfiles(recs, profileVectors(recs), 10, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vector.ErrorPct > 10*scalar.ErrorPct+1 {
+		t.Errorf("vector k-means err %v%% vs scalar %v%%: correlated counters should not hurt",
+			vector.ErrorPct, scalar.ErrorPct)
+	}
+}
+
+func TestSelectKMeansProfilesValidation(t *testing.T) {
+	recs := linearRecords([]int{10, 20, 30}, func(int) int { return 1 }, 1, 0)
+
+	if _, err := SelectKMeansProfiles(nil, nil, 2, 1); err == nil {
+		t.Error("empty records should error")
+	}
+	if _, err := SelectKMeansProfiles(recs, profileVectors(recs), 0, 1); err == nil {
+		t.Error("k=0 should error")
+	}
+	// Missing vector.
+	vecs := profileVectors(recs)
+	delete(vecs, 20)
+	if _, err := SelectKMeansProfiles(recs, vecs, 2, 1); err == nil {
+		t.Error("missing vector should error")
+	}
+	// Dimension mismatch.
+	vecs = profileVectors(recs)
+	vecs[20] = []float64{1}
+	if _, err := SelectKMeansProfiles(recs, vecs, 2, 1); err == nil {
+		t.Error("dimension mismatch should error")
+	}
+	// Empty vector.
+	vecs = profileVectors(recs)
+	vecs[10] = nil
+	if _, err := SelectKMeansProfiles(recs, vecs, 2, 1); err == nil {
+		t.Error("empty vector should error")
+	}
+}
+
+func TestSelectKMeansProfilesNormalizationMatters(t *testing.T) {
+	// One huge-magnitude dimension must not drown the others: with
+	// per-dimension max normalization, clustering on [runtime, bytes]
+	// where bytes is 1e9x larger still groups by shape, so accuracy
+	// stays in the same regime as scalar clustering.
+	recs := linearRecords(rangeSLs(1, 100, 1), func(int) int { return 1 }, 5, 20)
+	vecs := make(map[int][]float64, len(recs))
+	for _, r := range recs {
+		vecs[r.SeqLen] = []float64{r.Stat, r.Stat * 1e9}
+	}
+	sel, err := SelectKMeansProfiles(recs, vecs, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.ErrorPct > 5 {
+		t.Errorf("error %v%%: normalization should keep mixed-scale vectors usable", sel.ErrorPct)
+	}
+}
+
+func TestSelectKMeansProfilesZeroDimension(t *testing.T) {
+	// An all-zero counter dimension (e.g. no stalls anywhere) must not
+	// divide by zero.
+	recs := linearRecords(rangeSLs(1, 50, 1), func(int) int { return 1 }, 1, 0)
+	vecs := make(map[int][]float64, len(recs))
+	for _, r := range recs {
+		vecs[r.SeqLen] = []float64{r.Stat, 0}
+	}
+	if _, err := SelectKMeansProfiles(recs, vecs, 5, 1); err != nil {
+		t.Fatalf("all-zero dimension should be tolerated: %v", err)
+	}
+}

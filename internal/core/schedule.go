@@ -1,0 +1,89 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Section VI-F of the paper notes that, since each SeqPoint is an
+// independent iteration, the selected iterations can be profiled in
+// parallel on different machines, multiplying the profiling speedup.
+// ScheduleProfiling plans that parallel run: it partitions the
+// SeqPoints across machines to minimize the makespan (the time until
+// the slowest machine finishes), using the classic longest-processing-
+// time-first greedy, which is within 4/3 of optimal.
+
+// MachinePlan is the profiling work assigned to one machine.
+type MachinePlan struct {
+	// Points are the SeqPoints this machine profiles.
+	Points []SeqPoint
+	// TimeUS is the machine's total profiling time (sum of its
+	// iterations' calibration-config runtimes).
+	TimeUS float64
+}
+
+// ProfilingSchedule is a parallel profiling plan.
+type ProfilingSchedule struct {
+	// Machines holds one plan per machine, ordered by descending load.
+	Machines []MachinePlan
+	// MakespanUS is the parallel profiling time: the largest machine
+	// load.
+	MakespanUS float64
+	// SerialUS is the single-machine profiling time for comparison.
+	SerialUS float64
+}
+
+// Speedup is the parallel-over-serial profiling speedup of the plan.
+func (s ProfilingSchedule) Speedup() float64 {
+	if s.MakespanUS == 0 {
+		return 0
+	}
+	return s.SerialUS / s.MakespanUS
+}
+
+// ScheduleProfiling assigns the points to `machines` machines using LPT:
+// sort by descending runtime, place each on the least-loaded machine.
+// Point stats must be the per-iteration profiling cost (runtime on the
+// calibration configuration).
+func ScheduleProfiling(points []SeqPoint, machines int) (ProfilingSchedule, error) {
+	if machines <= 0 {
+		return ProfilingSchedule{}, fmt.Errorf("core: machine count must be positive, got %d", machines)
+	}
+	if len(points) == 0 {
+		return ProfilingSchedule{}, ErrNoRecords
+	}
+	for _, p := range points {
+		if p.Stat < 0 {
+			return ProfilingSchedule{}, fmt.Errorf("core: SeqPoint SL %d has negative cost %v", p.SeqLen, p.Stat)
+		}
+	}
+	if machines > len(points) {
+		machines = len(points)
+	}
+
+	sorted := append([]SeqPoint(nil), points...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Stat > sorted[j].Stat })
+
+	plans := make([]MachinePlan, machines)
+	var serial float64
+	for _, p := range sorted {
+		serial += p.Stat
+		// Least-loaded machine; ties break toward the lower index for
+		// determinism.
+		best := 0
+		for m := 1; m < machines; m++ {
+			if plans[m].TimeUS < plans[best].TimeUS {
+				best = m
+			}
+		}
+		plans[best].Points = append(plans[best].Points, p)
+		plans[best].TimeUS += p.Stat
+	}
+
+	sort.Slice(plans, func(i, j int) bool { return plans[i].TimeUS > plans[j].TimeUS })
+	return ProfilingSchedule{
+		Machines:   plans,
+		MakespanUS: plans[0].TimeUS,
+		SerialUS:   serial,
+	}, nil
+}

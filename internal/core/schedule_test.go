@@ -1,0 +1,147 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func pointsWithCosts(costs ...float64) []SeqPoint {
+	pts := make([]SeqPoint, len(costs))
+	for i, c := range costs {
+		pts[i] = SeqPoint{SeqLen: 10 * (i + 1), Weight: 1, Stat: c}
+	}
+	return pts
+}
+
+func TestScheduleProfilingSingleMachine(t *testing.T) {
+	s, err := ScheduleProfiling(pointsWithCosts(3, 1, 2), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Machines) != 1 {
+		t.Fatalf("machines = %d", len(s.Machines))
+	}
+	if s.MakespanUS != 6 || s.SerialUS != 6 {
+		t.Errorf("makespan %v serial %v, want 6/6", s.MakespanUS, s.SerialUS)
+	}
+	if sp := s.Speedup(); sp != 1 {
+		t.Errorf("single-machine speedup = %v", sp)
+	}
+}
+
+func TestScheduleProfilingBalances(t *testing.T) {
+	// LPT on {5,4,3,3,3} over 2 machines: 5+3 vs 4+3+3 -> makespan 10.
+	s, err := ScheduleProfiling(pointsWithCosts(5, 4, 3, 3, 3), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.SerialUS != 18 {
+		t.Errorf("serial = %v", s.SerialUS)
+	}
+	if s.MakespanUS != 10 {
+		t.Errorf("makespan = %v, want 10 (LPT)", s.MakespanUS)
+	}
+	if sp := s.Speedup(); math.Abs(sp-1.8) > 1e-9 {
+		t.Errorf("speedup = %v, want 1.8", sp)
+	}
+}
+
+func TestScheduleProfilingClampsMachines(t *testing.T) {
+	s, err := ScheduleProfiling(pointsWithCosts(1, 2), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Machines) != 2 {
+		t.Errorf("machines = %d, want clamp to point count", len(s.Machines))
+	}
+	// Fully parallel: makespan is the longest single iteration.
+	if s.MakespanUS != 2 {
+		t.Errorf("makespan = %v", s.MakespanUS)
+	}
+}
+
+func TestScheduleProfilingErrors(t *testing.T) {
+	if _, err := ScheduleProfiling(nil, 2); !errors.Is(err, ErrNoRecords) {
+		t.Error("empty points should report ErrNoRecords")
+	}
+	if _, err := ScheduleProfiling(pointsWithCosts(1), 0); err == nil {
+		t.Error("zero machines should error")
+	}
+	if _, err := ScheduleProfiling([]SeqPoint{{SeqLen: 1, Stat: -1}}, 1); err == nil {
+		t.Error("negative cost should error")
+	}
+}
+
+func TestQuickScheduleInvariants(t *testing.T) {
+	// Conservation: every point is assigned exactly once; makespan is
+	// the max machine load; makespan >= serial/machines (lower bound)
+	// and >= the longest single point.
+	f := func(seed int64, n8, m8 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(n8)%30 + 1
+		m := int(m8)%8 + 1
+		pts := make([]SeqPoint, n)
+		var serial, longest float64
+		for i := range pts {
+			c := rng.Float64()*100 + 1
+			pts[i] = SeqPoint{SeqLen: i + 1, Stat: c}
+			serial += c
+			if c > longest {
+				longest = c
+			}
+		}
+		s, err := ScheduleProfiling(pts, m)
+		if err != nil {
+			return false
+		}
+		var assigned int
+		var maxLoad float64
+		for _, mp := range s.Machines {
+			assigned += len(mp.Points)
+			var load float64
+			for _, p := range mp.Points {
+				load += p.Stat
+			}
+			if math.Abs(load-mp.TimeUS) > 1e-9 {
+				return false
+			}
+			if load > maxLoad {
+				maxLoad = load
+			}
+		}
+		if assigned != n {
+			return false
+		}
+		if math.Abs(maxLoad-s.MakespanUS) > 1e-9 {
+			return false
+		}
+		eff := m
+		if eff > n {
+			eff = n
+		}
+		lower := math.Max(serial/float64(eff), longest)
+		// LPT guarantee: within 4/3 of optimal >= lower bound.
+		return s.MakespanUS >= lower-1e-9 && s.MakespanUS <= lower*4/3+1e-9+longest
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScheduleDeterministic(t *testing.T) {
+	pts := pointsWithCosts(7, 3, 3, 5, 2, 8)
+	a, err := ScheduleProfiling(pts, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ScheduleProfiling(pts, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MakespanUS != b.MakespanUS || len(a.Machines) != len(b.Machines) {
+		t.Error("schedule must be deterministic")
+	}
+}

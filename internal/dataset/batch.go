@@ -1,0 +1,179 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Order is the sample-ordering policy used to form an epoch's batches.
+type Order int
+
+const (
+	// OrderShuffled batches a uniformly shuffled corpus. Under a
+	// long-tailed length distribution this concentrates the per-batch
+	// maximum near the tail (lots of padding waste), which is why real
+	// systems rarely use it for SQNNs; it is provided for contrast and
+	// testing.
+	OrderShuffled Order = iota
+	// OrderSorted batches the corpus in ascending length order. DS2's
+	// reference implementation sorts its *first* epoch this way
+	// ("SortaGrad"); the paper leans on this artifact to explain why the
+	// `prior` baseline looks artificially good on DS2 (Section VI-D).
+	OrderSorted
+	// OrderBucketed groups samples of similar length into batches and
+	// fully shuffles the batch order: padding stays low while the epoch
+	// interleaves all sequence lengths. DS2 uses this after its sorted
+	// first epoch.
+	OrderBucketed
+	// OrderPooled also batches by length but shuffles only at the
+	// granularity of pools of adjacent batches, the way bucket-iterator
+	// NMT pipelines (GNMT's included) drain one length-bucket queue at a
+	// time. A contiguous window of iterations therefore covers only a
+	// few narrow SL bands — the property that makes contiguous-sampling
+	// profilers unrepresentative on GNMT (Section VI-E: "the sequence
+	// lengths present in this contiguous chunk are not diverse").
+	OrderPooled
+)
+
+// pooledBatchesPerPool is the bucket-queue granularity of OrderPooled.
+const pooledBatchesPerPool = 16
+
+// String names the order.
+func (o Order) String() string {
+	switch o {
+	case OrderShuffled:
+		return "shuffled"
+	case OrderSorted:
+		return "sorted"
+	case OrderBucketed:
+		return "bucketed"
+	case OrderPooled:
+		return "pooled"
+	default:
+		return fmt.Sprintf("order(%d)", int(o))
+	}
+}
+
+// EpochPlan is the realized iteration sequence of one epoch: the padded
+// sequence length of each iteration's batch, in execution order. This is
+// the only thing the trainer needs from the data pipeline: with
+// pad-to-max batching, every sample in the batch is processed at the
+// batch's maximum length (Section IV-B1 of the paper).
+type EpochPlan struct {
+	// BatchSize is the number of samples per iteration.
+	BatchSize int
+	// SeqLens holds the padded SL of each iteration.
+	SeqLens []int
+}
+
+// Iterations returns the number of iterations in the epoch.
+func (p EpochPlan) Iterations() int { return len(p.SeqLens) }
+
+// PlanEpoch forms an epoch's batches from the corpus under the given
+// ordering policy. Incomplete trailing batches are dropped, as the
+// reference implementations do. The seed controls shuffling; the same
+// (corpus, batch, order, seed) always yields the same plan.
+func PlanEpoch(c *Corpus, batch int, order Order, seed int64) (EpochPlan, error) {
+	if batch <= 0 {
+		return EpochPlan{}, fmt.Errorf("dataset: batch size must be positive, got %d", batch)
+	}
+	if c.Size() < batch {
+		return EpochPlan{}, fmt.Errorf("dataset: corpus %q (%d samples) smaller than one batch (%d)",
+			c.Name, c.Size(), batch)
+	}
+
+	lengths := append([]int(nil), c.Lengths...)
+	rng := rand.New(rand.NewSource(seed))
+
+	switch order {
+	case OrderShuffled:
+		rng.Shuffle(len(lengths), func(i, j int) {
+			lengths[i], lengths[j] = lengths[j], lengths[i]
+		})
+	case OrderSorted, OrderBucketed, OrderPooled:
+		sort.Ints(lengths)
+	default:
+		return EpochPlan{}, fmt.Errorf("dataset: unknown order %v", order)
+	}
+
+	nBatches := len(lengths) / batch
+	seqLens := make([]int, nBatches)
+	for i := 0; i < nBatches; i++ {
+		max := 0
+		for _, l := range lengths[i*batch : (i+1)*batch] {
+			if l > max {
+				max = l
+			}
+		}
+		seqLens[i] = max
+	}
+
+	switch order {
+	case OrderBucketed:
+		// Batches were formed over sorted samples (tight padding);
+		// now randomize their execution order batch by batch.
+		rng.Shuffle(len(seqLens), func(i, j int) {
+			seqLens[i], seqLens[j] = seqLens[j], seqLens[i]
+		})
+	case OrderPooled:
+		// Shuffle pools of adjacent batches, keeping each pool's
+		// narrow SL band contiguous.
+		nPools := (len(seqLens) + pooledBatchesPerPool - 1) / pooledBatchesPerPool
+		poolIdx := rng.Perm(nPools)
+		shuffled := make([]int, 0, len(seqLens))
+		for _, p := range poolIdx {
+			lo := p * pooledBatchesPerPool
+			hi := lo + pooledBatchesPerPool
+			if hi > len(seqLens) {
+				hi = len(seqLens)
+			}
+			shuffled = append(shuffled, seqLens[lo:hi]...)
+		}
+		seqLens = shuffled
+	}
+
+	return EpochPlan{BatchSize: batch, SeqLens: seqLens}, nil
+}
+
+// Schedule describes how a model's data pipeline orders each epoch.
+type Schedule struct {
+	// FirstEpoch is the ordering of epoch 0.
+	FirstEpoch Order
+	// LaterEpochs is the ordering of every subsequent epoch.
+	LaterEpochs Order
+}
+
+// DS2Schedule is DeepSpeech2's SortaGrad policy: sorted first epoch,
+// bucketed afterwards.
+func DS2Schedule() Schedule {
+	return Schedule{FirstEpoch: OrderSorted, LaterEpochs: OrderBucketed}
+}
+
+// GNMTSchedule is the NMT bucket-iterator policy for all epochs: batches
+// of similar length drain pool by pool.
+func GNMTSchedule() Schedule {
+	return Schedule{FirstEpoch: OrderPooled, LaterEpochs: OrderPooled}
+}
+
+// PlanTraining builds per-epoch plans for a full training run of
+// `epochs` epochs. Each epoch derives its own shuffle seed from the base
+// seed, so epochs differ in order but the run is reproducible.
+func PlanTraining(c *Corpus, batch, epochs int, sched Schedule, seed int64) ([]EpochPlan, error) {
+	if epochs <= 0 {
+		return nil, fmt.Errorf("dataset: epoch count must be positive, got %d", epochs)
+	}
+	plans := make([]EpochPlan, epochs)
+	for e := 0; e < epochs; e++ {
+		order := sched.LaterEpochs
+		if e == 0 {
+			order = sched.FirstEpoch
+		}
+		p, err := PlanEpoch(c, batch, order, seed+int64(e)*7919)
+		if err != nil {
+			return nil, err
+		}
+		plans[e] = p
+	}
+	return plans, nil
+}

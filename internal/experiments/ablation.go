@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+
+	"seqpoint/internal/core"
+	"seqpoint/internal/gpusim"
+	"seqpoint/internal/report"
+	"seqpoint/internal/stats"
+	"seqpoint/internal/trainer"
+)
+
+// AblationResult compares SeqPoint's simple contiguous-range binning
+// against k-means clustering over per-SL runtimes (Section VII-C): the
+// paper finds the simple scheme performs as well, because iteration
+// runtime is a good proxy for the execution profile.
+type AblationResult struct {
+	Network string
+	// K is the cluster/bin count both schemes use (the SeqPoint auto-k
+	// outcome).
+	K int
+	// BinningErrPct and KMeansErrPct are the geomean cross-config
+	// errors in total-training-time projection.
+	BinningErrPct, KMeansErrPct float64
+	// BinningSelfErr and KMeansSelfErr are the calibration-config
+	// self-projection errors.
+	BinningSelfErr, KMeansSelfErr float64
+}
+
+// Ablation selects representatives with both schemes at the same k and
+// compares their cross-config projection accuracy.
+func Ablation(lab *Lab, w Workload, cfgs []gpusim.Config, opts core.Options, seed int64) (AblationResult, error) {
+	runs, err := lab.RunAll(w, cfgs)
+	if err != nil {
+		return AblationResult{}, err
+	}
+	calib := runs[cfgs[0].Name]
+	recs, err := SLRecords(calib, 0)
+	if err != nil {
+		return AblationResult{}, err
+	}
+
+	binned, err := core.Select(recs, opts)
+	if err != nil {
+		return AblationResult{}, err
+	}
+	k := binned.Bins
+	if k == 0 {
+		k = len(binned.Points)
+	}
+	kmeans, err := core.SelectKMeans(recs, k, seed)
+	if err != nil {
+		return AblationResult{}, err
+	}
+
+	res := AblationResult{
+		Network:        w.Name,
+		K:              k,
+		BinningSelfErr: binned.ErrorPct,
+		KMeansSelfErr:  kmeans.ErrorPct,
+	}
+	if res.BinningErrPct, err = crossConfigGeomeanErr(binned, runs, cfgs); err != nil {
+		return AblationResult{}, err
+	}
+	if res.KMeansErrPct, err = crossConfigGeomeanErr(kmeans, runs, cfgs); err != nil {
+		return AblationResult{}, err
+	}
+	return res, nil
+}
+
+// crossConfigGeomeanErr is the geomean total-time projection error of a
+// selection across all configs.
+func crossConfigGeomeanErr(sel core.Selection, runs map[string]*trainer.Run, cfgs []gpusim.Config) (float64, error) {
+	var errs []float64
+	for _, cfg := range cfgs {
+		run := runs[cfg.Name]
+		proj, err := projectRunTrainUS(sel.Points, run)
+		if err != nil {
+			return 0, err
+		}
+		e, err := stats.PercentError(proj, run.TrainUS)
+		if err != nil {
+			return 0, err
+		}
+		errs = append(errs, nonZeroErr(e))
+	}
+	return stats.Geomean(errs)
+}
+
+// Render formats the comparison.
+func (r AblationResult) Render() string {
+	t := report.NewTable(
+		fmt.Sprintf("Section VII-C — %s: binning vs k-means (k=%d)", r.Network, r.K),
+		"scheme", "self error", "cross-config geomean").AlignNumeric()
+	t.AddStringRow("contiguous binning", report.Pct(r.BinningSelfErr), report.Pct(r.BinningErrPct))
+	t.AddStringRow("k-means", report.Pct(r.KMeansSelfErr), report.Pct(r.KMeansErrPct))
+	return t.String()
+}

@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+
+	"seqpoint/internal/core"
+	"seqpoint/internal/gpusim"
+	"seqpoint/internal/report"
+)
+
+// CostResult quantifies the profiling-cost reduction of SeqPoint
+// (Section VI-F of the paper): how much less time is spent profiling
+// SeqPoint iterations than a full epoch, serially and in parallel, and
+// how SeqPoint's iteration budget compares to the `prior` baseline's.
+type CostResult struct {
+	Network string
+	// EpochIterations and EpochUS describe the full first epoch.
+	EpochIterations int
+	EpochUS         float64
+	// NumSeqPoints is the selected SeqPoint count; SerialUS the summed
+	// runtime of profiling them one after another; ParallelUS the
+	// longest single SeqPoint iteration (each SeqPoint is independent
+	// and can run on its own machine — Section VI-F).
+	NumSeqPoints int
+	SerialUS     float64
+	ParallelUS   float64
+	// SerialSpeedup and ParallelSpeedup are EpochUS over the two
+	// profiling costs (the paper reports 72x/40x serial and 345x/214x
+	// parallel for DS2/GNMT).
+	SerialSpeedup   float64
+	ParallelSpeedup float64
+	// PriorIterations is the prior baseline's fixed sample count; the
+	// paper highlights SeqPoint needs one-third (GNMT) to one-sixth
+	// (DS2) as many iterations.
+	PriorIterations  int
+	IterRatioVsPrior float64
+	// ClusterSpeedups maps a machine count to the profiling speedup of
+	// the LPT-scheduled parallel plan over the full epoch (Section
+	// VI-F: SeqPoints are independent and can run on different
+	// machines).
+	ClusterSpeedups map[int]float64
+}
+
+// Cost measures the profiling-cost reduction on the calibration config.
+func Cost(lab *Lab, w Workload, cfg gpusim.Config, opts core.Options) (CostResult, error) {
+	run, err := lab.Run(w, cfg)
+	if err != nil {
+		return CostResult{}, err
+	}
+	recs, err := SLRecords(run, 0)
+	if err != nil {
+		return CostResult{}, err
+	}
+	sel, err := core.Select(recs, opts)
+	if err != nil {
+		return CostResult{}, err
+	}
+	epochUS, err := run.EpochTrainUS(0)
+	if err != nil {
+		return CostResult{}, err
+	}
+
+	res := CostResult{
+		Network:         w.Name,
+		EpochIterations: run.EpochPlans[0].Iterations(),
+		EpochUS:         epochUS,
+		NumSeqPoints:    len(sel.Points),
+		PriorIterations: core.DefaultPriorSampleCount,
+	}
+	for _, p := range sel.Points {
+		t := run.BySL[p.SeqLen].TimeUS
+		res.SerialUS += t
+		if t > res.ParallelUS {
+			res.ParallelUS = t
+		}
+	}
+	if res.SerialUS > 0 {
+		res.SerialSpeedup = epochUS / res.SerialUS
+	}
+	if res.ParallelUS > 0 {
+		res.ParallelSpeedup = epochUS / res.ParallelUS
+	}
+	if res.NumSeqPoints > 0 {
+		res.IterRatioVsPrior = float64(res.PriorIterations) / float64(res.NumSeqPoints)
+	}
+
+	// Cluster-size sweep: profiling speedup with an LPT schedule over
+	// 2, 4 and 8 machines.
+	res.ClusterSpeedups = make(map[int]float64)
+	costed := make([]core.SeqPoint, len(sel.Points))
+	for i, p := range sel.Points {
+		costed[i] = p
+		costed[i].Stat = run.BySL[p.SeqLen].TimeUS
+	}
+	for _, machines := range []int{2, 4, 8} {
+		sched, err := core.ScheduleProfiling(costed, machines)
+		if err != nil {
+			return CostResult{}, err
+		}
+		if sched.MakespanUS > 0 {
+			res.ClusterSpeedups[machines] = epochUS / sched.MakespanUS
+		}
+	}
+	return res, nil
+}
+
+// Render formats the cost summary.
+func (r CostResult) Render() string {
+	t := report.NewTable(
+		fmt.Sprintf("Section VI-F — %s: profiling-cost reduction", r.Network),
+		"quantity", "value").Align(1, report.AlignRight)
+	t.AddStringRow("epoch iterations", report.Count(r.EpochIterations))
+	t.AddStringRow("epoch time", report.US(r.EpochUS))
+	t.AddStringRow("seqpoints", report.Count(r.NumSeqPoints))
+	t.AddStringRow("profiling time (serial)", report.US(r.SerialUS))
+	t.AddStringRow("profiling time (parallel)", report.US(r.ParallelUS))
+	t.AddStringRow("serial speedup", fmt.Sprintf("%.0fx", r.SerialSpeedup))
+	t.AddStringRow("parallel speedup", fmt.Sprintf("%.0fx", r.ParallelSpeedup))
+	t.AddStringRow("iterations vs prior", fmt.Sprintf("%d vs %d (%.1fx fewer)",
+		r.NumSeqPoints, r.PriorIterations, r.IterRatioVsPrior))
+	for _, m := range []int{2, 4, 8} {
+		if sp, ok := r.ClusterSpeedups[m]; ok {
+			t.AddStringRow(fmt.Sprintf("speedup on %d machines", m), fmt.Sprintf("%.0fx", sp))
+		}
+	}
+	return t.String()
+}

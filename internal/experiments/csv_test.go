@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"seqpoint/internal/core"
+	"seqpoint/internal/gpusim"
+)
+
+// csvLines splits CSV output and asserts a uniform column count.
+func csvLines(t *testing.T, csv string) [][]string {
+	t.Helper()
+	raw := strings.Split(strings.TrimRight(csv, "\n"), "\n")
+	rows := make([][]string, len(raw))
+	for i, line := range raw {
+		rows[i] = strings.Split(line, ",")
+		if len(rows[i]) != len(rows[0]) {
+			t.Fatalf("row %d has %d columns, header has %d", i, len(rows[i]), len(rows[0]))
+		}
+	}
+	return rows
+}
+
+func TestFig3CSV(t *testing.T) {
+	lab := NewLab()
+	res, err := Fig3(lab, testGNMTWorkload(t), 6, gpusim.VegaFE())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := csvLines(t, res.CSV())
+	if len(rows) != 7 { // header + 6 iterations
+		t.Errorf("rows = %d", len(rows))
+	}
+	if rows[0][1] != "cnn_normalized" {
+		t.Errorf("header = %v", rows[0])
+	}
+}
+
+func TestFig7CSV(t *testing.T) {
+	lab := NewLab()
+	res, err := Fig7(lab, testDS2Workload(t), gpusim.VegaFE(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := csvLines(t, res.CSV())
+	if len(rows) != 6 { // header + 5 bins
+		t.Errorf("rows = %d", len(rows))
+	}
+}
+
+func TestFig9CSV(t *testing.T) {
+	lab := NewLab()
+	res, err := Fig9(lab, testDS2Workload(t), gpusim.VegaFE())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := csvLines(t, res.CSV())
+	if len(rows) != len(res.Points)+1 {
+		t.Errorf("rows = %d, points = %d", len(rows), len(res.Points))
+	}
+}
+
+func TestProjectionCSVs(t *testing.T) {
+	lab := NewLab()
+	w := testDS2Workload(t)
+	cfgs := twoConfigs()
+
+	tp, err := TimeProjection(lab, w, cfgs, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := csvLines(t, tp.CSV())
+	if len(rows) != 6 { // header + 5 methods
+		t.Errorf("time projection rows = %d", len(rows))
+	}
+
+	sp, err := SpeedupProjection(lab, w, cfgs, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows = csvLines(t, sp.CSV())
+	if len(rows) != 7 { // header + actual + 5 methods
+		t.Errorf("speedup projection rows = %d", len(rows))
+	}
+
+	sens, err := Sensitivity(lab, w, cfgs, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows = csvLines(t, sens.CSV())
+	if len(rows) < 3 {
+		t.Errorf("sensitivity rows = %d", len(rows))
+	}
+	if (SensitivityResult{}).CSV() != "" {
+		t.Error("empty result should render empty CSV")
+	}
+}

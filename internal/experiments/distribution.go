@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+
+	"seqpoint/internal/gpusim"
+	"seqpoint/internal/report"
+	"seqpoint/internal/stats"
+)
+
+// Fig7Result is the per-iteration sequence-length histogram of one
+// workload's training epoch (paper Fig. 7): DS2's is unimodal and
+// right-skewed, GNMT's is a decreasing long tail.
+type Fig7Result struct {
+	Network string
+	// Histogram bins the padded SL of every iteration in one epoch.
+	Histogram *stats.Histogram
+	// UniqueSLs is the number of distinct padded SLs in the epoch.
+	UniqueSLs int
+	// Iterations is the epoch's iteration count; the paper notes unique
+	// SLs can reach half of it (DS2).
+	Iterations int
+	// SkewRight reports whether the distribution's mean exceeds its
+	// median (right skew) — true for DS2, true-but-extreme for GNMT.
+	MeanSL, MedianSL float64
+}
+
+// Fig7 builds the SL histogram of the workload's first epoch with k bins.
+func Fig7(lab *Lab, w Workload, cfg gpusim.Config, bins int) (Fig7Result, error) {
+	run, err := lab.Run(w, cfg)
+	if err != nil {
+		return Fig7Result{}, err
+	}
+	sls := run.EpochPlans[0].SeqLens
+	h, err := stats.NewHistogram(sls, bins)
+	if err != nil {
+		return Fig7Result{}, err
+	}
+	fs := make([]float64, len(sls))
+	for i, s := range sls {
+		fs[i] = float64(s)
+	}
+	mean, err := stats.Mean(fs)
+	if err != nil {
+		return Fig7Result{}, err
+	}
+	median, err := stats.Median(fs)
+	if err != nil {
+		return Fig7Result{}, err
+	}
+	return Fig7Result{
+		Network:    w.Name,
+		Histogram:  h,
+		UniqueSLs:  len(stats.UniqueInts(sls)),
+		Iterations: len(sls),
+		MeanSL:     mean,
+		MedianSL:   median,
+	}, nil
+}
+
+// Render formats the histogram.
+func (r Fig7Result) Render() string {
+	return fmt.Sprintf("Fig 7 — %s: iteration sequence-length histogram\n%s"+
+		"iterations=%d uniqueSLs=%d mean=%.1f median=%.1f\n",
+		r.Network, r.Histogram.String(), r.Iterations, r.UniqueSLs, r.MeanSL, r.MedianSL)
+}
+
+// Fig9Point is one (sequence length, iteration runtime) sample.
+type Fig9Point struct {
+	SeqLen int
+	TimeUS float64
+}
+
+// Fig9Result is the runtime-vs-SL relationship of one workload (paper
+// Fig. 9): near-linear, which is what justifies both the contiguous
+// binning and the pick-nearest-average representative rule.
+type Fig9Result struct {
+	Network string
+	Points  []Fig9Point
+	// Fit is the least-squares line through all (SL, runtime) samples;
+	// R2 close to 1 confirms near-linearity.
+	Fit stats.LinearFit
+}
+
+// Fig9 collects per-unique-SL iteration runtimes and fits a line.
+func Fig9(lab *Lab, w Workload, cfg gpusim.Config) (Fig9Result, error) {
+	run, err := lab.Run(w, cfg)
+	if err != nil {
+		return Fig9Result{}, err
+	}
+	res := Fig9Result{Network: w.Name}
+	var xs, ys []float64
+	for _, sl := range run.UniqueSLs() {
+		t := run.BySL[sl].TimeUS
+		res.Points = append(res.Points, Fig9Point{SeqLen: sl, TimeUS: t})
+		xs = append(xs, float64(sl))
+		ys = append(ys, t)
+	}
+	fit, err := stats.Fit(xs, ys)
+	if err != nil {
+		return Fig9Result{}, err
+	}
+	res.Fit = fit
+	return res, nil
+}
+
+// Render formats a sampled view of the curve plus the fit quality.
+func (r Fig9Result) Render() string {
+	t := report.NewTable(
+		fmt.Sprintf("Fig 9 — %s: iteration runtime vs sequence length", r.Network),
+		"seqlen", "runtime", "bar").AlignNumeric()
+	var maxT float64
+	for _, p := range r.Points {
+		if p.TimeUS > maxT {
+			maxT = p.TimeUS
+		}
+	}
+	step := len(r.Points)/12 + 1
+	for i := 0; i < len(r.Points); i += step {
+		p := r.Points[i]
+		t.AddStringRow(fmt.Sprintf("%d", p.SeqLen), report.US(p.TimeUS),
+			report.Bar(p.TimeUS, maxT, 30))
+	}
+	return t.String() + fmt.Sprintf("linear fit: slope=%.3gµs/step intercept=%.3gµs R²=%.4f n=%d\n",
+		r.Fit.Slope, r.Fit.Intercept, r.Fit.R2, r.Fit.N)
+}

@@ -1,0 +1,227 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation from the simulated substrate: the characterization data
+// (Figs 3-9, Table I), the projection accuracy of SeqPoint and its
+// baselines (Figs 11, 12, 15, 16), the per-SL sensitivity curves
+// (Figs 13, 14), the profiling-cost reduction (Section VI-F), and the
+// k-means ablation (Section VII-C). Each experiment returns a structured
+// result with a text rendering; cmd/experiments and the repository-root
+// benchmarks drive them.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"seqpoint/internal/core"
+	"seqpoint/internal/dataset"
+	"seqpoint/internal/gpusim"
+	"seqpoint/internal/models"
+	"seqpoint/internal/trainer"
+)
+
+// Workload bundles a model with its dataset and training configuration,
+// mirroring the paper's two evaluation set-ups (Section VI-B).
+type Workload struct {
+	// Name labels the workload ("ds2", "gnmt", "cnn").
+	Name string
+	// Model is the network.
+	Model models.Model
+	// Train and Eval are the corpora.
+	Train, Eval *dataset.Corpus
+	// Schedule is the per-epoch batching policy.
+	Schedule dataset.Schedule
+	// Batch is the minibatch size.
+	Batch int
+	// Epochs is the simulated training length.
+	Epochs int
+	// Seed drives data generation and shuffling.
+	Seed int64
+}
+
+// Default workload parameters. Two epochs keep experiment runtime low
+// while still exercising the multi-epoch structure; all per-epoch
+// quantities (SL multiset, therefore projections) are epoch-invariant
+// under the sorted/bucketed/pooled policies.
+const (
+	DefaultBatch  = 64
+	DefaultEpochs = 2
+	DefaultSeed   = 1
+)
+
+// DS2Workload is DeepSpeech2 on LibriSpeech-100h with SortaGrad.
+func DS2Workload(seed int64) Workload {
+	return Workload{
+		Name:     "ds2",
+		Model:    models.NewDS2(),
+		Train:    dataset.LibriSpeech100h(seed),
+		Eval:     dataset.LibriSpeechDev(seed),
+		Schedule: dataset.DS2Schedule(),
+		Batch:    DefaultBatch,
+		Epochs:   DefaultEpochs,
+		Seed:     seed,
+	}
+}
+
+// GNMTWorkload is GNMT on IWSLT'15 with bucket-pool batching.
+func GNMTWorkload(seed int64) Workload {
+	return Workload{
+		Name:     "gnmt",
+		Model:    models.NewGNMT(),
+		Train:    dataset.IWSLT15(seed),
+		Eval:     dataset.IWSLTTest(seed),
+		Schedule: dataset.GNMTSchedule(),
+		Batch:    DefaultBatch,
+		Epochs:   DefaultEpochs,
+		Seed:     seed,
+	}
+}
+
+// TransformerWorkload is the base Transformer on IWSLT'15-shaped data,
+// used by the Section VII-B extension experiments: attention makes its
+// per-iteration cost super-linear in SL.
+func TransformerWorkload(seed int64) Workload {
+	return Workload{
+		Name:     "transformer",
+		Model:    models.NewTransformer(),
+		Train:    dataset.IWSLT15(seed),
+		Eval:     dataset.IWSLTTest(seed),
+		Schedule: dataset.GNMTSchedule(),
+		Batch:    DefaultBatch,
+		Epochs:   DefaultEpochs,
+		Seed:     seed,
+	}
+}
+
+// Seq2SeqWorkload is the attention-free LSTM encoder-decoder on
+// IWSLT'15-shaped data: per-iteration cost strictly linear in SL.
+func Seq2SeqWorkload(seed int64) Workload {
+	return Workload{
+		Name:     "seq2seq",
+		Model:    models.NewSeq2Seq(),
+		Train:    dataset.IWSLT15(seed),
+		Eval:     dataset.IWSLTTest(seed),
+		Schedule: dataset.GNMTSchedule(),
+		Batch:    DefaultBatch,
+		Epochs:   DefaultEpochs,
+		Seed:     seed,
+	}
+}
+
+// CNNWorkload is the fixed-input CNN used for the homogeneous-iteration
+// side of the Fig. 3 contrast. The corpus lengths are immaterial (the
+// model ignores sequence length); a small corpus keeps the run cheap.
+func CNNWorkload(seed int64) Workload {
+	lengths := make([]int, 2048)
+	for i := range lengths {
+		lengths[i] = 1
+	}
+	corpus, err := dataset.Synthetic("imagenet-like", lengths, 1000)
+	if err != nil {
+		panic(err) // unreachable: lengths are valid by construction
+	}
+	return Workload{
+		Name:     "cnn",
+		Model:    models.NewCNN(),
+		Train:    corpus,
+		Schedule: dataset.Schedule{FirstEpoch: dataset.OrderShuffled, LaterEpochs: dataset.OrderShuffled},
+		Batch:    DefaultBatch,
+		Epochs:   1,
+		Seed:     seed,
+	}
+}
+
+// spec converts the workload to a trainer spec.
+func (w Workload) spec() trainer.Spec {
+	return trainer.Spec{
+		Model:    w.Model,
+		Train:    w.Train,
+		Eval:     w.Eval,
+		Batch:    w.Batch,
+		Epochs:   w.Epochs,
+		Schedule: w.Schedule,
+		Seed:     w.Seed,
+	}
+}
+
+// Lab memoizes simulated training runs per (workload, hardware config):
+// the expensive inputs every experiment shares. It is safe for
+// concurrent use.
+type Lab struct {
+	mu   sync.Mutex
+	runs map[string]*trainer.Run
+}
+
+// NewLab returns an empty lab.
+func NewLab() *Lab {
+	return &Lab{runs: make(map[string]*trainer.Run)}
+}
+
+// Run simulates (or returns the cached) training run of w on cfg.
+func (l *Lab) Run(w Workload, cfg gpusim.Config) (*trainer.Run, error) {
+	key := fmt.Sprintf("%s|%+v|%s|%d|%d|%d|%d",
+		w.Name, cfg, w.Train.Name, w.Train.Size(), w.Batch, w.Epochs, w.Seed)
+	l.mu.Lock()
+	if r, ok := l.runs[key]; ok {
+		l.mu.Unlock()
+		return r, nil
+	}
+	l.mu.Unlock()
+
+	r, err := trainer.Simulate(w.spec(), cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: simulating %s on %s: %w", w.Name, cfg.Name, err)
+	}
+
+	l.mu.Lock()
+	l.runs[key] = r
+	l.mu.Unlock()
+	return r, nil
+}
+
+// RunAll simulates w on every config — concurrently, since each run is
+// independent and the simulator is the suite's dominant cost — and
+// returns the runs keyed by config name.
+func (l *Lab) RunAll(w Workload, cfgs []gpusim.Config) (map[string]*trainer.Run, error) {
+	runs := make([]*trainer.Run, len(cfgs))
+	errs := make([]error, len(cfgs))
+	var wg sync.WaitGroup
+	for i, cfg := range cfgs {
+		wg.Add(1)
+		go func(i int, cfg gpusim.Config) {
+			defer wg.Done()
+			runs[i], errs[i] = l.Run(w, cfg)
+		}(i, cfg)
+	}
+	wg.Wait()
+
+	out := make(map[string]*trainer.Run, len(cfgs))
+	for i, cfg := range cfgs {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		out[cfg.Name] = runs[i]
+	}
+	return out, nil
+}
+
+// SLRecords extracts the SeqPoint input (per-unique-SL frequency and
+// iteration runtime) from epoch `epoch` of a run.
+func SLRecords(run *trainer.Run, epoch int) ([]core.SLRecord, error) {
+	sum, err := run.EpochSummary(epoch)
+	if err != nil {
+		return nil, err
+	}
+	recs := make([]core.SLRecord, len(sum))
+	for i, s := range sum {
+		recs[i] = core.SLRecord{SeqLen: s.SeqLen, Freq: s.Count, Stat: s.IterTimeUS}
+	}
+	return recs, nil
+}
+
+// SelectOptions are the selection parameters used throughout the
+// evaluation: the paper's defaults with the error threshold tightened to
+// 0.1%, which lands the auto-k loop at SeqPoint counts comparable to the
+// paper's (8 for DS2, 15 for GNMT).
+func SelectOptions() core.Options {
+	return core.Options{ErrorThresholdPct: 0.1}
+}

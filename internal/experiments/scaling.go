@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"fmt"
+
+	"seqpoint/internal/core"
+	"seqpoint/internal/dataset"
+	"seqpoint/internal/gpusim"
+	"seqpoint/internal/report"
+)
+
+// BatchSizeRow is one batch size's effect on the SL space (paper
+// Section V-A: "smaller batch sizes have more unique SLs").
+type BatchSizeRow struct {
+	Batch int
+	// Iterations and UniqueSLs describe one epoch at this batch size.
+	Iterations, UniqueSLs int
+	// SeqPoints is the auto-k outcome; SelfErrPct its error.
+	SeqPoints  int
+	SelfErrPct float64
+}
+
+// BatchSizeResult sweeps batch size for one workload.
+type BatchSizeResult struct {
+	Network string
+	Rows    []BatchSizeRow
+}
+
+// BatchSize quantifies how the batch size shapes the unique-SL space
+// and whether SeqPoint's selection stays compact across it.
+func BatchSize(lab *Lab, w Workload, cfg gpusim.Config, batches []int, opts core.Options) (BatchSizeResult, error) {
+	res := BatchSizeResult{Network: w.Name}
+	for _, b := range batches {
+		wb := w
+		wb.Batch = b
+		wb.Epochs = 1
+		wb.Eval = nil
+		run, err := lab.Run(wb, cfg)
+		if err != nil {
+			return BatchSizeResult{}, err
+		}
+		recs, err := SLRecords(run, 0)
+		if err != nil {
+			return BatchSizeResult{}, err
+		}
+		sel, err := core.Select(recs, opts)
+		if err != nil {
+			return BatchSizeResult{}, err
+		}
+		res.Rows = append(res.Rows, BatchSizeRow{
+			Batch:      b,
+			Iterations: run.EpochPlans[0].Iterations(),
+			UniqueSLs:  len(recs),
+			SeqPoints:  len(sel.Points),
+			SelfErrPct: sel.ErrorPct,
+		})
+	}
+	return res, nil
+}
+
+// Render formats the sweep.
+func (r BatchSizeResult) Render() string {
+	t := report.NewTable(
+		fmt.Sprintf("Section V-A — %s: batch size vs unique-SL space", r.Network),
+		"batch", "iterations", "unique SLs", "seqpoints", "self error").AlignNumeric()
+	for _, row := range r.Rows {
+		t.AddStringRow(
+			fmt.Sprintf("%d", row.Batch),
+			report.Count(row.Iterations),
+			report.Count(row.UniqueSLs),
+			fmt.Sprintf("%d", row.SeqPoints),
+			report.Pct(row.SelfErrPct))
+	}
+	return t.String()
+}
+
+// ThresholdRow is one error-threshold setting's auto-k outcome.
+type ThresholdRow struct {
+	ThresholdPct float64
+	Bins         int
+	SeqPoints    int
+	SelfErrPct   float64
+}
+
+// ThresholdResult sweeps the user error threshold e (paper Fig. 10,
+// step 6): tighter thresholds grow k, trading profiling budget for
+// accuracy.
+type ThresholdResult struct {
+	Network string
+	Rows    []ThresholdRow
+}
+
+// ThresholdSweep runs the selection at several error thresholds.
+func ThresholdSweep(lab *Lab, w Workload, cfg gpusim.Config, thresholds []float64) (ThresholdResult, error) {
+	run, err := lab.Run(w, cfg)
+	if err != nil {
+		return ThresholdResult{}, err
+	}
+	recs, err := SLRecords(run, 0)
+	if err != nil {
+		return ThresholdResult{}, err
+	}
+	res := ThresholdResult{Network: w.Name}
+	for _, e := range thresholds {
+		sel, err := core.Select(recs, core.Options{ErrorThresholdPct: e})
+		if err != nil {
+			return ThresholdResult{}, err
+		}
+		res.Rows = append(res.Rows, ThresholdRow{
+			ThresholdPct: e,
+			Bins:         sel.Bins,
+			SeqPoints:    len(sel.Points),
+			SelfErrPct:   sel.ErrorPct,
+		})
+	}
+	return res, nil
+}
+
+// Render formats the sweep.
+func (r ThresholdResult) Render() string {
+	t := report.NewTable(
+		fmt.Sprintf("Section V-C — %s: error threshold e vs selection size", r.Network),
+		"threshold e", "bins k", "seqpoints", "self error").AlignNumeric()
+	for _, row := range r.Rows {
+		t.AddStringRow(
+			report.Pct(row.ThresholdPct),
+			fmt.Sprintf("%d", row.Bins),
+			fmt.Sprintf("%d", row.SeqPoints),
+			report.Pct(row.SelfErrPct))
+	}
+	return t.String()
+}
+
+// DatasetScaleRow is one corpus's profiling-speedup figures.
+type DatasetScaleRow struct {
+	Corpus          string
+	Iterations      int
+	UniqueSLs       int
+	SeqPoints       int
+	SerialSpeedup   float64
+	ParallelSpeedup float64
+}
+
+// DatasetScaleResult verifies the paper's Section VI-F closing claim:
+// larger datasets with similar SL ranges need no more SeqPoints, so the
+// profiling speedup grows with dataset size.
+type DatasetScaleResult struct {
+	Network string
+	Rows    []DatasetScaleRow
+}
+
+// DatasetScale compares the profiling-cost reduction on a workload's
+// standard corpus and a larger corpus with the same SL distribution.
+func DatasetScale(lab *Lab, w Workload, larger *dataset.Corpus, cfg gpusim.Config, opts core.Options) (DatasetScaleResult, error) {
+	res := DatasetScaleResult{Network: w.Name}
+	for _, corpus := range []*dataset.Corpus{w.Train, larger} {
+		wc := w
+		wc.Train = corpus
+		wc.Epochs = 1
+		wc.Eval = nil
+		cost, err := Cost(lab, wc, cfg, opts)
+		if err != nil {
+			return DatasetScaleResult{}, err
+		}
+		run, err := lab.Run(wc, cfg)
+		if err != nil {
+			return DatasetScaleResult{}, err
+		}
+		res.Rows = append(res.Rows, DatasetScaleRow{
+			Corpus:          corpus.Name,
+			Iterations:      cost.EpochIterations,
+			UniqueSLs:       len(run.BySL),
+			SeqPoints:       cost.NumSeqPoints,
+			SerialSpeedup:   cost.SerialSpeedup,
+			ParallelSpeedup: cost.ParallelSpeedup,
+		})
+	}
+	return res, nil
+}
+
+// Render formats the comparison.
+func (r DatasetScaleResult) Render() string {
+	t := report.NewTable(
+		fmt.Sprintf("Section VI-F (scaling) — %s: larger dataset, larger speedup", r.Network),
+		"corpus", "iterations", "unique SLs", "seqpoints", "serial", "parallel").AlignNumeric()
+	for _, row := range r.Rows {
+		t.AddStringRow(row.Corpus,
+			report.Count(row.Iterations),
+			report.Count(row.UniqueSLs),
+			fmt.Sprintf("%d", row.SeqPoints),
+			fmt.Sprintf("%.0fx", row.SerialSpeedup),
+			fmt.Sprintf("%.0fx", row.ParallelSpeedup))
+	}
+	return t.String()
+}

@@ -1,0 +1,374 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"seqpoint/internal/core"
+	"seqpoint/internal/dataset"
+	"seqpoint/internal/gpusim"
+	"seqpoint/internal/report"
+)
+
+// Suite bundles everything needed to regenerate the paper's evaluation:
+// the two SQNN workloads, the Table II hardware configurations, and the
+// selection options.
+type Suite struct {
+	Lab     *Lab
+	DS2     Workload
+	GNMT    Workload
+	Configs []gpusim.Config
+	Opts    core.Options
+}
+
+// NewSuite builds the default paper-evaluation suite.
+func NewSuite(seed int64) *Suite {
+	return &Suite{
+		Lab:     NewLab(),
+		DS2:     DS2Workload(seed),
+		GNMT:    GNMTWorkload(seed),
+		Configs: gpusim.TableII(),
+		Opts:    SelectOptions(),
+	}
+}
+
+// Workloads returns the two SQNN workloads in paper order (DS2, GNMT).
+func (s *Suite) Workloads() []Workload { return []Workload{s.DS2, s.GNMT} }
+
+// Calib returns the calibration configuration (config #1).
+func (s *Suite) Calib() gpusim.Config { return s.Configs[0] }
+
+// Paper-specific sequence lengths used by the characterization figures.
+// GNMT's Fig. 8 SLs are quoted in the paper (87, 89, 192, 197); the
+// Fig. 5/6 pairs contrast a short and a long iteration.
+var (
+	fig5GNMTPairs = [][2]int{{40, 160}, {80, 200}}
+	fig5DS2Pairs  = [][2]int{{150, 350}, {300, 450}}
+	fig6GNMTSLs   = []int{3, 180}
+	fig6DS2SLs    = []int{70, 450}
+	fig8GNMTSLs   = []int{87, 89, 192, 197}
+)
+
+// RenderTableII formats the hardware configurations.
+func RenderTableII(cfgs []gpusim.Config) string {
+	t := report.NewTable("Table II — hardware configurations",
+		"config", "GCLK", "#CU", "L1 $", "L2 $").AlignNumeric()
+	for _, c := range cfgs {
+		t.AddStringRow(c.Name,
+			fmt.Sprintf("%.3g GHz", c.ClockGHz),
+			fmt.Sprintf("%d", c.NumCUs),
+			fmt.Sprintf("%d KB", c.L1KBPerCU),
+			fmt.Sprintf("%d MB", c.L2MB))
+	}
+	return t.String()
+}
+
+// RunAll executes every experiment of the paper's evaluation in figure
+// order, writing each rendering to w as it completes. It returns the
+// first error encountered.
+func (s *Suite) RunAll(w io.Writer) error {
+	calib := s.Calib()
+
+	emit := func(name string, render func() (string, error)) error {
+		fmt.Fprint(w, report.Section(name))
+		out, err := render()
+		if err != nil {
+			return fmt.Errorf("experiments: %s: %w", name, err)
+		}
+		fmt.Fprint(w, out)
+		return nil
+	}
+
+	if err := emit("Table II", func() (string, error) {
+		return RenderTableII(s.Configs), nil
+	}); err != nil {
+		return err
+	}
+
+	if err := emit("Fig 3", func() (string, error) {
+		r, err := Fig3(s.Lab, s.GNMT, 12, calib)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	}); err != nil {
+		return err
+	}
+
+	if err := emit("Fig 4", func() (string, error) {
+		r, err := Fig4(s.Lab, s.Workloads(), 4, calib)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	}); err != nil {
+		return err
+	}
+
+	if err := emit("Table I", func() (string, error) {
+		var out string
+		for _, tc := range []struct {
+			w        Workload
+			sl1, sl2 int
+		}{
+			{s.GNMT, 94, 9},
+			{s.DS2, 400, 120},
+		} {
+			r, err := TableI(tc.w.Model, tc.w.Batch, tc.sl1, tc.sl2)
+			if err != nil {
+				return "", err
+			}
+			out += r.Render()
+		}
+		return out, nil
+	}); err != nil {
+		return err
+	}
+
+	if err := emit("Fig 5", func() (string, error) {
+		var out string
+		for _, tc := range []struct {
+			w     Workload
+			pairs [][2]int
+		}{
+			{s.GNMT, fig5GNMTPairs},
+			{s.DS2, fig5DS2Pairs},
+		} {
+			r, err := Fig5(s.Lab, tc.w, calib, tc.pairs)
+			if err != nil {
+				return "", err
+			}
+			out += r.Render()
+		}
+		return out, nil
+	}); err != nil {
+		return err
+	}
+
+	if err := emit("Fig 6", func() (string, error) {
+		var out string
+		for _, tc := range []struct {
+			w   Workload
+			sls []int
+		}{
+			{s.GNMT, fig6GNMTSLs},
+			{s.DS2, fig6DS2SLs},
+		} {
+			r, err := Fig6(s.Lab, tc.w, calib, tc.sls)
+			if err != nil {
+				return "", err
+			}
+			out += r.Render()
+		}
+		return out, nil
+	}); err != nil {
+		return err
+	}
+
+	if err := emit("Fig 7", func() (string, error) {
+		var out string
+		for _, w := range s.Workloads() {
+			r, err := Fig7(s.Lab, w, calib, 10)
+			if err != nil {
+				return "", err
+			}
+			out += r.Render()
+		}
+		return out, nil
+	}); err != nil {
+		return err
+	}
+
+	if err := emit("Fig 8", func() (string, error) {
+		r, err := Fig6(s.Lab, s.GNMT, calib, fig8GNMTSLs)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	}); err != nil {
+		return err
+	}
+
+	if err := emit("Fig 9", func() (string, error) {
+		var out string
+		for _, w := range []Workload{s.GNMT, s.DS2} {
+			r, err := Fig9(s.Lab, w, calib)
+			if err != nil {
+				return "", err
+			}
+			out += r.Render()
+		}
+		return out, nil
+	}); err != nil {
+		return err
+	}
+
+	for _, w := range s.Workloads() {
+		w := w
+		if err := emit(fmt.Sprintf("Figs 11/12 (%s)", w.Name), func() (string, error) {
+			r, err := TimeProjection(s.Lab, w, s.Configs, s.Opts)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}); err != nil {
+			return err
+		}
+	}
+
+	for _, w := range []Workload{s.GNMT, s.DS2} {
+		w := w
+		if err := emit(fmt.Sprintf("Figs 13/14 (%s)", w.Name), func() (string, error) {
+			r, err := Sensitivity(s.Lab, w, s.Configs, 12)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}); err != nil {
+			return err
+		}
+	}
+
+	for _, w := range s.Workloads() {
+		w := w
+		if err := emit(fmt.Sprintf("Figs 15/16 (%s)", w.Name), func() (string, error) {
+			r, err := SpeedupProjection(s.Lab, w, s.Configs, s.Opts)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}); err != nil {
+			return err
+		}
+	}
+
+	if err := emit("Section VI-F", func() (string, error) {
+		var out string
+		for _, w := range s.Workloads() {
+			r, err := Cost(s.Lab, w, calib, s.Opts)
+			if err != nil {
+				return "", err
+			}
+			out += r.Render()
+		}
+		return out, nil
+	}); err != nil {
+		return err
+	}
+
+	if err := emit("Section VII-C", func() (string, error) {
+		var out string
+		for _, w := range s.Workloads() {
+			r, err := Ablation(s.Lab, w, s.Configs, s.Opts, w.Seed)
+			if err != nil {
+				return "", err
+			}
+			out += r.Render()
+		}
+		return out, nil
+	}); err != nil {
+		return err
+	}
+
+	if err := emit("Section VII-C (extended)", func() (string, error) {
+		var out string
+		for _, w := range s.Workloads() {
+			r, err := ProfileAblation(s.Lab, w, s.Configs, s.Opts, w.Seed)
+			if err != nil {
+				return "", err
+			}
+			out += r.Render()
+		}
+		return out, nil
+	}); err != nil {
+		return err
+	}
+
+	if err := emit("Section V-C (statistic choice)", func() (string, error) {
+		var out string
+		for _, w := range s.Workloads() {
+			r, err := StatChoice(s.Lab, w, s.Configs, s.Opts)
+			if err != nil {
+				return "", err
+			}
+			out += r.Render()
+		}
+		return out, nil
+	}); err != nil {
+		return err
+	}
+
+	if err := emit("Section VII-E (inference)", func() (string, error) {
+		var out string
+		for _, w := range s.Workloads() {
+			r, err := Inference(w, s.Configs[0], s.Configs[1], w.Batch, s.Opts)
+			if err != nil {
+				return "", err
+			}
+			out += r.Render()
+		}
+		return out, nil
+	}); err != nil {
+		return err
+	}
+
+	if err := emit("Section V-A (batch size)", func() (string, error) {
+		r, err := BatchSize(s.Lab, s.GNMT, calib, []int{16, 32, 64, 128}, s.Opts)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	}); err != nil {
+		return err
+	}
+
+	if err := emit("Section V-C (threshold sweep)", func() (string, error) {
+		var out string
+		for _, w := range s.Workloads() {
+			r, err := ThresholdSweep(s.Lab, w, calib, []float64{5, 1, 0.5, 0.1, 0.01})
+			if err != nil {
+				return "", err
+			}
+			out += r.Render()
+		}
+		return out, nil
+	}); err != nil {
+		return err
+	}
+
+	if err := emit("Roofline decomposition", func() (string, error) {
+		var out string
+		for _, w := range s.Workloads() {
+			r, err := BoundShares(s.Lab, w, calib, 6)
+			if err != nil {
+				return "", err
+			}
+			out += r.Render()
+		}
+		return out, nil
+	}); err != nil {
+		return err
+	}
+
+	if err := emit("Section VI-F (dataset scaling)", func() (string, error) {
+		var out string
+		for _, tc := range []struct {
+			w      Workload
+			larger func(int64) *dataset.Corpus
+		}{
+			{s.DS2, dataset.LibriSpeech500h},
+			{s.GNMT, dataset.WMT16},
+		} {
+			r, err := DatasetScale(s.Lab, tc.w, tc.larger(tc.w.Seed), calib, s.Opts)
+			if err != nil {
+				return "", err
+			}
+			out += r.Render()
+		}
+		return out, nil
+	}); err != nil {
+		return err
+	}
+
+	return nil
+}

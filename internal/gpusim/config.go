@@ -1,0 +1,133 @@
+// Package gpusim is an analytical GPU performance model standing in for
+// the paper's AMD Radeon Vega Frontier Edition and its profiling stack
+// (Radeon Compute Profiler). It prices the logical ops emitted by
+// network layers (internal/tensor) as concrete kernel invocations with
+// runtimes and performance counters, under a configurable hardware
+// description (clock, compute units, L1/L2 caches, memory bandwidth).
+//
+// The model is a per-kernel roofline:
+//
+//	time = launch + max(flops / (peak * efficiency), dramBytes / bandwidth)
+//
+// where efficiency captures how well the kernel's shape fills the GPU
+// (small GEMMs from short sequence lengths underutilize compute units)
+// and dramBytes discounts cache-served reuse using a working-set model.
+// This reproduces, to first order, every behaviour the SeqPoint paper
+// depends on: iteration runtime growing near-linearly with sequence
+// length, shape-dependent kernel selection, and configuration-dependent
+// sensitivity that varies across sequence lengths (Figs 13 and 14).
+package gpusim
+
+import "fmt"
+
+// Config describes one hardware configuration, mirroring Table II of the
+// paper. The zero value is not usable; start from VegaFE or the
+// TableII helpers.
+type Config struct {
+	// Name labels the configuration in reports ("#1".."#5").
+	Name string
+	// ClockGHz is the GPU core clock (GCLK in the paper).
+	ClockGHz float64
+	// NumCUs is the number of active compute units.
+	NumCUs int
+	// L1KBPerCU is the vector L1 cache per CU in KiB; 0 disables L1.
+	L1KBPerCU int
+	// L2MB is the shared L2 cache in MiB; 0 disables L2.
+	L2MB int
+	// HBMGBps is the DRAM bandwidth in GB/s; fixed across Table II.
+	HBMGBps float64
+	// LaunchOverheadUS is the fixed host-side cost per kernel launch in
+	// microseconds.
+	LaunchOverheadUS float64
+}
+
+// Vega FE machine constants shared by every Table II configuration.
+const (
+	vegaSIMDLanes   = 64  // lanes per CU
+	vegaFLOPsPerLn  = 2   // FMA = 2 flops per lane per cycle
+	vegaHBMGBps     = 484 // HBM2 peak bandwidth
+	vegaLaunchUS    = 6.0 // typical ROCm kernel-launch latency
+	referenceCUs    = 64  // CU count used for config-independent kernel selection
+	bytesPerKB      = 1024
+	bytesPerMB      = 1024 * 1024
+	usPerSecond     = 1e6
+	gflopsPerTflops = 1000
+)
+
+// VegaFE returns config #1: the full-speed Radeon Vega Frontier Edition.
+func VegaFE() Config {
+	return Config{
+		Name:             "#1",
+		ClockGHz:         1.6,
+		NumCUs:           64,
+		L1KBPerCU:        16,
+		L2MB:             4,
+		HBMGBps:          vegaHBMGBps,
+		LaunchOverheadUS: vegaLaunchUS,
+	}
+}
+
+// TableII returns the five hardware configurations of the paper's
+// Table II, in order. Config #1 is the calibration config on which
+// SeqPoints are identified.
+func TableII() []Config {
+	c1 := VegaFE()
+
+	c2 := c1
+	c2.Name = "#2"
+	c2.ClockGHz = 0.852
+
+	c3 := c1
+	c3.Name = "#3"
+	c3.NumCUs = 16
+
+	c4 := c1
+	c4.Name = "#4"
+	c4.L1KBPerCU = 0
+
+	c5 := c1
+	c5.Name = "#5"
+	c5.L2MB = 0
+
+	return []Config{c1, c2, c3, c4, c5}
+}
+
+// Validate reports whether the configuration is physically meaningful.
+func (c Config) Validate() error {
+	switch {
+	case c.ClockGHz <= 0:
+		return fmt.Errorf("gpusim: config %q: clock must be positive, got %v", c.Name, c.ClockGHz)
+	case c.NumCUs <= 0:
+		return fmt.Errorf("gpusim: config %q: CU count must be positive, got %d", c.Name, c.NumCUs)
+	case c.L1KBPerCU < 0:
+		return fmt.Errorf("gpusim: config %q: L1 size must be non-negative, got %d", c.Name, c.L1KBPerCU)
+	case c.L2MB < 0:
+		return fmt.Errorf("gpusim: config %q: L2 size must be non-negative, got %d", c.Name, c.L2MB)
+	case c.HBMGBps <= 0:
+		return fmt.Errorf("gpusim: config %q: bandwidth must be positive, got %v", c.Name, c.HBMGBps)
+	case c.LaunchOverheadUS < 0:
+		return fmt.Errorf("gpusim: config %q: launch overhead must be non-negative, got %v", c.Name, c.LaunchOverheadUS)
+	}
+	return nil
+}
+
+// PeakGFLOPs is the peak single-precision throughput in GFLOP/s.
+func (c Config) PeakGFLOPs() float64 {
+	return float64(c.NumCUs) * vegaSIMDLanes * vegaFLOPsPerLn * c.ClockGHz
+}
+
+// AggregateL1Bytes is the summed L1 capacity across active CUs.
+func (c Config) AggregateL1Bytes() float64 {
+	return float64(c.L1KBPerCU) * bytesPerKB * float64(c.NumCUs)
+}
+
+// L2Bytes is the L2 capacity in bytes.
+func (c Config) L2Bytes() float64 {
+	return float64(c.L2MB) * bytesPerMB
+}
+
+// String renders the config as a Table II row.
+func (c Config) String() string {
+	return fmt.Sprintf("%s: %.3f GHz, %d CUs, L1 %d KB, L2 %d MB",
+		c.Name, c.ClockGHz, c.NumCUs, c.L1KBPerCU, c.L2MB)
+}

@@ -1,0 +1,119 @@
+package gpusim
+
+import (
+	"math"
+	"testing"
+
+	"seqpoint/internal/tensor"
+)
+
+func TestExplainConsistentWithPrice(t *testing.T) {
+	sim := mustSim(t, VegaFE())
+	ops := []tensor.Op{
+		tensor.NewGEMM(2048, 2048, 1024, "g"),
+		tensor.NewElementwise(1<<20, 4, "e"),
+		tensor.NewEmbedding(30000, 512, 4096, "m"),
+	}
+	for _, op := range ops {
+		ex := sim.Explain(op)
+		inv := sim.Price(op)
+		if ex.TimeUS != inv.TimeUS {
+			t.Errorf("%s: Explain time %v != Price time %v", op.Signature(), ex.TimeUS, inv.TimeUS)
+		}
+		want := ex.LaunchUS + math.Max(ex.ComputeUS, ex.MemoryUS)
+		if math.Abs(ex.TimeUS-want) > 1e-9*want {
+			t.Errorf("%s: TimeUS %v != launch+max(legs) %v", op.Signature(), ex.TimeUS, want)
+		}
+		if ex.Kernel != inv.Kernel {
+			t.Errorf("%s: kernel mismatch", op.Signature())
+		}
+	}
+}
+
+func TestExplainBoundClassification(t *testing.T) {
+	sim := mustSim(t, VegaFE())
+
+	// Deep, large GEMM: high arithmetic intensity, compute-bound.
+	g := sim.Explain(tensor.NewGEMM(4096, 4096, 4096, "g"))
+	if g.Bound != BoundCompute {
+		t.Errorf("large GEMM bound = %v, want compute", g.Bound)
+	}
+	if g.ArithmeticIntensity < 10 {
+		t.Errorf("large GEMM intensity = %v", g.ArithmeticIntensity)
+	}
+
+	// Huge streaming pointwise op: memory-bound.
+	e := sim.Explain(tensor.NewElementwise(1<<26, 1, "e"))
+	if e.Bound != BoundMemory {
+		t.Errorf("streaming op bound = %v, want memory", e.Bound)
+	}
+
+	// Tiny op: launch-bound.
+	tiny := sim.Explain(tensor.NewElementwise(64, 1, "t"))
+	if tiny.Bound != BoundLaunch {
+		t.Errorf("tiny op bound = %v, want launch", tiny.Bound)
+	}
+}
+
+func TestBoundString(t *testing.T) {
+	for b, want := range map[Bound]string{
+		BoundCompute: "compute",
+		BoundMemory:  "memory",
+		BoundLaunch:  "launch",
+		Bound(7):     "bound(7)",
+	} {
+		if got := b.String(); got != want {
+			t.Errorf("Bound(%d).String() = %q, want %q", int(b), got, want)
+		}
+	}
+}
+
+func TestBoundSharesSumToOne(t *testing.T) {
+	sim := mustSim(t, VegaFE())
+	ops := []tensor.Op{
+		tensor.NewGEMM(4096, 4096, 4096, "g"),
+		tensor.NewElementwise(1<<26, 1, "e"),
+		tensor.NewElementwise(64, 1, "t"),
+	}
+	shares := sim.BoundShares(ops)
+	var total float64
+	for _, v := range shares {
+		total += v
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Errorf("shares sum to %v", total)
+	}
+	// Each of the three classes is represented by construction.
+	for _, b := range []Bound{BoundCompute, BoundMemory, BoundLaunch} {
+		if shares[b] <= 0 {
+			t.Errorf("bound %v has zero share", b)
+		}
+	}
+	if len(sim.BoundShares(nil)) != 0 {
+		t.Error("empty op list should give empty shares")
+	}
+}
+
+func TestBoundSharesShiftWithConfig(t *testing.T) {
+	// Disabling L1 (config #4) slows compute legs of blocked kernels:
+	// a GEMM near the roofline ridge can flip from compute- to
+	// memory-bound territory differently across configs. At minimum,
+	// classifications must stay valid on every config.
+	ops := []tensor.Op{
+		tensor.NewGEMM(512, 512, 256, "g"),
+		tensor.NewGEMM(64, 64, 2048, "s"),
+		tensor.NewElementwise(1<<22, 2, "e"),
+	}
+	for _, cfg := range TableII() {
+		sim := mustSim(t, cfg)
+		for _, op := range ops {
+			ex := sim.Explain(op)
+			if ex.Bound != BoundCompute && ex.Bound != BoundMemory && ex.Bound != BoundLaunch {
+				t.Errorf("config %s: invalid bound %v", cfg.Name, ex.Bound)
+			}
+			if ex.TimeUS <= 0 {
+				t.Errorf("config %s: non-positive time", cfg.Name)
+			}
+		}
+	}
+}

@@ -1,0 +1,67 @@
+// Package models assembles the networks the paper studies from the
+// layer library: DeepSpeech2 and GNMT (the two MLPerf-reference SQNNs of
+// the evaluation) plus a fixed-input CNN used for the homogeneous-vs-
+// heterogeneous iteration contrast of Fig. 3. A model, given a batch
+// size and the padded sequence length of an iteration's input batch,
+// returns the complete list of logical operations one training
+// iteration launches — forward and backward — ready for pricing by the
+// GPU model.
+package models
+
+import (
+	"seqpoint/internal/nn"
+	"seqpoint/internal/tensor"
+)
+
+// Model describes a trainable network at profiling granularity.
+type Model interface {
+	// Name identifies the model ("ds2", "gnmt", "cnn").
+	Name() string
+	// IterationOps returns the ops of one training iteration (forward +
+	// loss + backward) for a batch padded to seqLen.
+	IterationOps(batch, seqLen int) []tensor.Op
+	// EvalOps returns the ops of one evaluation (forward-only) pass.
+	EvalOps(batch, seqLen int) []tensor.Op
+	// SeqLenDependent reports whether iteration work varies with the
+	// input sequence length (true for SQNNs, false for CNNs).
+	SeqLenDependent() bool
+}
+
+// runForward applies the layer stack to in, returning all forward ops
+// and the per-layer input shapes (needed to replay the backward pass).
+func runForward(layers []nn.Layer, in nn.Activation) ([]tensor.Op, []nn.Activation, nn.Activation) {
+	var ops []tensor.Op
+	inputs := make([]nn.Activation, len(layers))
+	cur := in
+	for i, l := range layers {
+		inputs[i] = cur
+		var o []tensor.Op
+		o, cur = l.Forward(cur)
+		ops = append(ops, o...)
+	}
+	return ops, inputs, cur
+}
+
+// runBackward replays the stack in reverse, emitting each layer's
+// backward ops against the input shape it saw in the forward pass.
+func runBackward(layers []nn.Layer, inputs []nn.Activation) []tensor.Op {
+	var ops []tensor.Op
+	for i := len(layers) - 1; i >= 0; i-- {
+		ops = append(ops, layers[i].Backward(inputs[i])...)
+	}
+	return ops
+}
+
+// stackIteration is the common forward+backward assembly for models that
+// are a single layer stack.
+func stackIteration(layers []nn.Layer, in nn.Activation) []tensor.Op {
+	fwd, inputs, _ := runForward(layers, in)
+	bwd := runBackward(layers, inputs)
+	return append(fwd, bwd...)
+}
+
+// optimizerOps models the weight-update pass (SGD with momentum): one
+// streaming pointwise op over every parameter.
+func optimizerOps(paramCount int, label string) []tensor.Op {
+	return []tensor.Op{tensor.NewElementwise(paramCount, 4, label+"_sgd")}
+}

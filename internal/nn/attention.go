@@ -1,0 +1,79 @@
+package nn
+
+import (
+	"fmt"
+
+	"seqpoint/internal/tensor"
+)
+
+// Attention is an additive (Bahdanau-style) attention network connecting
+// a decoder to encoder outputs, as in GNMT. Unlike the recurrent cells,
+// which process one symbol at a time with fixed-size inputs, attention
+// touches the *entire* encoder sequence at every decoder step — it is
+// one of the layers the paper singles out (Section IV-B1) as making
+// iteration work scale with sequence length beyond simple unrolling:
+// its pointwise score evaluation is O(T_dec * T_enc * hidden).
+type Attention struct {
+	LayerName string
+	Hidden    int
+	// EncTime is the encoder sequence length the decoder attends over;
+	// set per iteration by the model assembly.
+	EncTime int
+}
+
+// NewAttention builds an attention layer over EncTime encoder steps.
+func NewAttention(name string, hidden, encTime int) Attention {
+	if hidden <= 0 || encTime <= 0 {
+		panic(fmt.Sprintf("nn: invalid attention %s (hidden %d, encTime %d)", name, hidden, encTime))
+	}
+	return Attention{LayerName: name, Hidden: hidden, EncTime: encTime}
+}
+
+// Name returns the layer name.
+func (a Attention) Name() string { return a.LayerName }
+
+// Forward emits, per decoder step: the query projection, the additive
+// score evaluation over all encoder steps, the softmax over scores, and
+// the context-vector GEMM. The encoder-side key projection is hoisted
+// out of the step loop (computed once per iteration), as real
+// implementations do.
+func (a Attention) Forward(in Activation) ([]tensor.Op, Activation) {
+	var ops seqOps
+	h := a.Hidden
+	b := in.Batch
+
+	// Hoisted key projection: W1 x encoder outputs, all steps at once.
+	ops.add(tensor.NewGEMM(h, b*a.EncTime, h, a.LayerName+"_keys"))
+
+	for t := 0; t < in.Time; t++ {
+		// Query projection for this decoder step.
+		ops.add(tensor.NewGEMM(h, b, h, a.LayerName+"_query"))
+		// Additive combine + tanh over every encoder position.
+		ops.add(tensor.NewElementwise(b*a.EncTime*h, opsPerGateElem, a.LayerName+"_score"))
+		// v^T reduction to scalar scores, then softmax over positions.
+		ops.add(tensor.NewReduction(b*a.EncTime*h, b*a.EncTime, a.LayerName+"_vdot"))
+		ops.add(tensor.NewElementwise(b*a.EncTime, opsPerSoftmaxElem, a.LayerName+"_softmax"))
+		// Context vector: weighted sum of encoder outputs.
+		ops.add(tensor.NewGEMM(h, b, a.EncTime, a.LayerName+"_context"))
+	}
+
+	out := in
+	out.Feat = in.Feat + h // decoder consumes [state; context]
+	return ops, out
+}
+
+// Backward emits gradients mirroring the forward structure.
+func (a Attention) Backward(in Activation) []tensor.Op {
+	var ops seqOps
+	h := a.Hidden
+	b := in.Batch
+	ops.add(tensor.NewGEMM(h, b*a.EncTime, h, a.LayerName+"_keys_dgrad"))
+	ops.add(tensor.NewGEMM(h, h, b*a.EncTime, a.LayerName+"_keys_wgrad"))
+	for t := 0; t < in.Time; t++ {
+		ops.add(tensor.NewGEMM(h, b, h, a.LayerName+"_query_dgrad"))
+		ops.add(tensor.NewGEMM(h, h, b, a.LayerName+"_query_wgrad"))
+		ops.add(tensor.NewElementwise(b*a.EncTime*h, opsPerGateElem, a.LayerName+"_score_bwd"))
+		ops.add(tensor.NewGEMM(h, b, a.EncTime, a.LayerName+"_context_bwd"))
+	}
+	return ops
+}

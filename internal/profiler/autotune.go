@@ -1,0 +1,45 @@
+package profiler
+
+import (
+	"seqpoint/internal/gpusim"
+	"seqpoint/internal/models"
+	"seqpoint/internal/tensor"
+)
+
+// Autotune models the kernel-selection phase high-level frameworks run
+// the first time they meet a new GEMM/convolution shape (Section IV-C2
+// of the paper): the library times several candidate kernels and caches
+// the winner. Each *new* shape signature therefore adds a one-time cost;
+// because every unique sequence length introduces new shapes, autotune
+// overhead concentrates in an SQNN's first epoch — exactly the paper's
+// observation that autotune affects the first iteration of CNNs but the
+// first epoch of SQNNs.
+const (
+	// autotuneTrials is how many candidate kernels the library times
+	// per new shape.
+	autotuneTrials = 12
+	// autotuneSetupUS is the fixed per-shape bookkeeping cost.
+	autotuneSetupUS = 400.0
+)
+
+// AutotuneUS returns the autotune cost incurred by one iteration of m at
+// the given sequence length, charging only for shape signatures not yet
+// in seen, and records the newly seen signatures. Only GEMM and
+// convolution shapes are tuned (rocBLAS/MIOpen behaviour); pointwise
+// kernels dispatch statically.
+func AutotuneUS(sim *gpusim.Simulator, m models.Model, batch, seqLen int, seen map[string]bool) float64 {
+	var us float64
+	for _, op := range m.IterationOps(batch, seqLen) {
+		if op.Kind() != tensor.KindGEMM && op.Kind() != tensor.KindConv2D {
+			continue
+		}
+		sig := op.Signature()
+		if seen[sig] {
+			continue
+		}
+		seen[sig] = true
+		inv := sim.Price(op)
+		us += autotuneSetupUS + autotuneTrials*inv.TimeUS
+	}
+	return us
+}

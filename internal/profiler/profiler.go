@@ -1,0 +1,171 @@
+// Package profiler collects per-iteration execution profiles from the
+// GPU model, standing in for the Radeon Compute Profiler in the paper's
+// methodology: for each training iteration it records total runtime,
+// aggregate hardware counters, and a kernel-level breakdown (which
+// kernels ran, how often, for how long). The comparison utilities
+// (unique-kernel overlap, runtime distribution by kernel group) are the
+// measurements behind the paper's Figs 4, 5, 6, and 8.
+package profiler
+
+import (
+	"fmt"
+	"sort"
+
+	"seqpoint/internal/gpusim"
+	"seqpoint/internal/models"
+	"seqpoint/internal/tensor"
+)
+
+// KernelStat aggregates all invocations of one concrete kernel within an
+// iteration.
+type KernelStat struct {
+	// Kernel is the concrete kernel symbol.
+	Kernel string
+	// Kind is the op class the kernel implements.
+	Kind tensor.Kind
+	// Count is the number of dynamic invocations.
+	Count int
+	// TimeUS is the summed runtime.
+	TimeUS float64
+	// Counters are the summed hardware counters.
+	Counters gpusim.Counters
+}
+
+// IterationProfile is the execution profile of one training iteration:
+// the paper's definition (Section IV-A) — "the distribution of invoked
+// kernels and their runtimes".
+type IterationProfile struct {
+	// SeqLen is the padded sequence length of the iteration's batch.
+	SeqLen int
+	// Batch is the minibatch size.
+	Batch int
+	// TimeUS is the iteration runtime (all kernels, incl. launches).
+	TimeUS float64
+	// NumKernels is the dynamic kernel-invocation count.
+	NumKernels int
+	// Counters are the iteration-aggregate hardware counters.
+	Counters gpusim.Counters
+	// Kernels is the per-kernel breakdown, sorted by descending time.
+	Kernels []KernelStat
+	// LabelTimeUS maps layer-level op labels ("classifier",
+	// "enc_lstm_0_xproj", ...) to their summed runtime; this is the
+	// grouping behind the paper's Fig. 6/Fig. 8 "GEMM-1"/"GEMM-2"
+	// distributions.
+	LabelTimeUS map[string]float64
+}
+
+// ProfileIteration runs one training iteration of m under sim and
+// aggregates the trace.
+func ProfileIteration(sim *gpusim.Simulator, m models.Model, batch, seqLen int) (IterationProfile, error) {
+	if batch <= 0 || seqLen <= 0 {
+		return IterationProfile{}, fmt.Errorf("profiler: invalid iteration batch=%d seqLen=%d", batch, seqLen)
+	}
+	ops := m.IterationOps(batch, seqLen)
+	return profileOps(sim, ops, batch, seqLen)
+}
+
+// ProfileEval runs one forward-only evaluation pass.
+func ProfileEval(sim *gpusim.Simulator, m models.Model, batch, seqLen int) (IterationProfile, error) {
+	if batch <= 0 || seqLen <= 0 {
+		return IterationProfile{}, fmt.Errorf("profiler: invalid eval batch=%d seqLen=%d", batch, seqLen)
+	}
+	ops := m.EvalOps(batch, seqLen)
+	return profileOps(sim, ops, batch, seqLen)
+}
+
+func profileOps(sim *gpusim.Simulator, ops []tensor.Op, batch, seqLen int) (IterationProfile, error) {
+	p := IterationProfile{
+		SeqLen:      seqLen,
+		Batch:       batch,
+		LabelTimeUS: make(map[string]float64),
+	}
+	byKernel := make(map[string]*KernelStat)
+	for _, op := range ops {
+		inv := sim.Price(op)
+		p.TimeUS += inv.TimeUS
+		p.NumKernels++
+		p.Counters.Add(inv.Counters)
+		ks, ok := byKernel[inv.Kernel]
+		if !ok {
+			ks = &KernelStat{Kernel: inv.Kernel, Kind: inv.Kind}
+			byKernel[inv.Kernel] = ks
+		}
+		ks.Count++
+		ks.TimeUS += inv.TimeUS
+		ks.Counters.Add(inv.Counters)
+		if inv.Label != "" {
+			p.LabelTimeUS[inv.Label] += inv.TimeUS
+		}
+	}
+	p.Kernels = make([]KernelStat, 0, len(byKernel))
+	for _, ks := range byKernel {
+		p.Kernels = append(p.Kernels, *ks)
+	}
+	sort.Slice(p.Kernels, func(i, j int) bool {
+		if p.Kernels[i].TimeUS != p.Kernels[j].TimeUS {
+			return p.Kernels[i].TimeUS > p.Kernels[j].TimeUS
+		}
+		return p.Kernels[i].Kernel < p.Kernels[j].Kernel
+	})
+	return p, nil
+}
+
+// UniqueKernels returns the set of distinct kernel symbols invoked.
+func (p IterationProfile) UniqueKernels() map[string]struct{} {
+	set := make(map[string]struct{}, len(p.Kernels))
+	for _, k := range p.Kernels {
+		set[k.Kernel] = struct{}{}
+	}
+	return set
+}
+
+// Overlap compares the unique-kernel sets of two iterations, returning
+// the counts behind one bar group of the paper's Fig. 5: kernels common
+// to both, kernels only in p, and kernels only in q.
+func Overlap(p, q IterationProfile) (common, onlyP, onlyQ int) {
+	ps, qs := p.UniqueKernels(), q.UniqueKernels()
+	for k := range ps {
+		if _, ok := qs[k]; ok {
+			common++
+		} else {
+			onlyP++
+		}
+	}
+	for k := range qs {
+		if _, ok := ps[k]; !ok {
+			onlyQ++
+		}
+	}
+	return common, onlyP, onlyQ
+}
+
+// TimeShareByKind returns the fraction of iteration runtime spent in
+// each op class (GEMM, elementwise, reduce, ...), the quantity the
+// paper's Fig. 6 plots per sequence length.
+func (p IterationProfile) TimeShareByKind() map[tensor.Kind]float64 {
+	shares := make(map[tensor.Kind]float64)
+	if p.TimeUS == 0 {
+		return shares
+	}
+	for _, k := range p.Kernels {
+		shares[k.Kind] += k.TimeUS / p.TimeUS
+	}
+	return shares
+}
+
+// TopKernels returns the n longest-running kernels.
+func (p IterationProfile) TopKernels(n int) []KernelStat {
+	if n > len(p.Kernels) {
+		n = len(p.Kernels)
+	}
+	return p.Kernels[:n]
+}
+
+// Throughput returns training throughput in samples per second, the
+// paper's speedup metric (Section VI-C).
+func (p IterationProfile) Throughput() float64 {
+	if p.TimeUS == 0 {
+		return 0
+	}
+	return float64(p.Batch) / (p.TimeUS / 1e6)
+}

@@ -1,0 +1,232 @@
+package profiler
+
+import (
+	"math"
+	"testing"
+
+	"seqpoint/internal/gpusim"
+	"seqpoint/internal/models"
+	"seqpoint/internal/tensor"
+)
+
+func sim(t *testing.T) *gpusim.Simulator {
+	t.Helper()
+	s, err := gpusim.New(gpusim.VegaFE())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestProfileIterationAggregates(t *testing.T) {
+	s := sim(t)
+	m := models.NewDS2()
+	p, err := ProfileIteration(s, m, 16, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.SeqLen != 100 || p.Batch != 16 {
+		t.Errorf("identity: %+v", p)
+	}
+	if p.TimeUS <= 0 {
+		t.Error("iteration time must be positive")
+	}
+	if p.NumKernels != len(m.IterationOps(16, 100)) {
+		t.Errorf("NumKernels = %d, want one per op", p.NumKernels)
+	}
+	// Kernel breakdown must sum back to the totals.
+	var sumT float64
+	var sumCount int
+	for _, k := range p.Kernels {
+		sumT += k.TimeUS
+		sumCount += k.Count
+	}
+	if math.Abs(sumT-p.TimeUS) > 1e-6*p.TimeUS {
+		t.Errorf("kernel times sum to %v, total %v", sumT, p.TimeUS)
+	}
+	if sumCount != p.NumKernels {
+		t.Errorf("kernel counts sum to %d, total %d", sumCount, p.NumKernels)
+	}
+	// Sorted by descending time.
+	for i := 1; i < len(p.Kernels); i++ {
+		if p.Kernels[i].TimeUS > p.Kernels[i-1].TimeUS {
+			t.Error("kernels not sorted by time")
+			break
+		}
+	}
+	// Label shares also sum to the total (every op is labeled).
+	var sumLabel float64
+	for _, us := range p.LabelTimeUS {
+		sumLabel += us
+	}
+	if math.Abs(sumLabel-p.TimeUS) > 1e-6*p.TimeUS {
+		t.Errorf("label times sum to %v, total %v", sumLabel, p.TimeUS)
+	}
+}
+
+func TestProfileIterationInvalidArgs(t *testing.T) {
+	s := sim(t)
+	m := models.NewDS2()
+	if _, err := ProfileIteration(s, m, 0, 10); err == nil {
+		t.Error("zero batch should error")
+	}
+	if _, err := ProfileIteration(s, m, 10, 0); err == nil {
+		t.Error("zero seqlen should error")
+	}
+	if _, err := ProfileEval(s, m, 0, 10); err == nil {
+		t.Error("eval zero batch should error")
+	}
+}
+
+func TestProfileEvalCheaperThanTraining(t *testing.T) {
+	s := sim(t)
+	m := models.NewGNMT()
+	train, err := ProfileIteration(s, m, 16, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval, err := ProfileEval(s, m, 16, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eval.TimeUS >= train.TimeUS {
+		t.Errorf("eval %v us should be cheaper than training %v us", eval.TimeUS, train.TimeUS)
+	}
+}
+
+func TestProfileDeterministic(t *testing.T) {
+	s := sim(t)
+	m := models.NewGNMT()
+	a, err := ProfileIteration(s, m, 16, 37)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ProfileIteration(s, m, 16, 37)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TimeUS != b.TimeUS || a.NumKernels != b.NumKernels {
+		t.Error("profiles must be deterministic")
+	}
+}
+
+func TestUniqueKernelsAndOverlap(t *testing.T) {
+	s := sim(t)
+	m := models.NewDS2()
+	p1, err := ProfileIteration(s, m, 64, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := ProfileIteration(s, m, 64, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u1 := p1.UniqueKernels()
+	if len(u1) != len(p1.Kernels) {
+		t.Errorf("unique set %d != kernel rows %d", len(u1), len(p1.Kernels))
+	}
+
+	common, only1, only2 := Overlap(p1, p2)
+	if common+only1 != len(u1) {
+		t.Errorf("common %d + only1 %d != |p1| %d", common, only1, len(u1))
+	}
+	if common+only2 != len(p2.UniqueKernels()) {
+		t.Errorf("common %d + only2 %d != |p2|", common, only2)
+	}
+	// Self overlap is total.
+	c, o1, o2 := Overlap(p1, p1)
+	if o1 != 0 || o2 != 0 || c != len(u1) {
+		t.Errorf("self overlap = (%d,%d,%d)", c, o1, o2)
+	}
+	// Distant SLs differ in at least one kernel (Fig. 5 behaviour).
+	if only1+only2 == 0 {
+		t.Error("SL 100 and 400 iterations should differ in some kernels")
+	}
+}
+
+func TestTimeShareByKind(t *testing.T) {
+	s := sim(t)
+	p, err := ProfileIteration(s, models.NewGNMT(), 16, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shares := p.TimeShareByKind()
+	var total float64
+	for _, v := range shares {
+		if v < 0 {
+			t.Error("negative share")
+		}
+		total += v
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Errorf("shares sum to %v, want 1", total)
+	}
+	if shares[tensor.KindGEMM] < 0.3 {
+		t.Errorf("GEMMs should dominate GNMT runtime, got %v", shares[tensor.KindGEMM])
+	}
+}
+
+func TestTopKernels(t *testing.T) {
+	s := sim(t)
+	p, err := ProfileIteration(s, models.NewDS2(), 16, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := p.TopKernels(3)
+	if len(top) != 3 {
+		t.Fatalf("TopKernels(3) = %d entries", len(top))
+	}
+	if top[0].TimeUS < top[2].TimeUS {
+		t.Error("top kernels not in descending order")
+	}
+	all := p.TopKernels(1 << 20)
+	if len(all) != len(p.Kernels) {
+		t.Error("overlong n should clamp")
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	p := IterationProfile{Batch: 64, TimeUS: 5e5}
+	if got := p.Throughput(); math.Abs(got-128) > 1e-9 {
+		t.Errorf("Throughput = %v, want 128 samples/s", got)
+	}
+	if (IterationProfile{}).Throughput() != 0 {
+		t.Error("zero-time profile throughput should be 0")
+	}
+}
+
+func TestAutotuneChargesNewShapesOnce(t *testing.T) {
+	s := sim(t)
+	m := models.NewDS2()
+	seen := make(map[string]bool)
+	first := AutotuneUS(s, m, 16, 100, seen)
+	if first <= 0 {
+		t.Fatal("first iteration at a new SL must pay autotune")
+	}
+	// Same SL again: every shape already tuned.
+	if again := AutotuneUS(s, m, 16, 100, seen); again != 0 {
+		t.Errorf("re-tuning already-seen shapes: %v us", again)
+	}
+	// A new SL introduces new SL-dependent shapes but shares the
+	// fixed-shape kernels (per-timestep projections) already tuned.
+	second := AutotuneUS(s, m, 16, 120, seen)
+	if second <= 0 {
+		t.Error("new SL should introduce new GEMM shapes")
+	}
+	scratch := AutotuneUS(s, m, 16, 120, make(map[string]bool))
+	if second >= scratch {
+		t.Errorf("incremental tuning (%v us) should cost less than from scratch (%v us)", second, scratch)
+	}
+}
+
+func TestAutotuneOnlyTunesGEMMAndConv(t *testing.T) {
+	s := sim(t)
+	m := models.NewGNMT()
+	seen := make(map[string]bool)
+	AutotuneUS(s, m, 8, 20, seen)
+	for sig := range seen {
+		if len(sig) < 4 || (sig[:4] != "gemm" && sig[:4] != "conv") {
+			t.Errorf("tuned non-GEMM/conv shape %q", sig)
+		}
+	}
+}

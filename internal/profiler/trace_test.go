@@ -1,0 +1,107 @@
+package profiler
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"seqpoint/internal/models"
+)
+
+func TestTraceIterationMatchesProfile(t *testing.T) {
+	s := sim(t)
+	m := models.NewDS2()
+	invs, err := TraceIteration(s, m, 16, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := ProfileIteration(s, m, 16, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(invs) != prof.NumKernels {
+		t.Errorf("trace has %d invocations, profile %d", len(invs), prof.NumKernels)
+	}
+	var total float64
+	for _, inv := range invs {
+		if inv.TimeUS <= 0 {
+			t.Errorf("kernel %s priced at %v", inv.Kernel, inv.TimeUS)
+		}
+		total += inv.TimeUS
+	}
+	if math.Abs(total-prof.TimeUS) > 1e-6*prof.TimeUS {
+		t.Errorf("trace total %v != profile %v", total, prof.TimeUS)
+	}
+}
+
+func TestTraceIterationInvalidArgs(t *testing.T) {
+	s := sim(t)
+	if _, err := TraceIteration(s, models.NewDS2(), 0, 10); err == nil {
+		t.Error("zero batch should error")
+	}
+	if _, err := TraceIteration(s, models.NewDS2(), 8, -1); err == nil {
+		t.Error("negative seqlen should error")
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	s := sim(t)
+	invs, err := TraceIteration(s, models.NewGNMT(), 8, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, invs); err != nil {
+		t.Fatal(err)
+	}
+
+	var parsed struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Cat  string  `json:"cat"`
+			Ph   string  `json:"ph"`
+			TS   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			Args map[string]string
+		} `json:"traceEvents"`
+		DisplayUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(parsed.TraceEvents) != len(invs) {
+		t.Fatalf("events = %d, want %d", len(parsed.TraceEvents), len(invs))
+	}
+	if parsed.DisplayUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", parsed.DisplayUnit)
+	}
+	// Events lie back to back: each starts where the previous ended.
+	var cursor float64
+	for i, ev := range parsed.TraceEvents {
+		if ev.Ph != "X" {
+			t.Fatalf("event %d phase %q, want complete event", i, ev.Ph)
+		}
+		if math.Abs(ev.TS-cursor) > 1e-6 {
+			t.Fatalf("event %d starts at %v, want %v", i, ev.TS, cursor)
+		}
+		if ev.Name == "" || ev.Cat == "" {
+			t.Errorf("event %d missing identity", i)
+		}
+		if ev.Args["signature"] == "" {
+			t.Errorf("event %d missing signature arg", i)
+		}
+		cursor = ev.TS + ev.Dur
+	}
+}
+
+func TestWriteChromeTraceEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	var parsed map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("empty trace not valid JSON: %v", err)
+	}
+}

@@ -1,0 +1,68 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Pct formats a percentage with two decimals and a % sign.
+func Pct(v float64) string { return fmt.Sprintf("%.2f%%", v) }
+
+// PP formats a percentage-point delta.
+func PP(v float64) string { return fmt.Sprintf("%.2fpp", v) }
+
+// US formats a microsecond duration human-readably, scaling to the
+// natural unit (µs, ms, s, min, h).
+func US(us float64) string {
+	d := time.Duration(us * float64(time.Microsecond))
+	switch {
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.1fµs", us)
+	case d < time.Second:
+		return fmt.Sprintf("%.2fms", us/1e3)
+	case d < time.Minute:
+		return fmt.Sprintf("%.2fs", us/1e6)
+	case d < time.Hour:
+		return fmt.Sprintf("%.1fmin", us/6e7)
+	default:
+		return fmt.Sprintf("%.2fh", us/3.6e9)
+	}
+}
+
+// Count formats an integer with thousands separators.
+func Count(n int) string {
+	s := fmt.Sprintf("%d", n)
+	neg := strings.HasPrefix(s, "-")
+	if neg {
+		s = s[1:]
+	}
+	var parts []string
+	for len(s) > 3 {
+		parts = append([]string{s[len(s)-3:]}, parts...)
+		s = s[:len(s)-3]
+	}
+	parts = append([]string{s}, parts...)
+	out := strings.Join(parts, ",")
+	if neg {
+		out = "-" + out
+	}
+	return out
+}
+
+// Section renders a named section heading used between experiment blocks.
+func Section(name string) string {
+	return fmt.Sprintf("\n== %s ==\n", name)
+}
+
+// Bar renders a proportional ASCII bar of at most width chars.
+func Bar(value, max float64, width int) string {
+	if max <= 0 || value <= 0 || width <= 0 {
+		return ""
+	}
+	n := int(value / max * float64(width))
+	if n > width {
+		n = width
+	}
+	return strings.Repeat("#", n)
+}

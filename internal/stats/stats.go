@@ -1,0 +1,189 @@
+// Package stats provides the small set of descriptive statistics the
+// SeqPoint methodology and its evaluation need: means (plain, weighted,
+// geometric), medians, percent errors, histograms, and least-squares
+// linear fits (used to verify the near-linear runtime-vs-sequence-length
+// relationship the paper's Fig. 9 shows).
+//
+// All functions are pure and operate on float64 slices; callers own any
+// copying. Functions that cannot produce a meaningful result for empty
+// input return an error rather than a silent zero so that experiment
+// harnesses fail loudly.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by functions that need at least one sample.
+var ErrEmpty = errors.New("stats: empty input")
+
+// ErrMismatch is returned when paired inputs have different lengths.
+var ErrMismatch = errors.New("stats: input length mismatch")
+
+// Sum returns the sum of xs. An empty slice sums to zero.
+func Sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of xs.
+func Mean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	return Sum(xs) / float64(len(xs)), nil
+}
+
+// WeightedMean returns sum(w_i * x_i) / sum(w_i). This is Equation 1 of
+// the paper normalized by total weight, used for projecting ratio
+// statistics (throughput, IPC).
+func WeightedMean(xs, ws []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if len(xs) != len(ws) {
+		return 0, ErrMismatch
+	}
+	var num, den float64
+	for i, x := range xs {
+		num += ws[i] * x
+		den += ws[i]
+	}
+	if den == 0 {
+		return 0, errors.New("stats: zero total weight")
+	}
+	return num / den, nil
+}
+
+// WeightedSum returns sum(w_i * x_i): Equation 1 of the paper, used for
+// projecting additive statistics such as total training time.
+func WeightedSum(xs, ws []float64) (float64, error) {
+	if len(xs) != len(ws) {
+		return 0, ErrMismatch
+	}
+	var s float64
+	for i, x := range xs {
+		s += ws[i] * x
+	}
+	return s, nil
+}
+
+// Geomean returns the geometric mean of xs. All samples must be
+// positive; the paper reports projection errors as geomeans across
+// hardware configurations.
+func Geomean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	var logSum float64
+	for _, x := range xs {
+		if x <= 0 {
+			return 0, errors.New("stats: geomean requires positive samples")
+		}
+		logSum += math.Log(x)
+	}
+	return math.Exp(logSum / float64(len(xs))), nil
+}
+
+// Median returns the median of xs without modifying the input.
+func Median(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	n := len(cp)
+	if n%2 == 1 {
+		return cp[n/2], nil
+	}
+	return (cp[n/2-1] + cp[n/2]) / 2, nil
+}
+
+// Variance returns the population variance of xs.
+func Variance(xs []float64) (float64, error) {
+	m, err := Mean(xs)
+	if err != nil {
+		return 0, err
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(len(xs)), nil
+}
+
+// Stddev returns the population standard deviation of xs.
+func Stddev(xs []float64) (float64, error) {
+	v, err := Variance(xs)
+	if err != nil {
+		return 0, err
+	}
+	return math.Sqrt(v), nil
+}
+
+// PercentError returns |predicted-actual| / actual * 100. The actual
+// value must be nonzero.
+func PercentError(predicted, actual float64) (float64, error) {
+	if actual == 0 {
+		return 0, errors.New("stats: percent error undefined for zero actual")
+	}
+	return math.Abs(predicted-actual) / math.Abs(actual) * 100, nil
+}
+
+// MinMax returns the smallest and largest values in xs.
+func MinMax(xs []float64) (min, max float64, err error) {
+	if len(xs) == 0 {
+		return 0, 0, ErrEmpty
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max, nil
+}
+
+// Normalize returns xs scaled so its maximum is 1. Used when plotting
+// normalized per-iteration statistics (Fig. 3, Fig. 4 style).
+func Normalize(xs []float64) ([]float64, error) {
+	_, max, err := MinMax(xs)
+	if err != nil {
+		return nil, err
+	}
+	if max == 0 {
+		return nil, errors.New("stats: cannot normalize all-zero input")
+	}
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = x / max
+	}
+	return out, nil
+}
+
+// Spread returns (max-min)/mean * 100: the percent spread across a set
+// of samples. The paper quotes ~24-27% spreads across iterations for the
+// counters in Fig. 4.
+func Spread(xs []float64) (float64, error) {
+	min, max, err := MinMax(xs)
+	if err != nil {
+		return 0, err
+	}
+	m, err := Mean(xs)
+	if err != nil {
+		return 0, err
+	}
+	if m == 0 {
+		return 0, errors.New("stats: spread undefined for zero mean")
+	}
+	return (max - min) / m * 100, nil
+}

@@ -1,0 +1,330 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestSum(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"single", []float64{3.5}, 3.5},
+		{"mixed signs", []float64{1, -2, 3}, 2},
+		{"zeros", []float64{0, 0, 0}, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Sum(tc.in); got != tc.want {
+				t.Errorf("Sum(%v) = %v, want %v", tc.in, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestMean(t *testing.T) {
+	if _, err := Mean(nil); err != ErrEmpty {
+		t.Errorf("Mean(nil) error = %v, want ErrEmpty", err)
+	}
+	got, err := Mean([]float64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2.5 {
+		t.Errorf("Mean = %v, want 2.5", got)
+	}
+}
+
+func TestWeightedMean(t *testing.T) {
+	t.Run("equal weights match mean", func(t *testing.T) {
+		xs := []float64{2, 4, 6}
+		got, err := WeightedMean(xs, []float64{1, 1, 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != 4 {
+			t.Errorf("WeightedMean = %v, want 4", got)
+		}
+	})
+	t.Run("weights shift the mean", func(t *testing.T) {
+		got, err := WeightedMean([]float64{0, 10}, []float64{3, 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != 2.5 {
+			t.Errorf("WeightedMean = %v, want 2.5", got)
+		}
+	})
+	t.Run("errors", func(t *testing.T) {
+		if _, err := WeightedMean(nil, nil); err != ErrEmpty {
+			t.Errorf("empty error = %v, want ErrEmpty", err)
+		}
+		if _, err := WeightedMean([]float64{1}, []float64{1, 2}); err != ErrMismatch {
+			t.Errorf("mismatch error = %v, want ErrMismatch", err)
+		}
+		if _, err := WeightedMean([]float64{1}, []float64{0}); err == nil {
+			t.Error("zero total weight should error")
+		}
+	})
+}
+
+func TestWeightedSum(t *testing.T) {
+	got, err := WeightedSum([]float64{1, 2}, []float64{10, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 210 {
+		t.Errorf("WeightedSum = %v, want 210", got)
+	}
+	if _, err := WeightedSum([]float64{1}, nil); err != ErrMismatch {
+		t.Errorf("mismatch error = %v, want ErrMismatch", err)
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	got, err := Geomean([]float64{1, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, 10, 1e-9) {
+		t.Errorf("Geomean(1,100) = %v, want 10", got)
+	}
+	if _, err := Geomean(nil); err != ErrEmpty {
+		t.Errorf("empty error = %v, want ErrEmpty", err)
+	}
+	if _, err := Geomean([]float64{1, 0}); err == nil {
+		t.Error("zero sample should error")
+	}
+	if _, err := Geomean([]float64{-1}); err == nil {
+		t.Error("negative sample should error")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []float64
+		want float64
+	}{
+		{"odd", []float64{3, 1, 2}, 2},
+		{"even", []float64{4, 1, 3, 2}, 2.5},
+		{"single", []float64{7}, 7},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := Median(tc.in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tc.want {
+				t.Errorf("Median(%v) = %v, want %v", tc.in, got, tc.want)
+			}
+		})
+	}
+	t.Run("does not mutate input", func(t *testing.T) {
+		in := []float64{3, 1, 2}
+		if _, err := Median(in); err != nil {
+			t.Fatal(err)
+		}
+		if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+			t.Errorf("input mutated: %v", in)
+		}
+	})
+}
+
+func TestVarianceStddev(t *testing.T) {
+	v, err := Variance([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(v, 4, 1e-12) {
+		t.Errorf("Variance = %v, want 4", v)
+	}
+	s, err := Stddev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(s, 2, 1e-12) {
+		t.Errorf("Stddev = %v, want 2", s)
+	}
+}
+
+func TestPercentError(t *testing.T) {
+	got, err := PercentError(110, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 10 {
+		t.Errorf("PercentError(110,100) = %v, want 10", got)
+	}
+	got, err = PercentError(90, -100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 190 {
+		t.Errorf("PercentError(90,-100) = %v, want 190", got)
+	}
+	if _, err := PercentError(1, 0); err == nil {
+		t.Error("zero actual should error")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi, err := MinMax([]float64{3, -1, 4, 1, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo != -1 || hi != 5 {
+		t.Errorf("MinMax = (%v,%v), want (-1,5)", lo, hi)
+	}
+	if _, _, err := MinMax(nil); err != ErrEmpty {
+		t.Errorf("empty error = %v, want ErrEmpty", err)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	got, err := Normalize([]float64{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.25, 0.5, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Normalize[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if _, err := Normalize([]float64{0, 0}); err == nil {
+		t.Error("all-zero input should error")
+	}
+}
+
+func TestSpread(t *testing.T) {
+	got, err := Spread([]float64{80, 100, 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, 40, 1e-9) {
+		t.Errorf("Spread = %v, want 40", got)
+	}
+	if _, err := Spread([]float64{0}); err == nil {
+		t.Error("zero-mean spread should error")
+	}
+}
+
+// positiveSamples maps arbitrary quick-generated floats into a bounded
+// positive range so statistics stay finite and well-conditioned.
+func positiveSamples(raw []float64) []float64 {
+	out := make([]float64, 0, len(raw))
+	for _, v := range raw {
+		a := math.Abs(v)
+		if math.IsNaN(a) || math.IsInf(a, 0) {
+			continue
+		}
+		out = append(out, 1+math.Mod(a, 1000))
+	}
+	return out
+}
+
+func TestQuickMeanBetweenMinMax(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := positiveSamples(raw)
+		if len(xs) == 0 {
+			return true
+		}
+		m, err := Mean(xs)
+		if err != nil {
+			return false
+		}
+		lo, hi, err := MinMax(xs)
+		if err != nil {
+			return false
+		}
+		return lo-1e-9 <= m && m <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickGeomeanAtMostMean(t *testing.T) {
+	// AM-GM inequality: geometric mean never exceeds arithmetic mean.
+	f := func(raw []float64) bool {
+		xs := positiveSamples(raw)
+		if len(xs) == 0 {
+			return true
+		}
+		gm, err := Geomean(xs)
+		if err != nil {
+			return false
+		}
+		am, err := Mean(xs)
+		if err != nil {
+			return false
+		}
+		return gm <= am+1e-9*am
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickNormalizeMaxIsOne(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := positiveSamples(raw)
+		if len(xs) == 0 {
+			return true
+		}
+		norm, err := Normalize(xs)
+		if err != nil {
+			return false
+		}
+		_, hi, err := MinMax(norm)
+		if err != nil {
+			return false
+		}
+		return almostEqual(hi, 1, 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickWeightedMeanBounds(t *testing.T) {
+	// A weighted mean with positive weights lies within [min, max].
+	f := func(raw []float64, wraw []float64) bool {
+		xs := positiveSamples(raw)
+		if len(xs) == 0 {
+			return true
+		}
+		ws := make([]float64, len(xs))
+		for i := range ws {
+			ws[i] = 1
+			if i < len(wraw) {
+				ws[i] = 1 + math.Mod(math.Abs(wraw[i]), 10)
+				if math.IsNaN(ws[i]) || math.IsInf(ws[i], 0) {
+					ws[i] = 1
+				}
+			}
+		}
+		wm, err := WeightedMean(xs, ws)
+		if err != nil {
+			return false
+		}
+		lo, hi, err := MinMax(xs)
+		if err != nil {
+			return false
+		}
+		return lo-1e-9 <= wm && wm <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,69 @@
+package trainer
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SLSummary aggregates one unique sequence length within an epoch: how
+// many iterations ran at that padded SL and what one such iteration
+// costs. This is the architecture-independent log the SeqPoint mechanism
+// consumes (Fig. 10, step 1).
+type SLSummary struct {
+	// SeqLen is the padded sequence length.
+	SeqLen int
+	// Count is the number of iterations at this SL in the epoch.
+	Count int
+	// IterTimeUS is the runtime of one iteration at this SL.
+	IterTimeUS float64
+}
+
+// EpochSummary returns the per-unique-SL summary of the given epoch,
+// sorted by sequence length.
+func (r *Run) EpochSummary(epoch int) ([]SLSummary, error) {
+	if epoch < 0 || epoch >= len(r.EpochPlans) {
+		return nil, fmt.Errorf("trainer: epoch %d out of range [0,%d)", epoch, len(r.EpochPlans))
+	}
+	counts := make(map[int]int)
+	for _, sl := range r.EpochPlans[epoch].SeqLens {
+		counts[sl]++
+	}
+	out := make([]SLSummary, 0, len(counts))
+	for sl, c := range counts {
+		out = append(out, SLSummary{SeqLen: sl, Count: c, IterTimeUS: r.BySL[sl].TimeUS})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].SeqLen < out[j].SeqLen })
+	return out, nil
+}
+
+// EpochTrainUS returns the summed training-iteration time of one epoch.
+func (r *Run) EpochTrainUS(epoch int) (float64, error) {
+	if epoch < 0 || epoch >= len(r.EpochPlans) {
+		return 0, fmt.Errorf("trainer: epoch %d out of range [0,%d)", epoch, len(r.EpochPlans))
+	}
+	var us float64
+	for _, sl := range r.EpochPlans[epoch].SeqLens {
+		us += r.BySL[sl].TimeUS
+	}
+	return us, nil
+}
+
+// EpochSLs returns the iteration SL sequence of one epoch in execution
+// order (the input the `prior` baseline samples from).
+func (r *Run) EpochSLs(epoch int) ([]int, error) {
+	if epoch < 0 || epoch >= len(r.EpochPlans) {
+		return nil, fmt.Errorf("trainer: epoch %d out of range [0,%d)", epoch, len(r.EpochPlans))
+	}
+	return append([]int(nil), r.EpochPlans[epoch].SeqLens...), nil
+}
+
+// UniqueSLs returns the sorted unique sequence lengths seen anywhere in
+// the run.
+func (r *Run) UniqueSLs() []int {
+	out := make([]int, 0, len(r.BySL))
+	for sl := range r.BySL {
+		out = append(out, sl)
+	}
+	sort.Ints(out)
+	return out
+}

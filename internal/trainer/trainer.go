@@ -1,0 +1,162 @@
+// Package trainer simulates complete SQNN training runs: multiple
+// epochs of per-iteration execution (priced by the GPU model), the
+// per-epoch evaluation phase, and the first-epoch autotune overhead.
+// Its output — per-iteration runtimes keyed by sequence length, plus
+// whole-run totals — is both the ground truth the evaluation compares
+// against ("full training run" measurements) and the single-epoch log
+// the SeqPoint mechanism starts from (Fig. 10, step 1).
+//
+// The simulation exploits the paper's key observation 4/5: with
+// pad-to-max batching and no data-dependent optimizations, every
+// iteration with the same padded sequence length performs identical
+// work, so profiles are memoized per unique SL. This is a property of
+// the modeled system, not an approximation.
+package trainer
+
+import (
+	"fmt"
+
+	"seqpoint/internal/dataset"
+	"seqpoint/internal/gpusim"
+	"seqpoint/internal/models"
+	"seqpoint/internal/profiler"
+)
+
+// Spec describes a training run to simulate.
+type Spec struct {
+	// Model is the network to train.
+	Model models.Model
+	// Train is the training corpus; Eval the held-out evaluation corpus
+	// run after every epoch (nil to skip evaluation).
+	Train *dataset.Corpus
+	Eval  *dataset.Corpus
+	// Batch is the minibatch size (64 for both paper workloads).
+	Batch int
+	// Epochs is the number of training epochs to simulate.
+	Epochs int
+	// Schedule is the per-epoch sample-ordering policy.
+	Schedule dataset.Schedule
+	// Seed drives all shuffling.
+	Seed int64
+}
+
+// Validate reports whether the spec is complete.
+func (s Spec) Validate() error {
+	switch {
+	case s.Model == nil:
+		return fmt.Errorf("trainer: spec needs a model")
+	case s.Train == nil:
+		return fmt.Errorf("trainer: spec needs a training corpus")
+	case s.Batch <= 0:
+		return fmt.Errorf("trainer: batch size must be positive, got %d", s.Batch)
+	case s.Epochs <= 0:
+		return fmt.Errorf("trainer: epoch count must be positive, got %d", s.Epochs)
+	}
+	return nil
+}
+
+// Run is a simulated training run on one hardware configuration.
+type Run struct {
+	// Config is the hardware configuration the run executed on.
+	Config gpusim.Config
+	// EpochPlans holds the realized iteration order of every epoch.
+	EpochPlans []dataset.EpochPlan
+	// BySL memoizes the training-iteration profile per unique padded SL.
+	BySL map[int]profiler.IterationProfile
+	// TrainUS is the summed runtime of all training iterations.
+	TrainUS float64
+	// EvalUS is the summed runtime of all evaluation phases.
+	EvalUS float64
+	// AutotuneUS is the one-time kernel-selection overhead.
+	AutotuneUS float64
+	// Iterations is the total training-iteration count.
+	Iterations int
+	// Samples is the total number of training samples processed.
+	Samples int
+	// Batch is the minibatch size.
+	Batch int
+}
+
+// TotalUS is the end-to-end run time: training + evaluation + autotune.
+func (r *Run) TotalUS() float64 { return r.TrainUS + r.EvalUS + r.AutotuneUS }
+
+// Throughput is training throughput in samples/s over training
+// iterations — the speedup metric of Section VI-C.
+func (r *Run) Throughput() float64 {
+	if r.TrainUS == 0 {
+		return 0
+	}
+	return float64(r.Samples) / (r.TrainUS / 1e6)
+}
+
+// Simulate runs the full training described by spec on hw.
+func Simulate(spec Spec, hw gpusim.Config) (*Run, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	sim, err := gpusim.New(hw)
+	if err != nil {
+		return nil, err
+	}
+	plans, err := dataset.PlanTraining(spec.Train, spec.Batch, spec.Epochs, spec.Schedule, spec.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	run := &Run{
+		Config:     hw,
+		EpochPlans: plans,
+		BySL:       make(map[int]profiler.IterationProfile),
+		Batch:      spec.Batch,
+	}
+	tunedShapes := make(map[string]bool)
+
+	for _, plan := range plans {
+		for _, sl := range plan.SeqLens {
+			p, ok := run.BySL[sl]
+			if !ok {
+				p, err = profiler.ProfileIteration(sim, spec.Model, spec.Batch, sl)
+				if err != nil {
+					return nil, err
+				}
+				run.BySL[sl] = p
+				run.AutotuneUS += profiler.AutotuneUS(sim, spec.Model, spec.Batch, sl, tunedShapes)
+			}
+			run.TrainUS += p.TimeUS
+			run.Iterations++
+			run.Samples += spec.Batch
+		}
+		if spec.Eval != nil {
+			evalUS, err := evalEpochUS(sim, spec, run)
+			if err != nil {
+				return nil, err
+			}
+			run.EvalUS += evalUS
+		}
+	}
+	return run, nil
+}
+
+// evalEpochUS prices one pass over the evaluation corpus (forward only,
+// bucketed batching, deterministic order).
+func evalEpochUS(sim *gpusim.Simulator, spec Spec, run *Run) (float64, error) {
+	plan, err := dataset.PlanEpoch(spec.Eval, spec.Batch, dataset.OrderBucketed, spec.Seed)
+	if err != nil {
+		return 0, err
+	}
+	memo := make(map[int]float64)
+	var us float64
+	for _, sl := range plan.SeqLens {
+		t, ok := memo[sl]
+		if !ok {
+			p, err := profiler.ProfileEval(sim, spec.Model, spec.Batch, sl)
+			if err != nil {
+				return 0, err
+			}
+			t = p.TimeUS
+			memo[sl] = t
+		}
+		us += t
+	}
+	return us, nil
+}

@@ -1,0 +1,291 @@
+package trainer
+
+import (
+	"math"
+	"testing"
+
+	"seqpoint/internal/dataset"
+	"seqpoint/internal/gpusim"
+	"seqpoint/internal/models"
+)
+
+// tinyCorpus builds a small deterministic corpus so full simulations stay
+// fast in tests.
+func tinyCorpus(t *testing.T, n, maxLen int) *dataset.Corpus {
+	t.Helper()
+	lengths := make([]int, n)
+	for i := range lengths {
+		lengths[i] = i%maxLen + 10
+	}
+	c, err := dataset.Synthetic("tiny", lengths, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func tinySpec(t *testing.T) Spec {
+	return Spec{
+		Model:    models.NewDS2(),
+		Train:    tinyCorpus(t, 128, 80),
+		Batch:    16,
+		Epochs:   2,
+		Schedule: dataset.DS2Schedule(),
+		Seed:     1,
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	good := tinySpec(t)
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+	bad := []func(*Spec){
+		func(s *Spec) { s.Model = nil },
+		func(s *Spec) { s.Train = nil },
+		func(s *Spec) { s.Batch = 0 },
+		func(s *Spec) { s.Epochs = 0 },
+	}
+	for i, mut := range bad {
+		s := tinySpec(t)
+		mut(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("mutation %d should invalidate the spec", i)
+		}
+	}
+}
+
+func TestSimulateBasicAccounting(t *testing.T) {
+	spec := tinySpec(t)
+	run, err := Simulate(spec, gpusim.VegaFE())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIters := (128 / 16) * 2
+	if run.Iterations != wantIters {
+		t.Errorf("iterations = %d, want %d", run.Iterations, wantIters)
+	}
+	if run.Samples != wantIters*16 {
+		t.Errorf("samples = %d", run.Samples)
+	}
+	if run.TrainUS <= 0 {
+		t.Error("training time must be positive")
+	}
+	if run.EvalUS != 0 {
+		t.Error("no eval corpus, no eval time")
+	}
+	if run.AutotuneUS <= 0 {
+		t.Error("first epoch must pay autotune")
+	}
+	if got := run.TotalUS(); math.Abs(got-(run.TrainUS+run.EvalUS+run.AutotuneUS)) > 1e-9 {
+		t.Errorf("TotalUS = %v", got)
+	}
+	if run.Throughput() <= 0 {
+		t.Error("throughput must be positive")
+	}
+}
+
+func TestSimulateTrainTimeIsSumOfIterations(t *testing.T) {
+	spec := tinySpec(t)
+	run, err := Simulate(spec, gpusim.VegaFE())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, plan := range run.EpochPlans {
+		for _, sl := range plan.SeqLens {
+			sum += run.BySL[sl].TimeUS
+		}
+	}
+	if math.Abs(sum-run.TrainUS) > 1e-6*run.TrainUS {
+		t.Errorf("TrainUS %v != per-iteration sum %v", run.TrainUS, sum)
+	}
+}
+
+func TestSimulateWithEval(t *testing.T) {
+	spec := tinySpec(t)
+	spec.Eval = tinyCorpus(t, 64, 60)
+	run, err := Simulate(spec, gpusim.VegaFE())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.EvalUS <= 0 {
+		t.Error("eval corpus should add eval time")
+	}
+	// The paper: evaluation is a small fraction of training (2-3% for
+	// full corpora; generously bounded here).
+	if run.EvalUS > run.TrainUS {
+		t.Errorf("eval %v exceeds training %v", run.EvalUS, run.TrainUS)
+	}
+}
+
+func TestSimulateMemoizesBySL(t *testing.T) {
+	spec := tinySpec(t)
+	run, err := Simulate(spec, gpusim.VegaFE())
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniq := map[int]bool{}
+	for _, plan := range run.EpochPlans {
+		for _, sl := range plan.SeqLens {
+			uniq[sl] = true
+		}
+	}
+	if len(run.BySL) != len(uniq) {
+		t.Errorf("BySL has %d entries, epoch plans have %d unique SLs", len(run.BySL), len(uniq))
+	}
+	for sl, p := range run.BySL {
+		if p.SeqLen != sl {
+			t.Errorf("BySL[%d] profiles SL %d", sl, p.SeqLen)
+		}
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	spec := tinySpec(t)
+	a, err := Simulate(spec, gpusim.VegaFE())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(spec, gpusim.VegaFE())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TrainUS != b.TrainUS || a.AutotuneUS != b.AutotuneUS {
+		t.Error("simulation must be deterministic")
+	}
+}
+
+func TestSimulateSlowerConfigSlower(t *testing.T) {
+	spec := tinySpec(t)
+	cfgs := gpusim.TableII()
+	fast, err := Simulate(spec, cfgs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range cfgs[1:] {
+		slow, err := Simulate(spec, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if slow.TrainUS <= fast.TrainUS {
+			t.Errorf("config %s should be slower than #1", cfg.Name)
+		}
+		if slow.Throughput() >= fast.Throughput() {
+			t.Errorf("config %s throughput should be below #1", cfg.Name)
+		}
+	}
+}
+
+func TestSimulateRejectsInvalid(t *testing.T) {
+	spec := tinySpec(t)
+	spec.Batch = 0
+	if _, err := Simulate(spec, gpusim.VegaFE()); err == nil {
+		t.Error("invalid spec should error")
+	}
+	spec = tinySpec(t)
+	if _, err := Simulate(spec, gpusim.Config{}); err == nil {
+		t.Error("invalid config should error")
+	}
+}
+
+func TestEpochSummary(t *testing.T) {
+	spec := tinySpec(t)
+	run, err := Simulate(spec, gpusim.VegaFE())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := run.EpochSummary(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var iters int
+	for i, s := range sum {
+		iters += s.Count
+		if s.IterTimeUS <= 0 {
+			t.Errorf("SL %d time %v", s.SeqLen, s.IterTimeUS)
+		}
+		if i > 0 && sum[i].SeqLen <= sum[i-1].SeqLen {
+			t.Error("summary not sorted by SL")
+		}
+	}
+	if iters != run.EpochPlans[0].Iterations() {
+		t.Errorf("summary counts %d != epoch iterations %d", iters, run.EpochPlans[0].Iterations())
+	}
+	if _, err := run.EpochSummary(99); err == nil {
+		t.Error("out-of-range epoch should error")
+	}
+}
+
+func TestEpochTrainUSAndSLs(t *testing.T) {
+	spec := tinySpec(t)
+	run, err := Simulate(spec, gpusim.VegaFE())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for e := range run.EpochPlans {
+		us, err := run.EpochTrainUS(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += us
+	}
+	if math.Abs(total-run.TrainUS) > 1e-6*run.TrainUS {
+		t.Errorf("epoch sums %v != TrainUS %v", total, run.TrainUS)
+	}
+	sls, err := run.EpochSLs(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sls) != run.EpochPlans[0].Iterations() {
+		t.Error("EpochSLs length mismatch")
+	}
+	// Mutating the copy must not affect the run.
+	sls[0] = -1
+	if run.EpochPlans[0].SeqLens[0] == -1 {
+		t.Error("EpochSLs should return a copy")
+	}
+	if _, err := run.EpochTrainUS(-1); err == nil {
+		t.Error("negative epoch should error")
+	}
+	if _, err := run.EpochSLs(99); err == nil {
+		t.Error("out-of-range epoch should error")
+	}
+}
+
+func TestUniqueSLsSorted(t *testing.T) {
+	spec := tinySpec(t)
+	run, err := Simulate(spec, gpusim.VegaFE())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sls := run.UniqueSLs()
+	if len(sls) != len(run.BySL) {
+		t.Error("UniqueSLs should cover BySL")
+	}
+	for i := 1; i < len(sls); i++ {
+		if sls[i] <= sls[i-1] {
+			t.Error("UniqueSLs not sorted")
+		}
+	}
+}
+
+func TestAutotuneConcentratesInFirstEpoch(t *testing.T) {
+	// Simulating one epoch vs two: autotune cost must be identical
+	// (all shapes are seen in epoch 0 because the SL multiset repeats).
+	spec := tinySpec(t)
+	spec.Epochs = 1
+	one, err := Simulate(spec, gpusim.VegaFE())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Epochs = 2
+	two, err := Simulate(spec, gpusim.VegaFE())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(one.AutotuneUS-two.AutotuneUS) > 1e-9 {
+		t.Errorf("autotune: 1 epoch %v, 2 epochs %v — should match", one.AutotuneUS, two.AutotuneUS)
+	}
+}

@@ -1,0 +1,235 @@
+// Package seqpoint reproduces "SeqPoint: Identifying Representative
+// Iterations of Sequence-based Neural Networks" (Pati, Aga, Sinclair,
+// Jayasena — ISPASS 2020) as a Go library.
+//
+// SeqPoint makes profiling the training of sequence-based neural
+// networks (SQNNs: RNN/GRU/LSTM/attention models) tractable. SQNN
+// training iterations are heterogeneous — the padded input sequence
+// length (SL) of each batch dictates how much and what kind of work the
+// iteration launches — so profiling a few arbitrary iterations, which
+// works for CNNs, misrepresents SQNN training. SeqPoint instead:
+//
+//  1. logs one epoch's unique SLs, their iteration counts, and the
+//     runtime of one iteration per SL (architecture-independent);
+//  2. bins the SLs into k contiguous ranges and picks per bin the SL
+//     whose runtime is closest to the bin average — a SeqPoint —
+//     weighted by the bin's iteration population;
+//  3. grows k until the self-projection error drops below a threshold;
+//  4. projects whole-run statistics on any hardware configuration as
+//     the weighted sum (Equation 1) of per-SeqPoint measurements.
+//
+// This package is the public facade. It re-exports the SeqPoint
+// mechanism (internal/core), the baselines the paper compares against,
+// and the simulation substrate used by the reproduction: the DS2/GNMT
+// model descriptions, synthetic LibriSpeech/IWSLT corpora, the
+// analytical GPU performance model standing in for the paper's Vega FE
+// testbed, and the training-run simulator. Typical use:
+//
+//	run, _ := seqpoint.Simulate(seqpoint.Spec{
+//	    Model:    seqpoint.NewGNMT(),
+//	    Train:    seqpoint.IWSLT15(1),
+//	    Batch:    64,
+//	    Epochs:   1,
+//	    Schedule: seqpoint.GNMTSchedule(),
+//	}, seqpoint.VegaFE())
+//	recs, _ := seqpoint.RecordsFromRun(run, 0)
+//	sel, _ := seqpoint.Select(recs, seqpoint.Options{})
+//	// Profile only sel.Points on other configurations and project with
+//	// seqpoint.ProjectTotal / seqpoint.ProjectThroughput.
+package seqpoint
+
+import (
+	"seqpoint/internal/core"
+	"seqpoint/internal/dataset"
+	"seqpoint/internal/gpusim"
+	"seqpoint/internal/models"
+	"seqpoint/internal/nn"
+	"seqpoint/internal/profiler"
+	"seqpoint/internal/tensor"
+	"seqpoint/internal/trainer"
+)
+
+// Core mechanism types (internal/core).
+type (
+	// SLRecord is one epoch-log entry: a unique sequence length, its
+	// iteration count, and the statistic of one iteration at that SL.
+	SLRecord = core.SLRecord
+	// SeqPoint is one selected representative iteration.
+	SeqPoint = core.SeqPoint
+	// Selection is the outcome of representative selection.
+	Selection = core.Selection
+	// Options tunes SeqPoint selection; the zero value uses the paper's
+	// defaults (n=10, initial k=5, e=1%).
+	Options = core.Options
+	// MethodName identifies a selection strategy in reports.
+	MethodName = core.MethodName
+)
+
+// Selection strategies.
+var (
+	// Select runs the SeqPoint mechanism (binning + auto-k).
+	Select = core.Select
+	// SelectKMeans is the k-means alternative of Section VII-C.
+	SelectKMeans = core.SelectKMeans
+	// Frequent, Median, Worst and Prior are the single-iteration and
+	// contiguous-sampling baselines of the paper's evaluation.
+	Frequent = core.Frequent
+	Median   = core.Median
+	Worst    = core.Worst
+	Prior    = core.Prior
+)
+
+// Projection helpers (Equation 1 and its normalized/ratio forms).
+var (
+	ProjectTotal      = core.ProjectTotal
+	ProjectMean       = core.ProjectMean
+	ProjectThroughput = core.ProjectThroughput
+	UpliftPct         = core.UpliftPct
+)
+
+// Simulation substrate types.
+type (
+	// Model is a network description at profiling granularity.
+	Model = models.Model
+	// Corpus is a training corpus reduced to its sequence lengths.
+	Corpus = dataset.Corpus
+	// Schedule is a per-epoch batch-ordering policy.
+	Schedule = dataset.Schedule
+	// Config is one hardware configuration (paper Table II).
+	Config = gpusim.Config
+	// Simulator prices kernels under a configuration.
+	Simulator = gpusim.Simulator
+	// Spec describes a training run to simulate.
+	Spec = trainer.Spec
+	// Run is a simulated training run.
+	Run = trainer.Run
+	// InferenceSpec describes a serving run to simulate (Section VII-E).
+	InferenceSpec = trainer.InferenceSpec
+	// InferenceRun is a simulated serving run.
+	InferenceRun = trainer.InferenceRun
+	// IterationProfile is one iteration's execution profile.
+	IterationProfile = profiler.IterationProfile
+)
+
+// Models: the paper's two evaluated SQNNs, the Section VII-B extension
+// networks (Transformer, attention-free Seq2Seq), and the CNN used for
+// the Fig. 3 homogeneity contrast.
+var (
+	NewDS2         = models.NewDS2
+	NewGNMT        = models.NewGNMT
+	NewTransformer = models.NewTransformer
+	NewSeq2Seq     = models.NewSeq2Seq
+	NewCNN         = models.NewCNN
+)
+
+// Datasets: synthetic stand-ins with the paper corpora's sizes and SL
+// distribution shapes, plus escape hatches for custom length lists and
+// fast demo subsets.
+var (
+	LibriSpeech100h = dataset.LibriSpeech100h
+	LibriSpeechDev  = dataset.LibriSpeechDev
+	IWSLT15         = dataset.IWSLT15
+	IWSLTTest       = dataset.IWSLTTest
+	Synthetic       = dataset.Synthetic
+	Subsample       = dataset.Subsample
+	PlanEpoch       = dataset.PlanEpoch
+)
+
+// Layer library for user-defined models (Section VII-B: SeqPoint applies
+// to any network whose computation varies with input sequence length).
+// Assemble layers with NewCustomModel; each layer emits the logical ops
+// its forward and backward passes launch.
+type (
+	// Layer is one network stage.
+	Layer = nn.Layer
+	// Activation is the symbolic tensor shape flowing between layers.
+	Activation = nn.Activation
+	// CellKind selects LSTM or GRU for recurrent layers.
+	CellKind = nn.CellKind
+	// Op is a logical operation with first-order cost quantities.
+	Op = tensor.Op
+)
+
+// Recurrent cell kinds.
+const (
+	CellLSTM = nn.CellLSTM
+	CellGRU  = nn.CellGRU
+)
+
+// Layer constructors.
+var (
+	NewRecurrent      = nn.NewRecurrent
+	NewDense          = nn.NewDense
+	NewEmbeddingLayer = nn.NewEmbedding
+	NewAttention      = nn.NewAttention
+	NewSoftmax        = nn.NewSoftmax
+	NewCTCLoss        = nn.NewCTCLoss
+	NewConv           = nn.NewConv
+	NewBatchNorm      = nn.NewBatchNorm
+	NewLayerNorm      = nn.NewLayerNorm
+	NewFlatten        = nn.NewFlatten
+	NewPool           = nn.NewPool
+)
+
+// NewCustomModel assembles a user-defined model from the layer library;
+// the builder runs per iteration with the padded sequence length.
+var NewCustomModel = models.NewCustom
+
+// ScheduleProfiling partitions SeqPoints across machines (LPT greedy)
+// to minimize parallel profiling time — Section VI-F's observation that
+// each SeqPoint is an independent iteration.
+var ScheduleProfiling = core.ScheduleProfiling
+
+// ProfilingSchedule is a parallel profiling plan over several machines.
+type ProfilingSchedule = core.ProfilingSchedule
+
+// Batch-ordering policies.
+var (
+	DS2Schedule  = dataset.DS2Schedule
+	GNMTSchedule = dataset.GNMTSchedule
+)
+
+// Hardware configurations and simulation.
+var (
+	// VegaFE is the calibration configuration (config #1).
+	VegaFE = gpusim.VegaFE
+	// TableII returns the paper's five hardware configurations.
+	TableII = gpusim.TableII
+	// NewSimulator builds a kernel-pricing simulator for a config.
+	NewSimulator = gpusim.New
+	// Simulate runs a full training simulation.
+	Simulate = trainer.Simulate
+	// SimulateInference runs a serving simulation (Section VII-E).
+	SimulateInference = trainer.SimulateInference
+	// ProfileIteration profiles one training iteration of a model.
+	ProfileIteration = profiler.ProfileIteration
+	// TraceIteration returns one iteration's raw kernel stream.
+	TraceIteration = profiler.TraceIteration
+	// WriteChromeTrace serializes a kernel stream for chrome://tracing.
+	WriteChromeTrace = profiler.WriteChromeTrace
+)
+
+// RecordsFromRun extracts the SeqPoint input — per-unique-SL iteration
+// counts and runtimes — from one epoch of a simulated (or measured) run.
+func RecordsFromRun(run *Run, epoch int) ([]SLRecord, error) {
+	sum, err := run.EpochSummary(epoch)
+	if err != nil {
+		return nil, err
+	}
+	recs := make([]SLRecord, len(sum))
+	for i, s := range sum {
+		recs[i] = SLRecord{SeqLen: s.SeqLen, Freq: s.Count, Stat: s.IterTimeUS}
+	}
+	return recs, nil
+}
+
+// IterTimesBySL returns each unique SL's single-iteration runtime under
+// the run's configuration — the per-config measurement map the
+// projection helpers consume.
+func IterTimesBySL(run *Run) map[int]float64 {
+	out := make(map[int]float64, len(run.BySL))
+	for sl, p := range run.BySL {
+		out[sl] = p.TimeUS
+	}
+	return out
+}

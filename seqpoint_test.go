@@ -1,0 +1,157 @@
+package seqpoint_test
+
+import (
+	"math"
+	"testing"
+
+	"seqpoint"
+)
+
+// TestEndToEndWorkflow exercises the full public API the way the paper's
+// methodology prescribes: simulate one epoch on the calibration config,
+// select SeqPoints, profile only those iterations on another config, and
+// project that config's total training time and throughput.
+func TestEndToEndWorkflow(t *testing.T) {
+	lengths := make([]int, 512)
+	for i := range lengths {
+		lengths[i] = 20 + (i*37)%160
+	}
+	corpus, err := seqpoint.Synthetic("e2e", lengths, 29)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := seqpoint.Spec{
+		Model:    seqpoint.NewDS2(),
+		Train:    corpus,
+		Batch:    32,
+		Epochs:   1,
+		Schedule: seqpoint.DS2Schedule(),
+		Seed:     1,
+	}
+	cfgs := seqpoint.TableII()
+
+	// Step 1: one epoch on config #1, logging per-SL runtimes.
+	calib, err := seqpoint.Simulate(spec, cfgs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := seqpoint.RecordsFromRun(calib, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Steps 2-6: select SeqPoints.
+	sel, err := seqpoint.Select(recs, seqpoint.Options{ErrorThresholdPct: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Points) == 0 {
+		t.Fatal("no seqpoints")
+	}
+	if len(sel.Points) >= len(recs) {
+		t.Errorf("selected %d of %d unique SLs; selection should compress", len(sel.Points), len(recs))
+	}
+
+	// Profile only the SeqPoint iterations on config #3 (the paper
+	// executes just these per configuration).
+	sim, err := seqpoint.NewSimulator(cfgs[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	timesBySL := make(map[int]float64, len(sel.Points))
+	for _, p := range sel.Points {
+		prof, err := seqpoint.ProfileIteration(sim, spec.Model, spec.Batch, p.SeqLen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		timesBySL[p.SeqLen] = prof.TimeUS
+	}
+
+	// Project config #3's epoch time and compare with the full sim.
+	proj, err := seqpoint.ProjectTotal(sel.Points, timesBySL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := seqpoint.Simulate(spec, cfgs[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	errPct := math.Abs(proj-truth.TrainUS) / truth.TrainUS * 100
+	if errPct > 2 {
+		t.Errorf("cross-config projection error = %.2f%%, want <= 2%%", errPct)
+	}
+
+	// Throughput projection agrees with the simulated run's throughput.
+	thr, err := seqpoint.ProjectThroughput(sel.Points, timesBySL, spec.Batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(thr-truth.Throughput()) / truth.Throughput(); rel > 0.02 {
+		t.Errorf("throughput projection off by %.1f%%", rel*100)
+	}
+}
+
+func TestIterTimesBySL(t *testing.T) {
+	corpus, err := seqpoint.Synthetic("x", []int{10, 20, 30, 40, 10, 20, 30, 40}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := seqpoint.Simulate(seqpoint.Spec{
+		Model:    seqpoint.NewDS2(),
+		Train:    corpus,
+		Batch:    4,
+		Epochs:   1,
+		Schedule: seqpoint.DS2Schedule(),
+	}, seqpoint.VegaFE())
+	if err != nil {
+		t.Fatal(err)
+	}
+	times := seqpoint.IterTimesBySL(run)
+	if len(times) != len(run.BySL) {
+		t.Error("map size")
+	}
+	for sl, us := range times {
+		if us != run.BySL[sl].TimeUS {
+			t.Errorf("SL %d time mismatch", sl)
+		}
+	}
+}
+
+func TestBaselinesAccessible(t *testing.T) {
+	recs := []seqpoint.SLRecord{
+		{SeqLen: 10, Freq: 3, Stat: 100},
+		{SeqLen: 20, Freq: 1, Stat: 150},
+	}
+	for name, fn := range map[string]func([]seqpoint.SLRecord) (seqpoint.Selection, error){
+		"frequent": seqpoint.Frequent,
+		"median":   seqpoint.Median,
+		"worst":    seqpoint.Worst,
+	} {
+		sel, err := fn(recs)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if len(sel.Points) != 1 {
+			t.Errorf("%s picked %d points", name, len(sel.Points))
+		}
+	}
+	if _, err := seqpoint.SelectKMeans(recs, 2, 1); err != nil {
+		t.Errorf("kmeans: %v", err)
+	}
+	if _, err := seqpoint.Prior([]int{10, 20}, map[int]float64{10: 1, 20: 2}, 0, 2); err != nil {
+		t.Errorf("prior: %v", err)
+	}
+}
+
+func TestPaperCorporaAccessible(t *testing.T) {
+	if seqpoint.LibriSpeech100h(1).Size() != 28539 {
+		t.Error("LibriSpeech-100h size")
+	}
+	if seqpoint.IWSLT15(1).Size() != 133317 {
+		t.Error("IWSLT'15 size")
+	}
+	if len(seqpoint.TableII()) != 5 {
+		t.Error("Table II configs")
+	}
+}

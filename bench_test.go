@@ -11,11 +11,15 @@ package seqpoint_test
 // every benchmark through a lazily initialized suite.
 
 import (
+	"context"
+	"fmt"
 	"io"
+	"runtime"
 	"sync"
 	"testing"
 
 	"seqpoint/internal/core"
+	"seqpoint/internal/engine"
 	"seqpoint/internal/experiments"
 	"seqpoint/internal/gpusim"
 )
@@ -262,6 +266,41 @@ func BenchmarkFullSuite(b *testing.B) {
 		if err := s.RunAll(io.Discard); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkEngineSweep measures the (workload × Table II config) grid —
+// the paper's whole evaluation input — on a cold engine at parallelism
+// 1 versus GOMAXPROCS. The ratio of the two is the engine's wall-clock
+// speedup; results are byte-identical at any width, so the parallel run
+// is a pure win.
+func BenchmarkEngineSweep(b *testing.B) {
+	var tasks []engine.SweepTask
+	for _, w := range []experiments.Workload{
+		experiments.DS2Workload(experiments.DefaultSeed),
+		experiments.GNMTWorkload(experiments.DefaultSeed),
+	} {
+		for _, cfg := range gpusim.TableII() {
+			tasks = append(tasks, w.Task(cfg))
+		}
+	}
+	pars := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		pars = append(pars, n)
+	}
+	for _, par := range pars {
+		b.Run(fmt.Sprintf("parallelism=%d", par), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				// A fresh engine per iteration: this measures the cold
+				// sweep, not cache hits.
+				res := engine.New().Sweep(context.Background(), tasks, par)
+				for _, r := range res {
+					if r.Err != nil {
+						b.Fatal(r.Err)
+					}
+				}
+			}
+		})
 	}
 }
 

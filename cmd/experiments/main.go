@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	experiments [-seed 1] [-o experiments.txt]
+//	experiments [-seed 1] [-o experiments.txt] [-parallelism N]
 package main
 
 import (
@@ -17,6 +17,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"seqpoint/internal/engine"
 	"seqpoint/internal/experiments"
 )
 
@@ -25,8 +26,10 @@ func main() {
 		seed   = flag.Int64("seed", experiments.DefaultSeed, "dataset/shuffle seed")
 		out    = flag.String("o", "", "write output to this file instead of stdout")
 		csvDir = flag.String("csv", "", "also write figure-backing CSV files into this directory")
+		par    = flag.Int("parallelism", 0, "concurrent simulation/profiling workers (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+	engine.Shared().SetParallelism(*par)
 
 	var w io.Writer = os.Stdout
 	if *out != "" {

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	papercheck [-seed 1]
+//	papercheck [-seed 1] [-parallelism N]
 package main
 
 import (
@@ -16,6 +16,7 @@ import (
 
 	"seqpoint/internal/core"
 	"seqpoint/internal/dataset"
+	"seqpoint/internal/engine"
 	"seqpoint/internal/experiments"
 )
 
@@ -28,8 +29,10 @@ type claim struct {
 
 func main() {
 	seed := flag.Int64("seed", experiments.DefaultSeed, "dataset/shuffle seed")
+	par := flag.Int("parallelism", 0, "concurrent simulation/profiling workers (0 = GOMAXPROCS)")
 	flag.Parse()
 
+	engine.Shared().SetParallelism(*par)
 	s := experiments.NewSuite(*seed)
 	failed := 0
 	for _, c := range claims() {

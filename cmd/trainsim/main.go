@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	trainsim -model ds2 -config 3 -epochs 2 -o profile.csv
+//	trainsim -model ds2 -config 3 -epochs 2 -parallelism 8 -o profile.csv
 package main
 
 import (
@@ -14,6 +14,7 @@ import (
 	"io"
 	"os"
 
+	"seqpoint/internal/engine"
 	"seqpoint/internal/experiments"
 	"seqpoint/internal/gpusim"
 	"seqpoint/internal/profiler"
@@ -49,8 +50,10 @@ func main() {
 		outCSV  = flag.String("o", "", "write per-SL profile CSV to this file (default: stdout table only)")
 		traceSL = flag.Int("trace-sl", 0, "also write a Chrome trace of one iteration at this SL")
 		traceTo = flag.String("trace-o", "trace.json", "Chrome trace output path (with -trace-sl)")
+		par     = flag.Int("parallelism", 0, "concurrent profiling workers (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+	engine.Shared().SetParallelism(*par)
 
 	if err := run(*model, *cfgIdx, *epochs, *batch, *seed, *outCSV, *traceSL, *traceTo); err != nil {
 		fmt.Fprintln(os.Stderr, "trainsim:", err)

@@ -1,0 +1,167 @@
+package seqpoint_test
+
+// Facade-level coverage for the concurrent engine: RecordsFromRun, the
+// Sweep re-export, determinism of parallel execution (the acceptance
+// criterion of the engine PR), and cache-statistics observability.
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"seqpoint"
+)
+
+func facadeSpec(t *testing.T) seqpoint.Spec {
+	t.Helper()
+	lengths := make([]int, 256)
+	for i := range lengths {
+		lengths[i] = 15 + (i*13)%90
+	}
+	corpus, err := seqpoint.Synthetic("facade", lengths, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evalCorpus, err := seqpoint.Synthetic("facade-eval", lengths[:64], 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return seqpoint.Spec{
+		Model:    seqpoint.NewGNMT(),
+		Train:    corpus,
+		Eval:     evalCorpus,
+		Batch:    16,
+		Epochs:   2,
+		Schedule: seqpoint.GNMTSchedule(),
+		Seed:     3,
+	}
+}
+
+func TestRecordsFromRun(t *testing.T) {
+	spec := facadeSpec(t)
+	run, err := seqpoint.Simulate(spec, seqpoint.VegaFE())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	recs, err := seqpoint.RecordsFromRun(run, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("no records extracted")
+	}
+
+	// Records are sorted by SL, one per unique SL, frequencies summing
+	// to the epoch's iteration count, stats matching the profiled times.
+	var iters int
+	for i, r := range recs {
+		if i > 0 && recs[i-1].SeqLen >= r.SeqLen {
+			t.Fatalf("records not sorted by SL: %d before %d", recs[i-1].SeqLen, r.SeqLen)
+		}
+		if r.Freq <= 0 {
+			t.Errorf("SL %d has non-positive frequency %d", r.SeqLen, r.Freq)
+		}
+		if want := run.BySL[r.SeqLen].TimeUS; r.Stat != want {
+			t.Errorf("SL %d stat %.3f != profiled iteration time %.3f", r.SeqLen, r.Stat, want)
+		}
+		iters += r.Freq
+	}
+	if epochIters := run.EpochPlans[0].Iterations(); iters != epochIters {
+		t.Errorf("record frequencies sum to %d, epoch has %d iterations", iters, epochIters)
+	}
+
+	// Epoch plans repeat under this schedule's later-epoch policy only
+	// in SL multiset, but every epoch index must be extractable.
+	if _, err := seqpoint.RecordsFromRun(run, spec.Epochs-1); err != nil {
+		t.Errorf("last epoch not extractable: %v", err)
+	}
+	if _, err := seqpoint.RecordsFromRun(run, spec.Epochs); err == nil {
+		t.Error("out-of-range epoch must error")
+	}
+	if _, err := seqpoint.RecordsFromRun(run, -1); err == nil {
+		t.Error("negative epoch must error")
+	}
+}
+
+// TestSweepParallelismByteIdentical is the determinism acceptance
+// criterion at the facade: a (workload × config) sweep at parallelism 8
+// matches parallelism 1 exactly — run totals, per-SL profiles, and the
+// per-config projections built from them.
+func TestSweepParallelismByteIdentical(t *testing.T) {
+	spec := facadeSpec(t)
+	cfgs := seqpoint.TableII()
+	var tasks []seqpoint.SweepTask
+	for _, cfg := range cfgs {
+		tasks = append(tasks, seqpoint.SweepTask{Name: "gnmt on " + cfg.Name, Spec: spec, Config: cfg})
+	}
+
+	sweep := func(par int) []seqpoint.SweepResult {
+		eng := seqpoint.NewEngine()
+		eng.SetParallelism(par)
+		return eng.Sweep(context.Background(), tasks, par)
+	}
+	res1, res8 := sweep(1), sweep(8)
+
+	projections := func(results []seqpoint.SweepResult) map[string]float64 {
+		recs, err := seqpoint.RecordsFromRun(results[0].Run, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sel, err := seqpoint.Select(recs, seqpoint.Options{ErrorThresholdPct: 0.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make(map[string]float64, len(results))
+		for _, r := range results {
+			proj, err := seqpoint.ProjectTotal(sel.Points, seqpoint.IterTimesBySL(r.Run))
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[r.Task.Config.Name] = proj
+		}
+		return out
+	}
+
+	for i := range tasks {
+		if res1[i].Err != nil || res8[i].Err != nil {
+			t.Fatal(res1[i].Err, res8[i].Err)
+		}
+		if res1[i].Run.TotalUS() != res8[i].Run.TotalUS() {
+			t.Errorf("%s: TotalUS %.9f (par 1) != %.9f (par 8)",
+				tasks[i].Name, res1[i].Run.TotalUS(), res8[i].Run.TotalUS())
+		}
+		if !reflect.DeepEqual(res1[i].Run.BySL, res8[i].Run.BySL) {
+			t.Errorf("%s: BySL differs between parallelism 1 and 8", tasks[i].Name)
+		}
+	}
+	p1, p8 := projections(res1), projections(res8)
+	if !reflect.DeepEqual(p1, p8) {
+		t.Errorf("per-config projections differ: par 1 %v, par 8 %v", p1, p8)
+	}
+}
+
+func TestEngineCacheStatsObservable(t *testing.T) {
+	// Simulate through the facade default path (the shared engine) and
+	// watch the counters move: new work misses, repeated work hits.
+	spec := facadeSpec(t)
+	spec.Batch = 24 // unique batch ⇒ cache keys no other test in this package touches
+	before := seqpoint.EngineCacheStats()
+	if _, err := seqpoint.Simulate(spec, seqpoint.VegaFE()); err != nil {
+		t.Fatal(err)
+	}
+	mid := seqpoint.EngineCacheStats()
+	if mid.Misses <= before.Misses {
+		t.Error("first simulation should compute profiles on the shared engine")
+	}
+	if _, err := seqpoint.Simulate(spec, seqpoint.VegaFE()); err != nil {
+		t.Fatal(err)
+	}
+	after := seqpoint.EngineCacheStats()
+	if after.Misses != mid.Misses {
+		t.Errorf("re-simulation computed %d new profiles, want 0", after.Misses-mid.Misses)
+	}
+	if after.Hits <= mid.Hits {
+		t.Error("re-simulation should be served from the shared cache")
+	}
+}

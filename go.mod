@@ -1,0 +1,3 @@
+module seqpoint
+
+go 1.22

@@ -1,0 +1,416 @@
+// Package engine is the concurrent simulation engine underneath the
+// trainer and the experiment suite. It owns two things:
+//
+//   - a sharded, concurrency-safe profile cache keyed by (model
+//     fingerprint, hardware config, batch, phase, sequence length) with
+//     singleflight deduplication, so each unique iteration profile is
+//     priced exactly once per process — across runs, workloads and
+//     goroutines. A profile depends on nothing but its key (the paper's
+//     observation 4/5: same padded SL ⇒ identical work), which is what
+//     makes cross-run sharing sound.
+//   - a bounded worker pool that fans out the unique-SL profiling of an
+//     epoch plan, and above it a Sweep API that runs a (workload ×
+//     config) grid with configurable parallelism and context
+//     cancellation.
+//
+// Determinism is a hard constraint: per-profile op pricing stays in op
+// order (each profile is computed whole by one goroutine) and run
+// aggregation stays in plan order (in the trainer), so results at any
+// parallelism are byte-identical to the sequential path.
+//
+// Importing this package registers the shared engine as the trainer's
+// default ProfileSource, so trainer.Simulate reuses profiles
+// process-wide unless a spec overrides the source.
+package engine
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+	"reflect"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"seqpoint/internal/gpusim"
+	"seqpoint/internal/models"
+	"seqpoint/internal/profiler"
+	"seqpoint/internal/trainer"
+)
+
+// Phase distinguishes the two profile kinds a training run needs.
+type Phase uint8
+
+const (
+	// PhaseTrain is a full training iteration (forward + backward +
+	// optimizer).
+	PhaseTrain Phase = iota
+	// PhaseEval is a forward-only evaluation pass.
+	PhaseEval
+)
+
+// String names the phase.
+func (p Phase) String() string {
+	switch p {
+	case PhaseTrain:
+		return "train"
+	case PhaseEval:
+		return "eval"
+	default:
+		return fmt.Sprintf("phase(%d)", int(p))
+	}
+}
+
+// Key identifies one cached profile. Config participates as a value
+// (it is a flat comparable struct), so two configs differing in any
+// field — including the display name — occupy distinct entries.
+type Key struct {
+	// Model is the structural fingerprint of the network (see
+	// Fingerprint).
+	Model uint64
+	// Config is the hardware configuration.
+	Config gpusim.Config
+	// Batch is the minibatch size.
+	Batch int
+	// Phase is the profile kind.
+	Phase Phase
+	// SeqLen is the padded sequence length.
+	SeqLen int
+}
+
+// Fingerprint returns a structural identity for a model: a hash over
+// the op streams it emits at two probe shapes, train and eval. Models
+// that build identical op sequences (kind, shape signature, cost
+// quantities) are interchangeable for profiling and may share cache
+// entries; models differing anywhere — including two custom models
+// that share a Name() — never collide.
+func Fingerprint(m models.Model) uint64 {
+	h := fnv.New64a()
+	io.WriteString(h, m.Name())
+	var buf [8]byte
+	hashF := func(f float64) {
+		v := math.Float64bits(f)
+		for i := range buf {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	for _, probe := range [][2]int{{2, 3}, {2, 7}} {
+		for _, op := range m.IterationOps(probe[0], probe[1]) {
+			io.WriteString(h, op.Signature())
+			hashF(op.FLOPs())
+			hashF(op.BytesRead())
+			hashF(op.BytesWritten())
+		}
+		io.WriteString(h, "|eval|")
+		for _, op := range m.EvalOps(probe[0], probe[1]) {
+			io.WriteString(h, op.Signature())
+			hashF(op.FLOPs())
+			hashF(op.BytesRead())
+			hashF(op.BytesWritten())
+		}
+		io.WriteString(h, "|probe|")
+	}
+	return h.Sum64()
+}
+
+// Stats is a snapshot of the engine's cache counters.
+type Stats struct {
+	// Hits counts requests served from a completed cache entry.
+	Hits int64
+	// Misses counts profiles actually computed (one per unique key).
+	Misses int64
+	// Dedups counts requests that arrived while the same key was being
+	// computed and waited for it instead of recomputing.
+	Dedups int64
+	// Entries is the number of profiles currently cached.
+	Entries int64
+}
+
+const numShards = 32
+
+type shard struct {
+	mu sync.Mutex
+	m  map[Key]*entry
+}
+
+// entry is one singleflight cache slot: the first requester computes,
+// everyone else waits on done.
+type entry struct {
+	done chan struct{}
+	p    profiler.IterationProfile
+	err  error
+}
+
+// Engine is a concurrent profiling engine with a process-lifetime
+// cache. The zero value is not usable; call New or Shared. An Engine
+// is safe for concurrent use.
+type Engine struct {
+	shards      [numShards]shard
+	fps         sync.Map // models.Model -> uint64, comparable models only
+	fpCount     atomic.Int64
+	parallelism atomic.Int64
+	hits        atomic.Int64
+	misses      atomic.Int64
+	dedups      atomic.Int64
+
+	// busy counts in-flight profile computations; acquire/release gate
+	// them so nested fan-out (Sweep workers each fanning out ProfileSLs)
+	// still respects Parallelism() engine-wide.
+	busyMu   sync.Mutex
+	busyCond *sync.Cond
+	busy     int
+}
+
+// maxFingerprintMemo bounds the per-instance fingerprint memo so a
+// process that keeps constructing fresh model values cannot grow (and
+// pin) the map without bound; past the cap, fingerprints are simply
+// recomputed.
+const maxFingerprintMemo = 1024
+
+// New returns an empty engine whose worker pools default to
+// GOMAXPROCS-wide.
+func New() *Engine {
+	e := &Engine{}
+	e.busyCond = sync.NewCond(&e.busyMu)
+	for i := range e.shards {
+		e.shards[i].m = make(map[Key]*entry)
+	}
+	return e
+}
+
+var shared = New()
+
+// Shared returns the process-wide engine: the one the trainer defaults
+// to and the one NewLab-built experiment suites share, so profiles are
+// reused across every run in the process.
+func Shared() *Engine { return shared }
+
+func init() {
+	trainer.SetDefaultProfileSource(shared)
+}
+
+// SetParallelism bounds the engine's worker pools to n concurrent
+// profiling goroutines; n <= 0 restores the GOMAXPROCS default.
+// Parallelism never affects results, only wall-clock time.
+func (e *Engine) SetParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	e.parallelism.Store(int64(n))
+	e.busyCond.Broadcast() // a raised limit may unblock waiters
+}
+
+// acquire blocks until a profiling slot is free. Slots are held only
+// for the duration of one profile computation (a leaf that never
+// re-enters the engine), so there is no hold-and-wait cycle.
+func (e *Engine) acquire() {
+	e.busyMu.Lock()
+	for e.busy >= e.Parallelism() {
+		e.busyCond.Wait()
+	}
+	e.busy++
+	e.busyMu.Unlock()
+}
+
+func (e *Engine) release() {
+	e.busyMu.Lock()
+	e.busy--
+	e.busyMu.Unlock()
+	e.busyCond.Signal()
+}
+
+// Parallelism returns the effective worker-pool width.
+func (e *Engine) Parallelism() int {
+	if n := e.parallelism.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Stats returns a snapshot of the cache counters.
+func (e *Engine) Stats() Stats {
+	s := Stats{
+		Hits:   e.hits.Load(),
+		Misses: e.misses.Load(),
+		Dedups: e.dedups.Load(),
+	}
+	for i := range e.shards {
+		e.shards[i].mu.Lock()
+		s.Entries += int64(len(e.shards[i].m))
+		e.shards[i].mu.Unlock()
+	}
+	return s
+}
+
+// fingerprint memoizes Fingerprint per model instance when the model's
+// dynamic type is comparable (all the package's models are pointers);
+// non-comparable user types are re-fingerprinted per call.
+func (e *Engine) fingerprint(m models.Model) uint64 {
+	memoizable := reflect.TypeOf(m).Comparable()
+	if memoizable {
+		if v, ok := e.fps.Load(m); ok {
+			return v.(uint64)
+		}
+	}
+	fp := Fingerprint(m)
+	if memoizable && e.fpCount.Load() < maxFingerprintMemo {
+		if _, loaded := e.fps.LoadOrStore(m, fp); !loaded {
+			e.fpCount.Add(1)
+		}
+	}
+	return fp
+}
+
+func (e *Engine) shardFor(k Key) *shard {
+	h := k.Model
+	h = h*31 + uint64(k.SeqLen)
+	h = h*31 + uint64(k.Batch)
+	h = h*31 + uint64(k.Phase)
+	for _, c := range k.Config.Name {
+		h = h*31 + uint64(c)
+	}
+	h = h*31 + uint64(k.Config.NumCUs)
+	return &e.shards[h%numShards]
+}
+
+// Profile returns the iteration profile for (hw, m, batch, seqLen,
+// phase), computing it at most once per unique key across the whole
+// process. Concurrent requests for an in-flight key wait for the single
+// computation instead of duplicating it.
+func (e *Engine) Profile(hw gpusim.Config, m models.Model, batch, seqLen int, phase Phase) (profiler.IterationProfile, error) {
+	k := Key{Model: e.fingerprint(m), Config: hw, Batch: batch, Phase: phase, SeqLen: seqLen}
+	return e.profileKeyed(k, m)
+}
+
+// profileKeyed is Profile with the key already built, letting bulk
+// callers fingerprint the model once instead of once per SL.
+func (e *Engine) profileKeyed(k Key, m models.Model) (profiler.IterationProfile, error) {
+	s := e.shardFor(k)
+
+	s.mu.Lock()
+	if en, ok := s.m[k]; ok {
+		s.mu.Unlock()
+		select {
+		case <-en.done:
+			e.hits.Add(1)
+		default:
+			e.dedups.Add(1)
+			<-en.done
+		}
+		return en.p, en.err
+	}
+	en := &entry{done: make(chan struct{})}
+	s.m[k] = en
+	s.mu.Unlock()
+
+	e.misses.Add(1)
+	e.acquire()
+	en.p, en.err = computeProfile(k.Config, m, k.Batch, k.SeqLen, k.Phase)
+	e.release()
+	close(en.done)
+	if en.err != nil {
+		// Errors are not cached: a failed entry would pin e.g. a
+		// transient invalid-config mistake forever. Deterministic
+		// failures simply recompute cheaply.
+		s.mu.Lock()
+		delete(s.m, k)
+		s.mu.Unlock()
+	}
+	return en.p, en.err
+}
+
+func computeProfile(hw gpusim.Config, m models.Model, batch, seqLen int, phase Phase) (profiler.IterationProfile, error) {
+	sim, err := gpusim.New(hw)
+	if err != nil {
+		return profiler.IterationProfile{}, err
+	}
+	if phase == PhaseEval {
+		return profiler.ProfileEval(sim, m, batch, seqLen)
+	}
+	return profiler.ProfileIteration(sim, m, batch, seqLen)
+}
+
+// ProfileSLs profiles every requested sequence length through the
+// cache, fanning cache misses out over the engine's bounded worker
+// pool. The returned map is independent of pool width and request
+// order.
+func (e *Engine) ProfileSLs(hw gpusim.Config, m models.Model, batch int, seqLens []int, phase Phase) (map[int]profiler.IterationProfile, error) {
+	uniq := make([]int, 0, len(seqLens))
+	seen := make(map[int]bool, len(seqLens))
+	for _, sl := range seqLens {
+		if !seen[sl] {
+			seen[sl] = true
+			uniq = append(uniq, sl)
+		}
+	}
+
+	out := make(map[int]profiler.IterationProfile, len(uniq))
+	profiles := make([]profiler.IterationProfile, len(uniq))
+	errs := make([]error, len(uniq))
+
+	fp := e.fingerprint(m)
+	key := func(sl int) Key {
+		return Key{Model: fp, Config: hw, Batch: batch, Phase: phase, SeqLen: sl}
+	}
+
+	workers := e.Parallelism()
+	if workers > len(uniq) {
+		workers = len(uniq)
+	}
+	if workers <= 1 {
+		for _, sl := range uniq {
+			p, err := e.profileKeyed(key(sl), m)
+			if err != nil {
+				return nil, err
+			}
+			out[sl] = p
+		}
+		return out, nil
+	}
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				profiles[i], errs[i] = e.profileKeyed(key(uniq[i]), m)
+			}
+		}()
+	}
+	for i := range uniq {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	for i, sl := range uniq {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		out[sl] = profiles[i]
+	}
+	return out, nil
+}
+
+// TrainProfiles implements trainer.ProfileSource.
+func (e *Engine) TrainProfiles(hw gpusim.Config, m models.Model, batch int, seqLens []int) (map[int]profiler.IterationProfile, error) {
+	return e.ProfileSLs(hw, m, batch, seqLens, PhaseTrain)
+}
+
+// EvalProfiles implements trainer.ProfileSource.
+func (e *Engine) EvalProfiles(hw gpusim.Config, m models.Model, batch int, seqLens []int) (map[int]profiler.IterationProfile, error) {
+	return e.ProfileSLs(hw, m, batch, seqLens, PhaseEval)
+}
+
+// Simulate runs a full training simulation whose profiling goes
+// through this engine (unless the spec pins its own source).
+func (e *Engine) Simulate(spec trainer.Spec, hw gpusim.Config) (*trainer.Run, error) {
+	if spec.Profiles == nil {
+		spec.Profiles = e
+	}
+	return trainer.Simulate(spec, hw)
+}

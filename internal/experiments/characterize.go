@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"seqpoint/internal/engine"
 	"seqpoint/internal/gpusim"
 	"seqpoint/internal/models"
 	"seqpoint/internal/profiler"
@@ -280,13 +281,11 @@ func (r TableIResult) Render() string {
 }
 
 // profileAt profiles one training iteration of w's model at the given SL
-// on cfg (used by experiments that need iterations outside a full run).
+// on cfg (used by experiments that need iterations outside a full run),
+// served through the shared engine so repeats across experiments hit
+// the process-wide cache.
 func profileAt(w Workload, cfg gpusim.Config, sl int) (profiler.IterationProfile, error) {
-	sim, err := gpusim.New(cfg)
-	if err != nil {
-		return profiler.IterationProfile{}, err
-	}
-	return profiler.ProfileIteration(sim, w.Model, w.Batch, sl)
+	return engine.Shared().Profile(cfg, w.Model, w.Batch, sl, engine.PhaseTrain)
 }
 
 // nearestSLs returns, for each requested SL, the nearest SL that actually

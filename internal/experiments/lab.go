@@ -9,11 +9,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
 	"seqpoint/internal/core"
 	"seqpoint/internal/dataset"
+	"seqpoint/internal/engine"
 	"seqpoint/internal/gpusim"
 	"seqpoint/internal/models"
 	"seqpoint/internal/trainer"
@@ -130,8 +132,8 @@ func CNNWorkload(seed int64) Workload {
 	}
 }
 
-// spec converts the workload to a trainer spec.
-func (w Workload) spec() trainer.Spec {
+// Spec converts the workload to a trainer spec.
+func (w Workload) Spec() trainer.Spec {
 	return trainer.Spec{
 		Model:    w.Model,
 		Train:    w.Train,
@@ -143,63 +145,110 @@ func (w Workload) spec() trainer.Spec {
 	}
 }
 
-// Lab memoizes simulated training runs per (workload, hardware config):
-// the expensive inputs every experiment shares. It is safe for
-// concurrent use.
-type Lab struct {
-	mu   sync.Mutex
-	runs map[string]*trainer.Run
+// Task converts the workload into one sweep-grid cell on cfg.
+func (w Workload) Task(cfg gpusim.Config) engine.SweepTask {
+	return engine.SweepTask{
+		Name:   fmt.Sprintf("%s on %s", w.Name, cfg.Name),
+		Spec:   w.Spec(),
+		Config: cfg,
+	}
 }
 
-// NewLab returns an empty lab.
+// Lab memoizes simulated training runs per (workload, hardware config):
+// the expensive inputs every experiment shares. It is a thin wrapper
+// over the engine's Sweep — the engine dedupes and parallelizes the
+// underlying profiling, the lab additionally memoizes whole *Run
+// aggregates with singleflight semantics, so concurrent callers asking
+// for the same run wait for one simulation instead of duplicating it.
+// It is safe for concurrent use.
+type Lab struct {
+	eng     *engine.Engine
+	mu      sync.Mutex
+	flights map[string]*labFlight
+}
+
+// labFlight is one memoized (possibly in-flight) simulation.
+type labFlight struct {
+	done chan struct{}
+	run  *trainer.Run
+	err  error
+}
+
+// NewLab returns a lab backed by the process-wide shared engine, so
+// separate labs (and direct trainer users) reuse one profile cache.
 func NewLab() *Lab {
-	return &Lab{runs: make(map[string]*trainer.Run)}
+	return NewLabWith(engine.Shared())
+}
+
+// NewLabWith returns a lab backed by the given engine.
+func NewLabWith(eng *engine.Engine) *Lab {
+	return &Lab{eng: eng, flights: make(map[string]*labFlight)}
+}
+
+// Engine returns the engine backing this lab.
+func (l *Lab) Engine() *engine.Engine { return l.eng }
+
+func runKey(w Workload, cfg gpusim.Config) string {
+	return fmt.Sprintf("%s|%+v|%s|%d|%d|%d|%d",
+		w.Name, cfg, w.Train.Name, w.Train.Size(), w.Batch, w.Epochs, w.Seed)
 }
 
 // Run simulates (or returns the cached) training run of w on cfg.
 func (l *Lab) Run(w Workload, cfg gpusim.Config) (*trainer.Run, error) {
-	key := fmt.Sprintf("%s|%+v|%s|%d|%d|%d|%d",
-		w.Name, cfg, w.Train.Name, w.Train.Size(), w.Batch, w.Epochs, w.Seed)
-	l.mu.Lock()
-	if r, ok := l.runs[key]; ok {
-		l.mu.Unlock()
-		return r, nil
-	}
-	l.mu.Unlock()
-
-	r, err := trainer.Simulate(w.spec(), cfg)
+	runs, err := l.RunAll(w, []gpusim.Config{cfg})
 	if err != nil {
-		return nil, fmt.Errorf("experiments: simulating %s on %s: %w", w.Name, cfg.Name, err)
+		return nil, err
 	}
-
-	l.mu.Lock()
-	l.runs[key] = r
-	l.mu.Unlock()
-	return r, nil
+	return runs[cfg.Name], nil
 }
 
-// RunAll simulates w on every config — concurrently, since each run is
-// independent and the simulator is the suite's dominant cost — and
-// returns the runs keyed by config name.
+// RunAll simulates w on every config and returns the runs keyed by
+// config name. Uncached configs are claimed under one lock and swept
+// through the engine with its configured parallelism; configs another
+// goroutine is already simulating are waited on, never recomputed.
 func (l *Lab) RunAll(w Workload, cfgs []gpusim.Config) (map[string]*trainer.Run, error) {
-	runs := make([]*trainer.Run, len(cfgs))
-	errs := make([]error, len(cfgs))
-	var wg sync.WaitGroup
+	flights := make([]*labFlight, len(cfgs))
+	var tasks []engine.SweepTask
+	var claimed []*labFlight
+
+	l.mu.Lock()
 	for i, cfg := range cfgs {
-		wg.Add(1)
-		go func(i int, cfg gpusim.Config) {
-			defer wg.Done()
-			runs[i], errs[i] = l.Run(w, cfg)
-		}(i, cfg)
+		key := runKey(w, cfg)
+		f, ok := l.flights[key]
+		if !ok {
+			f = &labFlight{done: make(chan struct{})}
+			l.flights[key] = f
+			claimed = append(claimed, f)
+			tasks = append(tasks, w.Task(cfg))
+		}
+		flights[i] = f
 	}
-	wg.Wait()
+	l.mu.Unlock()
+
+	if len(tasks) > 0 {
+		for i, res := range l.eng.Sweep(context.Background(), tasks, 0) {
+			f := claimed[i]
+			f.run = res.Run
+			if res.Err != nil {
+				f.err = fmt.Errorf("experiments: simulating %s on %s: %w",
+					w.Name, res.Task.Config.Name, res.Err)
+				// Failed flights are not cached: waiters get the error,
+				// but later callers retry instead of being pinned to it.
+				l.mu.Lock()
+				delete(l.flights, runKey(w, res.Task.Config))
+				l.mu.Unlock()
+			}
+			close(f.done)
+		}
+	}
 
 	out := make(map[string]*trainer.Run, len(cfgs))
 	for i, cfg := range cfgs {
-		if errs[i] != nil {
-			return nil, errs[i]
+		<-flights[i].done
+		if flights[i].err != nil {
+			return nil, flights[i].err
 		}
-		out[cfg.Name] = runs[i]
+		out[cfg.Name] = flights[i].run
 	}
 	return out, nil
 }

@@ -7,7 +7,6 @@ import (
 	"seqpoint/internal/dataset"
 	"seqpoint/internal/gpusim"
 	"seqpoint/internal/models"
-	"seqpoint/internal/profiler"
 )
 
 // InferenceSpec describes a simulated inference (serving) run: forward-
@@ -25,6 +24,9 @@ type InferenceSpec struct {
 	Batch int
 	// Seed drives request-order shuffling.
 	Seed int64
+	// Profiles overrides the profile source for this run; nil uses the
+	// process default (see Spec.Profiles).
+	Profiles ProfileSource
 }
 
 // Validate reports whether the spec is complete.
@@ -62,11 +64,18 @@ func SimulateInference(spec InferenceSpec, hw gpusim.Config) (*InferenceRun, err
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	sim, err := gpusim.New(hw)
+	if err := hw.Validate(); err != nil {
+		return nil, err
+	}
+	src := spec.Profiles
+	if src == nil {
+		src = DefaultProfileSource()
+	}
+	plan, err := dataset.PlanEpoch(spec.Requests, spec.Batch, dataset.OrderShuffled, spec.Seed)
 	if err != nil {
 		return nil, err
 	}
-	plan, err := dataset.PlanEpoch(spec.Requests, spec.Batch, dataset.OrderShuffled, spec.Seed)
+	profiles, err := src.EvalProfiles(hw, spec.Model, spec.Batch, uniqueSLs([]dataset.EpochPlan{plan}))
 	if err != nil {
 		return nil, err
 	}
@@ -80,9 +89,9 @@ func SimulateInference(spec InferenceSpec, hw gpusim.Config) (*InferenceRun, err
 	for _, sl := range plan.SeqLens {
 		lat, ok := run.LatencyBySL[sl]
 		if !ok {
-			p, err := profiler.ProfileEval(sim, spec.Model, spec.Batch, sl)
-			if err != nil {
-				return nil, err
+			p, ok := profiles[sl]
+			if !ok {
+				return nil, fmt.Errorf("trainer: profile source returned no eval profile for SL %d", sl)
 			}
 			lat = p.TimeUS
 			run.LatencyBySL[sl] = lat

@@ -1,0 +1,113 @@
+package trainer
+
+import (
+	"testing"
+
+	"seqpoint/internal/dataset"
+	"seqpoint/internal/gpusim"
+	"seqpoint/internal/models"
+	"seqpoint/internal/profiler"
+)
+
+// countingSource wraps the direct source and records every bulk call.
+type countingSource struct {
+	trainCalls, evalCalls int
+	trainSLs, evalSLs     int
+}
+
+func (c *countingSource) TrainProfiles(hw gpusim.Config, m models.Model, batch int, sls []int) (map[int]profiler.IterationProfile, error) {
+	c.trainCalls++
+	c.trainSLs += len(sls)
+	return directSource{}.TrainProfiles(hw, m, batch, sls)
+}
+
+func (c *countingSource) EvalProfiles(hw gpusim.Config, m models.Model, batch int, sls []int) (map[int]profiler.IterationProfile, error) {
+	c.evalCalls++
+	c.evalSLs += len(sls)
+	return directSource{}.EvalProfiles(hw, m, batch, sls)
+}
+
+func sourceSpec(t *testing.T) Spec {
+	t.Helper()
+	lengths := make([]int, 64)
+	for i := range lengths {
+		lengths[i] = 10 + (i*7)%40
+	}
+	train, err := dataset.Synthetic("src-train", lengths, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval, err := dataset.Synthetic("src-eval", lengths[:32], 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Spec{
+		Model:    models.NewGNMT(),
+		Train:    train,
+		Eval:     eval,
+		Batch:    8,
+		Epochs:   3,
+		Schedule: dataset.GNMTSchedule(),
+		Seed:     2,
+	}
+}
+
+// TestSimulateUsesSpecSource asserts the seam is honored and that the
+// eval phase is profiled once per run, not once per epoch: same corpus,
+// batch and seed yield an identical eval pass every epoch.
+func TestSimulateUsesSpecSource(t *testing.T) {
+	src := &countingSource{}
+	spec := sourceSpec(t)
+	spec.Profiles = src
+
+	run, err := Simulate(spec, gpusim.VegaFE())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.trainCalls != 1 {
+		t.Errorf("train profiling fanned out in %d bulk calls, want 1", src.trainCalls)
+	}
+	if src.evalCalls != 1 {
+		t.Errorf("eval phase profiled %d times for %d epochs, want exactly 1", src.evalCalls, spec.Epochs)
+	}
+	if src.trainSLs != len(run.BySL) {
+		t.Errorf("requested %d train SLs, run holds %d unique SLs", src.trainSLs, len(run.BySL))
+	}
+	if run.EvalUS <= 0 {
+		t.Error("eval time missing")
+	}
+}
+
+// TestSimulateSourceMatchesDefault asserts the custom-source run is
+// byte-identical to the default path.
+func TestSimulateSourceMatchesDefault(t *testing.T) {
+	spec := sourceSpec(t)
+	base, err := Simulate(spec, gpusim.VegaFE())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Profiles = &countingSource{}
+	wrapped, err := Simulate(spec, gpusim.VegaFE())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.TotalUS() != wrapped.TotalUS() || base.TrainUS != wrapped.TrainUS ||
+		base.EvalUS != wrapped.EvalUS || base.AutotuneUS != wrapped.AutotuneUS {
+		t.Error("custom source changed simulated results")
+	}
+}
+
+func TestSetDefaultProfileSourceNilResets(t *testing.T) {
+	orig := DefaultProfileSource()
+	defer SetDefaultProfileSource(orig)
+
+	src := &countingSource{}
+	SetDefaultProfileSource(src)
+	if DefaultProfileSource() != ProfileSource(src) {
+		t.Fatal("default source not installed")
+	}
+	SetDefaultProfileSource(nil)
+	if _, ok := DefaultProfileSource().(directSource); !ok {
+		t.Error("nil must reset the default to the direct source")
+	}
+}

@@ -15,12 +15,90 @@ package trainer
 
 import (
 	"fmt"
+	"sync"
 
 	"seqpoint/internal/dataset"
 	"seqpoint/internal/gpusim"
 	"seqpoint/internal/models"
 	"seqpoint/internal/profiler"
 )
+
+// ProfileSource supplies per-unique-SL iteration profiles to the
+// simulator. It is the seam through which a process-wide engine (see
+// internal/engine) can dedupe and parallelize profiling across runs;
+// the direct source computes each profile in place. Implementations
+// must be deterministic: the profile returned for a (config, model,
+// batch, SL) tuple may not depend on call order or concurrency.
+type ProfileSource interface {
+	// TrainProfiles returns one training-iteration profile per requested
+	// sequence length (forward + backward + optimizer).
+	TrainProfiles(hw gpusim.Config, m models.Model, batch int, seqLens []int) (map[int]profiler.IterationProfile, error)
+	// EvalProfiles returns one forward-only evaluation profile per
+	// requested sequence length.
+	EvalProfiles(hw gpusim.Config, m models.Model, batch int, seqLens []int) (map[int]profiler.IterationProfile, error)
+}
+
+// directSource prices every requested profile in place, sequentially —
+// the engine-free fallback with no cross-run reuse.
+type directSource struct{}
+
+func (directSource) TrainProfiles(hw gpusim.Config, m models.Model, batch int, seqLens []int) (map[int]profiler.IterationProfile, error) {
+	return directProfiles(hw, m, batch, seqLens, profiler.ProfileIteration)
+}
+
+func (directSource) EvalProfiles(hw gpusim.Config, m models.Model, batch int, seqLens []int) (map[int]profiler.IterationProfile, error) {
+	return directProfiles(hw, m, batch, seqLens, profiler.ProfileEval)
+}
+
+func directProfiles(hw gpusim.Config, m models.Model, batch int, seqLens []int,
+	profile func(*gpusim.Simulator, models.Model, int, int) (profiler.IterationProfile, error),
+) (map[int]profiler.IterationProfile, error) {
+	sim, err := gpusim.New(hw)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[int]profiler.IterationProfile, len(seqLens))
+	for _, sl := range seqLens {
+		if _, ok := out[sl]; ok {
+			continue
+		}
+		p, err := profile(sim, m, batch, sl)
+		if err != nil {
+			return nil, err
+		}
+		out[sl] = p
+	}
+	return out, nil
+}
+
+// DirectProfileSource returns the sequential, uncached profile source.
+func DirectProfileSource() ProfileSource { return directSource{} }
+
+var (
+	defaultSourceMu sync.RWMutex
+	defaultSource   ProfileSource = directSource{}
+)
+
+// SetDefaultProfileSource installs the source Simulate uses when
+// Spec.Profiles is nil. internal/engine registers its shared engine
+// here at init, so any binary linking the engine profiles through the
+// process-wide cache by default.
+func SetDefaultProfileSource(s ProfileSource) {
+	defaultSourceMu.Lock()
+	defer defaultSourceMu.Unlock()
+	if s == nil {
+		s = directSource{}
+	}
+	defaultSource = s
+}
+
+// DefaultProfileSource returns the source Simulate uses when
+// Spec.Profiles is nil.
+func DefaultProfileSource() ProfileSource {
+	defaultSourceMu.RLock()
+	defer defaultSourceMu.RUnlock()
+	return defaultSource
+}
 
 // Spec describes a training run to simulate.
 type Spec struct {
@@ -38,6 +116,11 @@ type Spec struct {
 	Schedule dataset.Schedule
 	// Seed drives all shuffling.
 	Seed int64
+	// Profiles overrides the profile source for this run; nil uses the
+	// process default (the shared engine when internal/engine is linked,
+	// otherwise direct sequential profiling). Either way the simulated
+	// results are identical; only profiling cost and reuse differ.
+	Profiles ProfileSource
 }
 
 // Validate reports whether the spec is complete.
@@ -90,23 +173,53 @@ func (r *Run) Throughput() float64 {
 }
 
 // Simulate runs the full training described by spec on hw.
+//
+// Profiling goes through the spec's ProfileSource: the unique sequence
+// lengths of the whole run are profiled up front (the source may fan
+// them out or serve them from a cross-run cache), then the run is
+// aggregated sequentially in plan order. The aggregation order never
+// depends on the source or its concurrency, so results are
+// byte-identical to the engine-free sequential path.
 func Simulate(spec Spec, hw gpusim.Config) (*Run, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
+	// The simulator here prices only the autotune trials; iteration
+	// profiles come from the source. Building it also validates hw
+	// before any profiling work starts.
 	sim, err := gpusim.New(hw)
 	if err != nil {
 		return nil, err
+	}
+	src := spec.Profiles
+	if src == nil {
+		src = DefaultProfileSource()
 	}
 	plans, err := dataset.PlanTraining(spec.Train, spec.Batch, spec.Epochs, spec.Schedule, spec.Seed)
 	if err != nil {
 		return nil, err
 	}
 
+	profiles, err := src.TrainProfiles(hw, spec.Model, spec.Batch, uniqueSLs(plans))
+	if err != nil {
+		return nil, err
+	}
+
+	// The evaluation pass is identical every epoch — same corpus, batch
+	// and seed yield the same plan, and profiles depend on nothing else —
+	// so it is priced once and charged per epoch.
+	var evalOnceUS float64
+	if spec.Eval != nil {
+		evalOnceUS, err = evalEpochUS(src, spec, hw)
+		if err != nil {
+			return nil, err
+		}
+	}
+
 	run := &Run{
 		Config:     hw,
 		EpochPlans: plans,
-		BySL:       make(map[int]profiler.IterationProfile),
+		BySL:       make(map[int]profiler.IterationProfile, len(profiles)),
 		Batch:      spec.Batch,
 	}
 	tunedShapes := make(map[string]bool)
@@ -115,9 +228,9 @@ func Simulate(spec Spec, hw gpusim.Config) (*Run, error) {
 		for _, sl := range plan.SeqLens {
 			p, ok := run.BySL[sl]
 			if !ok {
-				p, err = profiler.ProfileIteration(sim, spec.Model, spec.Batch, sl)
-				if err != nil {
-					return nil, err
+				p, ok = profiles[sl]
+				if !ok {
+					return nil, fmt.Errorf("trainer: profile source returned no profile for SL %d", sl)
 				}
 				run.BySL[sl] = p
 				run.AutotuneUS += profiler.AutotuneUS(sim, spec.Model, spec.Batch, sl, tunedShapes)
@@ -127,36 +240,46 @@ func Simulate(spec Spec, hw gpusim.Config) (*Run, error) {
 			run.Samples += spec.Batch
 		}
 		if spec.Eval != nil {
-			evalUS, err := evalEpochUS(sim, spec, run)
-			if err != nil {
-				return nil, err
-			}
-			run.EvalUS += evalUS
+			run.EvalUS += evalOnceUS
 		}
 	}
 	return run, nil
 }
 
+// uniqueSLs returns the distinct sequence lengths of the plans in
+// first-encounter order.
+func uniqueSLs(plans []dataset.EpochPlan) []int {
+	seen := make(map[int]bool)
+	var out []int
+	for _, plan := range plans {
+		for _, sl := range plan.SeqLens {
+			if !seen[sl] {
+				seen[sl] = true
+				out = append(out, sl)
+			}
+		}
+	}
+	return out
+}
+
 // evalEpochUS prices one pass over the evaluation corpus (forward only,
 // bucketed batching, deterministic order).
-func evalEpochUS(sim *gpusim.Simulator, spec Spec, run *Run) (float64, error) {
+func evalEpochUS(src ProfileSource, spec Spec, hw gpusim.Config) (float64, error) {
 	plan, err := dataset.PlanEpoch(spec.Eval, spec.Batch, dataset.OrderBucketed, spec.Seed)
 	if err != nil {
 		return 0, err
 	}
-	memo := make(map[int]float64)
+	profiles, err := src.EvalProfiles(hw, spec.Model, spec.Batch, uniqueSLs([]dataset.EpochPlan{plan}))
+	if err != nil {
+		return 0, err
+	}
 	var us float64
 	for _, sl := range plan.SeqLens {
-		t, ok := memo[sl]
+		p, ok := profiles[sl]
 		if !ok {
-			p, err := profiler.ProfileEval(sim, spec.Model, spec.Batch, sl)
-			if err != nil {
-				return 0, err
-			}
-			t = p.TimeUS
-			memo[sl] = t
+			return 0, fmt.Errorf("trainer: profile source returned no eval profile for SL %d", sl)
 		}
-		us += t
+		us += p.TimeUS
 	}
 	return us, nil
 }

@@ -23,7 +23,16 @@
 // and the simulation substrate used by the reproduction: the DS2/GNMT
 // model descriptions, synthetic LibriSpeech/IWSLT corpora, the
 // analytical GPU performance model standing in for the paper's Vega FE
-// testbed, and the training-run simulator. Typical use:
+// testbed, and the training-run simulator. Simulation runs on a
+// concurrent engine (internal/engine) with a process-wide profile
+// cache: because every iteration at the same padded sequence length
+// performs identical work, each (model, config, batch, phase, SL)
+// profile is priced exactly once per process — across runs, workloads
+// and goroutines — with singleflight deduplication, and sweeps over
+// (workload × config) grids fan out over a bounded worker pool.
+// Parallelism never changes results: same seed ⇒ byte-identical
+// output at any worker count. See NewEngine, SharedEngine, Sweep and
+// EngineStats. Typical use:
 //
 //	run, _ := seqpoint.Simulate(seqpoint.Spec{
 //	    Model:    seqpoint.NewGNMT(),
@@ -39,8 +48,11 @@
 package seqpoint
 
 import (
+	"context"
+
 	"seqpoint/internal/core"
 	"seqpoint/internal/dataset"
+	"seqpoint/internal/engine"
 	"seqpoint/internal/gpusim"
 	"seqpoint/internal/models"
 	"seqpoint/internal/nn"
@@ -208,6 +220,58 @@ var (
 	// WriteChromeTrace serializes a kernel stream for chrome://tracing.
 	WriteChromeTrace = profiler.WriteChromeTrace
 )
+
+// Concurrent simulation engine (internal/engine): a process-lifetime
+// profile cache with singleflight deduplication plus bounded-parallel
+// grid sweeps. SharedEngine is what Simulate profiles through by
+// default; build a private engine with NewEngine to isolate caches.
+type (
+	// Engine is the concurrent profiling engine with a cross-run cache.
+	Engine = engine.Engine
+	// EngineStats is a snapshot of an engine's cache counters
+	// (hits / misses / dedups / entries).
+	EngineStats = engine.Stats
+	// SweepTask is one (workload spec, config) cell of a sweep grid.
+	SweepTask = engine.SweepTask
+	// SweepResult is the outcome of one sweep task.
+	SweepResult = engine.SweepResult
+	// ProfilePhase distinguishes training from evaluation profiles.
+	ProfilePhase = engine.Phase
+	// ProfileSource is the trainer's profiling seam; an Engine is one.
+	ProfileSource = trainer.ProfileSource
+)
+
+// Profile phases.
+const (
+	PhaseTrain = engine.PhaseTrain
+	PhaseEval  = engine.PhaseEval
+)
+
+var (
+	// NewEngine builds a private engine with an empty cache.
+	NewEngine = engine.New
+	// SharedEngine returns the process-wide engine whose cache every
+	// default-configured simulation shares.
+	SharedEngine = engine.Shared
+	// FingerprintModel hashes a model's op structure — the model
+	// component of the engine's cache key.
+	FingerprintModel = engine.Fingerprint
+)
+
+// Sweep simulates a (workload × config) grid on the shared engine with
+// at most `parallelism` concurrent runs (<= 0 uses the engine default),
+// returning results in task order. Results are identical at any
+// parallelism; profiles are shared across all cells and with every
+// other simulation in the process.
+func Sweep(ctx context.Context, tasks []SweepTask, parallelism int) []SweepResult {
+	return engine.Shared().Sweep(ctx, tasks, parallelism)
+}
+
+// EngineCacheStats returns the shared engine's cache counters — the
+// observable measure of cross-run profile reuse.
+func EngineCacheStats() EngineStats {
+	return engine.Shared().Stats()
+}
 
 // RecordsFromRun extracts the SeqPoint input — per-unique-SL iteration
 // counts and runtimes — from one epoch of a simulated (or measured) run.

@@ -1,0 +1,120 @@
+package seqpoint_test
+
+// Facade-level coverage for the multi-GPU cluster layer: the
+// SimulateCluster/ClusterConfig/RingAllReduce re-exports and the
+// composition the paper's flow relies on — SeqPoints selected on one
+// GPU projecting an 8-GPU configuration within the single-GPU error
+// envelope.
+
+import (
+	"math"
+	"testing"
+
+	"seqpoint"
+)
+
+func clusterTestSpec(t *testing.T) seqpoint.Spec {
+	t.Helper()
+	lengths := make([]int, 512)
+	for i := range lengths {
+		lengths[i] = 5 + (i*29)%70
+	}
+	corpus, err := seqpoint.Synthetic("cluster-e2e", lengths, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return seqpoint.Spec{
+		Model:    seqpoint.NewGNMT(),
+		Train:    corpus,
+		Batch:    32,
+		Epochs:   1,
+		Schedule: seqpoint.GNMTSchedule(),
+		Seed:     5,
+	}
+}
+
+func TestSimulateClusterMatchesSpecCluster(t *testing.T) {
+	spec := clusterTestSpec(t)
+	cfg := seqpoint.VegaFE()
+	cluster := seqpoint.DefaultCluster(4)
+
+	viaWrapper, err := seqpoint.SimulateCluster(spec, cfg, cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Cluster = cluster
+	viaSpec, err := seqpoint.Simulate(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := viaWrapper.Summary().Serialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := viaSpec.Summary().Serialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Error("SimulateCluster and Spec.Cluster disagree")
+	}
+	if viaWrapper.CommUS <= 0 {
+		t.Error("4-GPU GNMT run must expose communication time")
+	}
+}
+
+// TestSeqPointProjectsClusterWithinEnvelope is the facade statement of
+// the acceptance criterion: select on 1 GPU, project an 8-GPU config
+// via Equation 1, and land within ~5% of the full cluster simulation.
+func TestSeqPointProjectsClusterWithinEnvelope(t *testing.T) {
+	spec := clusterTestSpec(t)
+	cfg := seqpoint.VegaFE()
+
+	calib, err := seqpoint.Simulate(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := seqpoint.RecordsFromRun(calib, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := seqpoint.Select(recs, seqpoint.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run8, err := seqpoint.SimulateCluster(spec, cfg, seqpoint.DefaultCluster(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj, err := seqpoint.ProjectTotal(sel.Points, seqpoint.IterTimesBySL(run8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errPct := math.Abs(proj-run8.TrainUS) / run8.TrainUS * 100; errPct > 5 {
+		t.Errorf("8-GPU projection error %.2f%% exceeds the 5%% envelope", errPct)
+	}
+}
+
+func TestClusterReExports(t *testing.T) {
+	// RingAllReduce: 2(N-1)/N * bytes at link speed plus hop latencies.
+	const bytes, bw, lat = 640e6, 25.0, 1.5
+	want := 2.0 * 7 / 8 * bytes / (bw * 1e9) * 1e6
+	want += 2 * 7 * lat
+	if got := seqpoint.RingAllReduce(8, bytes, bw, lat); math.Abs(got-want) > 1e-6*want {
+		t.Errorf("RingAllReduce = %v, want %v", got, want)
+	}
+	if seqpoint.MeshAllReduce(8, bytes, bw, lat) >= seqpoint.RingAllReduce(8, bytes, bw, lat) {
+		t.Error("mesh must beat ring at equal link speed")
+	}
+	if topo, err := seqpoint.ParseTopology("mesh"); err != nil || topo != seqpoint.TopologyFullMesh {
+		t.Errorf("ParseTopology(mesh) = %v, %v", topo, err)
+	}
+	var cl seqpoint.ClusterConfig
+	if cl.Normalized() != seqpoint.SingleGPU() {
+		t.Error("zero ClusterConfig must normalize to the single GPU")
+	}
+	if err := seqpoint.DefaultCluster(8).Validate(); err != nil {
+		t.Errorf("DefaultCluster(8) invalid: %v", err)
+	}
+}

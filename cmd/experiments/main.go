@@ -7,6 +7,7 @@
 // Usage:
 //
 //	experiments [-seed 1] [-o experiments.txt] [-parallelism N]
+//	experiments -gpus 1,2,4,8 -topology mesh -linkgbps 50
 package main
 
 import (
@@ -15,18 +16,24 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"time"
 
 	"seqpoint/internal/engine"
 	"seqpoint/internal/experiments"
+	"seqpoint/internal/gpusim"
 )
 
 func main() {
 	var (
-		seed   = flag.Int64("seed", experiments.DefaultSeed, "dataset/shuffle seed")
-		out    = flag.String("o", "", "write output to this file instead of stdout")
-		csvDir = flag.String("csv", "", "also write figure-backing CSV files into this directory")
-		par    = flag.Int("parallelism", 0, "concurrent simulation/profiling workers (0 = GOMAXPROCS)")
+		seed     = flag.Int64("seed", experiments.DefaultSeed, "dataset/shuffle seed")
+		out      = flag.String("o", "", "write output to this file instead of stdout")
+		csvDir   = flag.String("csv", "", "also write figure-backing CSV files into this directory")
+		par      = flag.Int("parallelism", 0, "concurrent simulation/profiling workers (0 = GOMAXPROCS)")
+		gpus     = flag.String("gpus", "", "comma-separated GPU counts for the scale-out experiment (default 1,2,4,8)")
+		topology = flag.String("topology", string(gpusim.TopologyRing), "scale-out interconnect: ring or mesh")
+		linkGBps = flag.Float64("linkgbps", gpusim.DefaultLinkGBps, "scale-out per-link bandwidth in GB/s")
 	)
 	flag.Parse()
 	engine.Shared().SetParallelism(*par)
@@ -44,6 +51,10 @@ func main() {
 
 	start := time.Now()
 	suite := experiments.NewSuite(*seed)
+	if err := configureScaleOut(suite, *gpus, *topology, *linkGBps); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
 	if err := suite.RunAll(w); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
@@ -57,6 +68,29 @@ func main() {
 		fmt.Fprintf(w, "\nwrote figure CSVs to %s\n", *csvDir)
 	}
 	fmt.Fprintf(w, "\nall experiments completed in %s\n", time.Since(start).Round(time.Millisecond))
+}
+
+// configureScaleOut applies the cluster flags to the suite's scale-out
+// experiment.
+func configureScaleOut(suite *experiments.Suite, gpus, topology string, linkGBps float64) error {
+	topo, err := gpusim.ParseTopology(topology)
+	if err != nil {
+		return err
+	}
+	suite.BaseCluster.Topology = topo
+	suite.BaseCluster.LinkGBps = linkGBps
+	if gpus != "" {
+		var counts []int
+		for _, part := range strings.Split(gpus, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				return fmt.Errorf("bad -gpus entry %q: %w", part, err)
+			}
+			counts = append(counts, n)
+		}
+		suite.ScaleGPUs = counts
+	}
+	return suite.BaseCluster.Validate()
 }
 
 // writeCSVs dumps the figure-backing data series, one file per figure.

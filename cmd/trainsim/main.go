@@ -6,6 +6,7 @@
 // Usage:
 //
 //	trainsim -model ds2 -config 3 -epochs 2 -parallelism 8 -o profile.csv
+//	trainsim -model gnmt -gpus 8 -topology ring -linkgbps 25
 package main
 
 import (
@@ -42,26 +43,55 @@ func writeTrace(w experiments.Workload, cfg gpusim.Config, traceSL int, path str
 
 func main() {
 	var (
-		model   = flag.String("model", "ds2", "model to train: ds2, gnmt, transformer, seq2seq or cnn")
-		cfgIdx  = flag.Int("config", 1, "Table II configuration number (1-5)")
-		epochs  = flag.Int("epochs", experiments.DefaultEpochs, "epochs to simulate")
-		batch   = flag.Int("batch", experiments.DefaultBatch, "minibatch size")
-		seed    = flag.Int64("seed", experiments.DefaultSeed, "dataset/shuffle seed")
-		outCSV  = flag.String("o", "", "write per-SL profile CSV to this file (default: stdout table only)")
-		traceSL = flag.Int("trace-sl", 0, "also write a Chrome trace of one iteration at this SL")
-		traceTo = flag.String("trace-o", "trace.json", "Chrome trace output path (with -trace-sl)")
-		par     = flag.Int("parallelism", 0, "concurrent profiling workers (0 = GOMAXPROCS)")
+		model    = flag.String("model", "ds2", "model to train: ds2, gnmt, transformer, seq2seq or cnn")
+		cfgIdx   = flag.Int("config", 1, "Table II configuration number (1-5)")
+		epochs   = flag.Int("epochs", experiments.DefaultEpochs, "epochs to simulate")
+		batch    = flag.Int("batch", experiments.DefaultBatch, "minibatch size")
+		seed     = flag.Int64("seed", experiments.DefaultSeed, "dataset/shuffle seed")
+		outCSV   = flag.String("o", "", "write per-SL profile CSV to this file (default: stdout table only)")
+		traceSL  = flag.Int("trace-sl", 0, "also write a Chrome trace of one iteration at this SL")
+		traceTo  = flag.String("trace-o", "trace.json", "Chrome trace output path (with -trace-sl)")
+		par      = flag.Int("parallelism", 0, "concurrent profiling workers (0 = GOMAXPROCS)")
+		gpus     = flag.Int("gpus", 1, "data-parallel GPU count (1 = single-GPU training)")
+		topology = flag.String("topology", string(gpusim.TopologyRing), "cluster interconnect: ring or mesh")
+		linkGBps = flag.Float64("linkgbps", gpusim.DefaultLinkGBps, "per-link interconnect bandwidth in GB/s")
+		linkLat  = flag.Float64("linklatus", gpusim.DefaultLinkLatencyUS, "per-hop interconnect latency in microseconds")
+		overlap  = flag.Float64("overlap", gpusim.DefaultOverlap, "fraction of compute the all-reduce can hide behind [0,1]")
 	)
 	flag.Parse()
 	engine.Shared().SetParallelism(*par)
 
-	if err := run(*model, *cfgIdx, *epochs, *batch, *seed, *outCSV, *traceSL, *traceTo); err != nil {
+	cl, err := clusterFromFlags(*gpus, *topology, *linkGBps, *linkLat, *overlap)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "trainsim:", err)
+		os.Exit(1)
+	}
+	if err := run(*model, *cfgIdx, *epochs, *batch, *seed, *outCSV, *traceSL, *traceTo, cl); err != nil {
 		fmt.Fprintln(os.Stderr, "trainsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(model string, cfgIdx, epochs, batch int, seed int64, outCSV string, traceSL int, traceTo string) error {
+// clusterFromFlags assembles and validates the cluster configuration.
+func clusterFromFlags(gpus int, topology string, linkGBps, linkLatUS, overlap float64) (gpusim.ClusterConfig, error) {
+	if gpus <= 1 {
+		return gpusim.SingleGPU(), nil
+	}
+	topo, err := gpusim.ParseTopology(topology)
+	if err != nil {
+		return gpusim.ClusterConfig{}, err
+	}
+	cl := gpusim.ClusterConfig{
+		GPUs:          gpus,
+		Topology:      topo,
+		LinkGBps:      linkGBps,
+		LinkLatencyUS: linkLatUS,
+		Overlap:       overlap,
+	}
+	return cl, cl.Validate()
+}
+
+func run(model string, cfgIdx, epochs, batch int, seed int64, outCSV string, traceSL int, traceTo string, cl gpusim.ClusterConfig) error {
 	cfgs := gpusim.TableII()
 	if cfgIdx < 1 || cfgIdx > len(cfgs) {
 		return fmt.Errorf("config %d outside Table II range 1-%d", cfgIdx, len(cfgs))
@@ -85,6 +115,7 @@ func run(model string, cfgIdx, epochs, batch int, seed int64, outCSV string, tra
 	}
 	w.Batch = batch
 	w.Epochs = epochs
+	w.Cluster = cl
 
 	if traceSL > 0 {
 		if err := writeTrace(w, cfg, traceSL, traceTo); err != nil {
@@ -100,12 +131,16 @@ func run(model string, cfgIdx, epochs, batch int, seed int64, outCSV string, tra
 		return err
 	}
 
-	fmt.Printf("model=%s dataset=%s config=%s epochs=%d batch=%d\n",
-		w.Name, w.Train.Name, cfg, epochs, batch)
+	fmt.Printf("model=%s dataset=%s config=%s cluster=%s epochs=%d batch=%d\n",
+		w.Name, w.Train.Name, cfg, r.Cluster, epochs, batch)
 	st := report.NewTable("Run summary", "quantity", "value").Align(1, report.AlignRight)
 	st.AddStringRow("training iterations", report.Count(r.Iterations))
 	st.AddStringRow("unique seqlens", report.Count(len(r.BySL)))
 	st.AddStringRow("training time", report.US(r.TrainUS))
+	if r.Cluster.GPUs > 1 {
+		st.AddStringRow("per-GPU shard batch", report.Count(r.Cluster.ShardBatch(r.Batch)))
+		st.AddStringRow("exposed comm time", report.US(r.CommUS))
+	}
 	st.AddStringRow("evaluation time", report.US(r.EvalUS))
 	st.AddStringRow("autotune time", report.US(r.AutotuneUS))
 	st.AddStringRow("total time", report.US(r.TotalUS()))

@@ -1,0 +1,73 @@
+// scaleout projects multi-GPU data-parallel training cost the SeqPoint
+// way: simulate one epoch on a single GPU, select SeqPoints there, then
+// price clusters of 2/4/8 GPUs from per-SL step times alone — shard
+// compute plus an analytical ring all-reduce of the gradient bytes —
+// and compare the projection against the full cluster simulation.
+//
+// Run with: go run ./examples/scaleout
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"seqpoint"
+)
+
+func main() {
+	// A subset of the synthetic IWSLT'15 keeps the demo quick.
+	train := seqpoint.Subsample(seqpoint.IWSLT15(1), 4096, 1)
+	spec := seqpoint.Spec{
+		Model:    seqpoint.NewGNMT(),
+		Train:    train,
+		Batch:    64,
+		Epochs:   1,
+		Schedule: seqpoint.GNMTSchedule(),
+		Seed:     1,
+	}
+	cfg := seqpoint.VegaFE()
+
+	// Calibration: one epoch on a single GPU, SeqPoints selected there.
+	calib, err := seqpoint.Simulate(spec, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	recs, err := seqpoint.RecordsFromRun(calib, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sel, err := seqpoint.Select(recs, seqpoint.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	grad := float64(spec.Model.ParamCount()) * 4
+	fmt.Printf("GNMT: %d unique SLs -> %d SeqPoints; gradient %d MB/step\n",
+		len(recs), len(sel.Points), int(grad/1e6))
+	fmt.Printf("ring all-reduce of that gradient on 8 GPUs @ 25 GB/s: %.1f ms\n\n",
+		seqpoint.RingAllReduce(8, grad, 25, 1.5)/1e3)
+
+	fmt.Println("gpus  samples/s  efficiency  proj error")
+	base := calib.Throughput()
+	fmt.Printf("%4d  %9.1f  %9.1f%%  %9s\n", 1, base, 100.0, "-")
+
+	for _, gpus := range []int{2, 4, 8} {
+		cluster := seqpoint.DefaultCluster(gpus)
+		run, err := seqpoint.SimulateCluster(spec, cfg, cluster)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Equation 1 on the cluster: the calibration SeqPoints weighted
+		// by this cluster's per-SL step times.
+		proj, err := seqpoint.ProjectTotal(sel.Points, seqpoint.IterTimesBySL(run))
+		if err != nil {
+			log.Fatal(err)
+		}
+		actual := run.TrainUS
+		errPct := math.Abs(proj-actual) / actual * 100
+
+		eff := run.Throughput() / base / float64(gpus) * 100
+		fmt.Printf("%4d  %9.1f  %9.1f%%  %8.2f%%\n", gpus, run.Throughput(), eff, errPct)
+	}
+}

@@ -1,0 +1,69 @@
+package seqpoint_test
+
+// Smoke tests for every examples/* program: each is vetted, compiled
+// and executed, so examples cannot rot silently when the public facade
+// moves under them. Each example is a self-contained demo over a small
+// corpus subset, so executing all of them stays within a few seconds.
+
+import (
+	"context"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// examplePrograms discovers the example directories instead of
+// hard-coding them, so a new example is covered the day it lands.
+func examplePrograms(t *testing.T) []string {
+	t.Helper()
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatalf("listing examples/: %v", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) == 0 {
+		t.Fatal("no example programs found")
+	}
+	return names
+}
+
+func TestExamplesSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("example execution skipped in -short mode")
+	}
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skipf("go toolchain not on PATH: %v", err)
+	}
+
+	for _, name := range examplePrograms(t) {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			pkg := "./" + filepath.Join("examples", name)
+
+			vet := exec.Command(goBin, "vet", pkg)
+			if out, err := vet.CombinedOutput(); err != nil {
+				t.Fatalf("go vet %s: %v\n%s", pkg, err, out)
+			}
+
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+			defer cancel()
+			run := exec.CommandContext(ctx, goBin, "run", pkg)
+			out, err := run.CombinedOutput()
+			if err != nil {
+				t.Fatalf("go run %s: %v\n%s", pkg, err, out)
+			}
+			if len(out) == 0 {
+				t.Errorf("%s produced no output", pkg)
+			}
+		})
+	}
+}

@@ -1,0 +1,147 @@
+package seqpoint_test
+
+// Golden determinism harness. The simulator's core promise is that a
+// Spec plus a seed pins the result down to the byte — independent of
+// profiling parallelism, engine sharing, and cluster size. This test
+// runs one Spec at profiling parallelism 1, 4 and GOMAXPROCS, at GPU
+// counts 1, 4 and 8, asserts all parallelism levels serialize to
+// byte-identical RunSummary JSON, and compares against a committed
+// golden file so cross-version drift (a changed cost model, a changed
+// float evaluation order) is caught in review instead of silently
+// shifting every downstream number.
+//
+// Regenerate the golden after an intentional model change with:
+//
+//	go test -run TestGoldenClusterDeterminism -update-golden .
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"seqpoint"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the golden run-summary file")
+
+const goldenPath = "testdata/golden_cluster_summaries.json"
+
+// goldenSpec is deliberately synthetic and small: a fixed SL list (no
+// RNG beyond the seeded shuffle), the real GNMT model, and an eval
+// corpus, so every simulator subsystem contributes to the digest while
+// the test stays fast.
+func goldenSpec(t *testing.T) seqpoint.Spec {
+	t.Helper()
+	lengths := make([]int, 192)
+	for i := range lengths {
+		lengths[i] = 4 + (i*13)%48
+	}
+	train, err := seqpoint.Synthetic("golden-train", lengths, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval, err := seqpoint.Synthetic("golden-eval", lengths[:64], 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return seqpoint.Spec{
+		Model:    seqpoint.NewGNMT(),
+		Train:    train,
+		Eval:     eval,
+		Batch:    16,
+		Epochs:   2,
+		Schedule: seqpoint.GNMTSchedule(),
+		Seed:     42,
+	}
+}
+
+func TestGoldenClusterDeterminism(t *testing.T) {
+	parallelisms := []int{1, 4, runtime.GOMAXPROCS(0)}
+	gpuCounts := []int{1, 4, 8}
+
+	var got bytes.Buffer
+	for _, gpus := range gpuCounts {
+		var reference []byte
+		for _, par := range parallelisms {
+			// A fresh private engine per run: nothing may leak between
+			// parallelism levels through a shared cache, and a cold
+			// cache is the harder determinism test.
+			eng := seqpoint.NewEngine()
+			eng.SetParallelism(par)
+			spec := goldenSpec(t)
+			spec.Profiles = eng
+			spec.Cluster = seqpoint.DefaultCluster(gpus)
+
+			run, err := eng.Simulate(spec, seqpoint.VegaFE())
+			if err != nil {
+				t.Fatalf("gpus=%d parallelism=%d: %v", gpus, par, err)
+			}
+			buf, err := run.Summary().Serialize()
+			if err != nil {
+				t.Fatalf("gpus=%d parallelism=%d: serialize: %v", gpus, par, err)
+			}
+			if reference == nil {
+				reference = buf
+				continue
+			}
+			if !bytes.Equal(buf, reference) {
+				t.Fatalf("gpus=%d: RunSummary at parallelism %d differs from parallelism %d:\n%s\nvs\n%s",
+					gpus, par, parallelisms[0], buf, reference)
+			}
+		}
+		fmt.Fprintf(&got, "=== gpus %d ===\n", gpus)
+		got.Write(reference)
+	}
+
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, got.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", goldenPath, got.Len())
+		return
+	}
+
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden file (regenerate with -update-golden): %v", err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Errorf("run summaries drifted from %s — if the cost model changed intentionally, regenerate with -update-golden.\ngot %d bytes, want %d bytes",
+			goldenPath, got.Len(), len(want))
+	}
+}
+
+// TestGoldenSummaryScalesSanely spot-checks the committed scenario's
+// physics rather than its bytes: more GPUs must not slow training down,
+// and communication only exists on clusters.
+func TestGoldenSummaryScalesSanely(t *testing.T) {
+	summaries := make(map[int]seqpoint.RunSummary)
+	for _, gpus := range []int{1, 4, 8} {
+		spec := goldenSpec(t)
+		spec.Cluster = seqpoint.DefaultCluster(gpus)
+		run, err := seqpoint.Simulate(spec, seqpoint.VegaFE())
+		if err != nil {
+			t.Fatal(err)
+		}
+		summaries[gpus] = run.Summary()
+	}
+	if summaries[1].CommUS != 0 {
+		t.Errorf("single GPU reports %v us of communication", summaries[1].CommUS)
+	}
+	if summaries[4].TrainUS >= summaries[1].TrainUS {
+		t.Errorf("4 GPUs train slower than 1 (%.0f >= %.0f us)", summaries[4].TrainUS, summaries[1].TrainUS)
+	}
+	if summaries[8].TrainUS >= summaries[4].TrainUS {
+		t.Errorf("8 GPUs train slower than 4 (%.0f >= %.0f us)", summaries[8].TrainUS, summaries[4].TrainUS)
+	}
+	if summaries[4].ShardBatch != 4 || summaries[8].ShardBatch != 2 {
+		t.Errorf("shard batches %d/%d, want 4/2", summaries[4].ShardBatch, summaries[8].ShardBatch)
+	}
+}

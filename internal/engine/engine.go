@@ -62,16 +62,20 @@ func (p Phase) String() string {
 	}
 }
 
-// Key identifies one cached profile. Config participates as a value
-// (it is a flat comparable struct), so two configs differing in any
-// field — including the display name — occupy distinct entries.
+// Key identifies one cached profile. Config and Cluster participate as
+// values (flat comparable structs), so two configurations differing in
+// any field — including the display name — occupy distinct entries.
+// Cluster is always stored normalized (see ClusterConfig.Normalized),
+// so every single-GPU spelling shares one entry.
 type Key struct {
 	// Model is the structural fingerprint of the network (see
 	// Fingerprint).
 	Model uint64
-	// Config is the hardware configuration.
+	// Config is the per-GPU hardware configuration.
 	Config gpusim.Config
-	// Batch is the minibatch size.
+	// Cluster is the normalized data-parallel cluster configuration.
+	Cluster gpusim.ClusterConfig
+	// Batch is the global minibatch size.
 	Batch int
 	// Phase is the profile kind.
 	Phase Phase
@@ -272,15 +276,30 @@ func (e *Engine) shardFor(k Key) *shard {
 		h = h*31 + uint64(c)
 	}
 	h = h*31 + uint64(k.Config.NumCUs)
+	h = h*31 + uint64(k.Cluster.GPUs)
 	return &e.shards[h%numShards]
 }
 
-// Profile returns the iteration profile for (hw, m, batch, seqLen,
-// phase), computing it at most once per unique key across the whole
-// process. Concurrent requests for an in-flight key wait for the single
-// computation instead of duplicating it.
+// Profile returns the single-GPU iteration profile for (hw, m, batch,
+// seqLen, phase), computing it at most once per unique key across the
+// whole process. Concurrent requests for an in-flight key wait for the
+// single computation instead of duplicating it.
 func (e *Engine) Profile(hw gpusim.Config, m models.Model, batch, seqLen int, phase Phase) (profiler.IterationProfile, error) {
-	k := Key{Model: e.fingerprint(m), Config: hw, Batch: batch, Phase: phase, SeqLen: seqLen}
+	return e.ProfileCluster(hw, gpusim.SingleGPU(), m, batch, seqLen, phase)
+}
+
+// ProfileCluster is Profile on a data-parallel cluster of hw replicas:
+// the cached unit becomes the whole training step (shard compute plus
+// exposed all-reduce), keyed additionally by the normalized cluster
+// configuration. The cluster is validated before it enters the cache
+// key: a key holding a NaN field would never compare equal to itself,
+// silently leaking one dead singleflight entry per request.
+func (e *Engine) ProfileCluster(hw gpusim.Config, cl gpusim.ClusterConfig, m models.Model, batch, seqLen int, phase Phase) (profiler.IterationProfile, error) {
+	cl = cl.Normalized()
+	if err := cl.Validate(); err != nil {
+		return profiler.IterationProfile{}, err
+	}
+	k := Key{Model: e.fingerprint(m), Config: hw, Cluster: cl, Batch: batch, Phase: phase, SeqLen: seqLen}
 	return e.profileKeyed(k, m)
 }
 
@@ -307,7 +326,7 @@ func (e *Engine) profileKeyed(k Key, m models.Model) (profiler.IterationProfile,
 
 	e.misses.Add(1)
 	e.acquire()
-	en.p, en.err = computeProfile(k.Config, m, k.Batch, k.SeqLen, k.Phase)
+	en.p, en.err = computeProfile(k.Config, k.Cluster, m, k.Batch, k.SeqLen, k.Phase)
 	e.release()
 	close(en.done)
 	if en.err != nil {
@@ -321,22 +340,28 @@ func (e *Engine) profileKeyed(k Key, m models.Model) (profiler.IterationProfile,
 	return en.p, en.err
 }
 
-func computeProfile(hw gpusim.Config, m models.Model, batch, seqLen int, phase Phase) (profiler.IterationProfile, error) {
+func computeProfile(hw gpusim.Config, cl gpusim.ClusterConfig, m models.Model, batch, seqLen int, phase Phase) (profiler.IterationProfile, error) {
 	sim, err := gpusim.New(hw)
 	if err != nil {
 		return profiler.IterationProfile{}, err
 	}
 	if phase == PhaseEval {
-		return profiler.ProfileEval(sim, m, batch, seqLen)
+		return profiler.ProfileEvalStep(sim, cl, m, batch, seqLen)
 	}
-	return profiler.ProfileIteration(sim, m, batch, seqLen)
+	return profiler.ProfileStep(sim, cl, m, batch, seqLen)
 }
 
 // ProfileSLs profiles every requested sequence length through the
 // cache, fanning cache misses out over the engine's bounded worker
 // pool. The returned map is independent of pool width and request
 // order.
-func (e *Engine) ProfileSLs(hw gpusim.Config, m models.Model, batch int, seqLens []int, phase Phase) (map[int]profiler.IterationProfile, error) {
+func (e *Engine) ProfileSLs(hw gpusim.Config, cl gpusim.ClusterConfig, m models.Model, batch int, seqLens []int, phase Phase) (map[int]profiler.IterationProfile, error) {
+	cl = cl.Normalized()
+	// Reject invalid clusters before any Key is built: NaN fields in a
+	// map key never match themselves and would leak cache entries.
+	if err := cl.Validate(); err != nil {
+		return nil, err
+	}
 	uniq := make([]int, 0, len(seqLens))
 	seen := make(map[int]bool, len(seqLens))
 	for _, sl := range seqLens {
@@ -352,7 +377,7 @@ func (e *Engine) ProfileSLs(hw gpusim.Config, m models.Model, batch int, seqLens
 
 	fp := e.fingerprint(m)
 	key := func(sl int) Key {
-		return Key{Model: fp, Config: hw, Batch: batch, Phase: phase, SeqLen: sl}
+		return Key{Model: fp, Config: hw, Cluster: cl, Batch: batch, Phase: phase, SeqLen: sl}
 	}
 
 	workers := e.Parallelism()
@@ -397,13 +422,13 @@ func (e *Engine) ProfileSLs(hw gpusim.Config, m models.Model, batch int, seqLens
 }
 
 // TrainProfiles implements trainer.ProfileSource.
-func (e *Engine) TrainProfiles(hw gpusim.Config, m models.Model, batch int, seqLens []int) (map[int]profiler.IterationProfile, error) {
-	return e.ProfileSLs(hw, m, batch, seqLens, PhaseTrain)
+func (e *Engine) TrainProfiles(hw gpusim.Config, cl gpusim.ClusterConfig, m models.Model, batch int, seqLens []int) (map[int]profiler.IterationProfile, error) {
+	return e.ProfileSLs(hw, cl, m, batch, seqLens, PhaseTrain)
 }
 
 // EvalProfiles implements trainer.ProfileSource.
-func (e *Engine) EvalProfiles(hw gpusim.Config, m models.Model, batch int, seqLens []int) (map[int]profiler.IterationProfile, error) {
-	return e.ProfileSLs(hw, m, batch, seqLens, PhaseEval)
+func (e *Engine) EvalProfiles(hw gpusim.Config, cl gpusim.ClusterConfig, m models.Model, batch int, seqLens []int) (map[int]profiler.IterationProfile, error) {
+	return e.ProfileSLs(hw, cl, m, batch, seqLens, PhaseEval)
 }
 
 // Simulate runs a full training simulation whose profiling goes

@@ -3,6 +3,7 @@ package engine
 import (
 	"context"
 	"fmt"
+	"math"
 	"reflect"
 	"sync"
 	"testing"
@@ -164,9 +165,9 @@ func TestDistinctKeysNeverCollide(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		want, err := trainer.DirectProfileSource().TrainProfiles(r.cfg, r.m, r.batch, []int{r.sl})
+		want, err := trainer.DirectProfileSource().TrainProfiles(r.cfg, gpusim.SingleGPU(), r.m, r.batch, []int{r.sl})
 		if r.phase == PhaseEval {
-			want, err = trainer.DirectProfileSource().EvalProfiles(r.cfg, r.m, r.batch, []int{r.sl})
+			want, err = trainer.DirectProfileSource().EvalProfiles(r.cfg, gpusim.SingleGPU(), r.m, r.batch, []int{r.sl})
 		}
 		if err != nil {
 			t.Fatal(err)
@@ -357,7 +358,7 @@ func TestProfileSLsDedupesInput(t *testing.T) {
 	m := models.NewGNMT()
 	cfg := gpusim.VegaFE()
 	sls := []int{30, 31, 30, 32, 31, 30}
-	out, err := e.ProfileSLs(cfg, m, 16, sls, PhaseTrain)
+	out, err := e.ProfileSLs(cfg, gpusim.SingleGPU(), m, 16, sls, PhaseTrain)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -391,4 +392,24 @@ func ExampleEngine_Stats() {
 	st := e.Stats()
 	fmt.Printf("misses=%d hits=%d entries=%d\n", st.Misses, st.Hits, st.Entries)
 	// Output: misses=1 hits=1 entries=1
+}
+
+// TestProfileClusterRejectsInvalidBeforeKeying: an invalid cluster
+// (here a NaN bandwidth) must error out before a cache Key is built —
+// a NaN field in a map key never compares equal to itself, so it would
+// leak one dead singleflight entry per request.
+func TestProfileClusterRejectsInvalidBeforeKeying(t *testing.T) {
+	e := New()
+	bad := gpusim.ClusterConfig{GPUs: 4, Topology: gpusim.TopologyRing, LinkGBps: math.NaN()}
+	for i := 0; i < 3; i++ {
+		if _, err := e.ProfileCluster(gpusim.VegaFE(), bad, models.NewGNMT(), 16, 20, PhaseTrain); err == nil {
+			t.Fatal("invalid cluster accepted")
+		}
+		if _, err := e.ProfileSLs(gpusim.VegaFE(), bad, models.NewGNMT(), 16, []int{20, 21}, PhaseTrain); err == nil {
+			t.Fatal("invalid cluster accepted by ProfileSLs")
+		}
+	}
+	if st := e.Stats(); st.Entries != 0 || st.Misses != 0 {
+		t.Errorf("invalid cluster leaked cache state: %+v", st)
+	}
 }

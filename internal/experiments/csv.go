@@ -145,6 +145,12 @@ func (s *Suite) CSVBundle() (map[string]string, error) {
 			return nil, err
 		}
 		out[fmt.Sprintf("fig15_16_%s.csv", w.Name)] = sp.CSV()
+
+		so, err := ScaleOut(s.Lab, w, calib, s.BaseCluster, s.ScaleGPUs, s.Opts)
+		if err != nil {
+			return nil, err
+		}
+		out[fmt.Sprintf("scaleout_%s.csv", w.Name)] = so.CSV()
 	}
 	return out, nil
 }

@@ -38,6 +38,9 @@ type Workload struct {
 	Epochs int
 	// Seed drives data generation and shuffling.
 	Seed int64
+	// Cluster is the data-parallel multi-GPU configuration; the zero
+	// value trains on a single GPU.
+	Cluster gpusim.ClusterConfig
 }
 
 // Default workload parameters. Two epochs keep experiment runtime low
@@ -142,6 +145,7 @@ func (w Workload) Spec() trainer.Spec {
 		Epochs:   w.Epochs,
 		Schedule: w.Schedule,
 		Seed:     w.Seed,
+		Cluster:  w.Cluster,
 	}
 }
 
@@ -189,8 +193,8 @@ func NewLabWith(eng *engine.Engine) *Lab {
 func (l *Lab) Engine() *engine.Engine { return l.eng }
 
 func runKey(w Workload, cfg gpusim.Config) string {
-	return fmt.Sprintf("%s|%+v|%s|%d|%d|%d|%d",
-		w.Name, cfg, w.Train.Name, w.Train.Size(), w.Batch, w.Epochs, w.Seed)
+	return fmt.Sprintf("%s|%+v|%+v|%s|%d|%d|%d|%d",
+		w.Name, cfg, w.Cluster.Normalized(), w.Train.Name, w.Train.Size(), w.Batch, w.Epochs, w.Seed)
 }
 
 // Run simulates (or returns the cached) training run of w on cfg.

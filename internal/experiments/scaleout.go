@@ -1,0 +1,193 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"seqpoint/internal/core"
+	"seqpoint/internal/gpusim"
+	"seqpoint/internal/report"
+	"seqpoint/internal/trainer"
+)
+
+// ScaleOutRow is one GPU count's data-parallel scaling outcome.
+type ScaleOutRow struct {
+	// GPUs is the cluster size.
+	GPUs int
+	// ShardBatch is the per-GPU share of the global minibatch.
+	ShardBatch int
+	// ThroughputSPS is full-simulation training throughput in samples/s.
+	ThroughputSPS float64
+	// SpeedupX is the throughput ratio against the 1-GPU run.
+	SpeedupX float64
+	// EfficiencyPct is SpeedupX / GPUs — the parallel efficiency.
+	EfficiencyPct float64
+	// CommSharePct is the exposed-communication share of training time.
+	CommSharePct float64
+	// ProjTrainUS is the SeqPoint projection of one epoch's training
+	// time on this cluster, from SeqPoints selected on the 1-GPU run.
+	ProjTrainUS float64
+	// ActualTrainUS is the full simulation's epoch-0 training time.
+	ActualTrainUS float64
+	// ProjErrPct is the absolute projection error.
+	ProjErrPct float64
+}
+
+// ScaleOutResult is the data-parallel scaling curve of one workload:
+// the scale-out axis the paper's single-GPU evaluation stops short of.
+// SeqPoint composes with it unchanged — SeqPoints are selected once on
+// the 1-GPU calibration run and Equation 1 projects each cluster size
+// from per-SL step times alone.
+type ScaleOutResult struct {
+	Network   string
+	Topology  gpusim.Topology
+	LinkGBps  float64
+	SeqPoints int
+	Rows      []ScaleOutRow
+}
+
+// ScaleOut sweeps the workload over data-parallel cluster sizes on cfg,
+// with the interconnect described by base (its GPUs field is overridden
+// per sweep point). For each size it runs the full simulation and a
+// SeqPoint projection seeded from the single-GPU run, reporting
+// throughput, parallel efficiency, exposed-communication share, and
+// projection error.
+func ScaleOut(lab *Lab, w Workload, cfg gpusim.Config, base gpusim.ClusterConfig, gpuCounts []int, opts core.Options) (ScaleOutResult, error) {
+	if len(gpuCounts) == 0 {
+		return ScaleOutResult{}, fmt.Errorf("experiments: scale-out needs at least one GPU count")
+	}
+	counts := append([]int(nil), gpuCounts...)
+	sort.Ints(counts)
+	if counts[0] < 1 {
+		return ScaleOutResult{}, fmt.Errorf("experiments: GPU counts must be positive, got %d", counts[0])
+	}
+
+	cluster := func(n int) gpusim.ClusterConfig {
+		c := base
+		c.GPUs = n
+		return c.Normalized()
+	}
+
+	// The 1-GPU calibration run: SeqPoints are selected here and reused
+	// for every cluster size, mirroring the paper's flow (select once on
+	// the calibration config, project everywhere).
+	w1 := w
+	w1.Cluster = cluster(1)
+	calib, err := lab.Run(w1, cfg)
+	if err != nil {
+		return ScaleOutResult{}, err
+	}
+	recs, err := SLRecords(calib, 0)
+	if err != nil {
+		return ScaleOutResult{}, err
+	}
+	sel, err := core.Select(recs, opts)
+	if err != nil {
+		return ScaleOutResult{}, err
+	}
+
+	res := ScaleOutResult{
+		Network:   w.Name,
+		Topology:  cluster(2).Topology,
+		LinkGBps:  cluster(2).LinkGBps,
+		SeqPoints: len(sel.Points),
+	}
+	// Speedup and efficiency are always relative to the 1-GPU
+	// calibration run, whether or not 1 is among the swept counts.
+	baseTput := calib.Throughput()
+	for _, n := range counts {
+		wn := w
+		wn.Cluster = cluster(n)
+		run, err := lab.Run(wn, cfg)
+		if err != nil {
+			return ScaleOutResult{}, err
+		}
+
+		// Equation 1 on the cluster: per-SL step times (shard compute +
+		// exposed all-reduce) weighted by the calibration selection.
+		stepBySL := make(map[int]float64, len(run.BySL))
+		for sl, p := range run.BySL {
+			stepBySL[sl] = p.TimeUS
+		}
+		proj, err := core.ProjectTotal(sel.Points, stepBySL)
+		if err != nil {
+			return ScaleOutResult{}, err
+		}
+		actual, err := run.EpochTrainUS(0)
+		if err != nil {
+			return ScaleOutResult{}, err
+		}
+
+		row := ScaleOutRow{
+			GPUs:          n,
+			ShardBatch:    wn.Cluster.ShardBatch(w.Batch),
+			ThroughputSPS: run.Throughput(),
+			ProjTrainUS:   proj,
+			ActualTrainUS: actual,
+		}
+		if actual > 0 {
+			row.ProjErrPct = math.Abs(proj-actual) / actual * 100
+		}
+		if run.TrainUS > 0 {
+			row.CommSharePct = run.CommUS / run.TrainUS * 100
+		}
+		if baseTput > 0 {
+			row.SpeedupX = row.ThroughputSPS / baseTput
+			row.EfficiencyPct = row.SpeedupX / float64(n) * 100
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Render formats the scaling curve.
+func (r ScaleOutResult) Render() string {
+	t := report.NewTable(
+		fmt.Sprintf("Scale-out — %s: data-parallel scaling over %s @ %g GB/s (%d SeqPoints)",
+			r.Network, r.Topology, r.LinkGBps, r.SeqPoints),
+		"gpus", "shard", "samples/s", "speedup", "efficiency", "comm share", "proj err").AlignNumeric()
+	for _, row := range r.Rows {
+		t.AddStringRow(
+			fmt.Sprintf("%d", row.GPUs),
+			fmt.Sprintf("%d", row.ShardBatch),
+			fmt.Sprintf("%.1f", row.ThroughputSPS),
+			fmt.Sprintf("%.2fx", row.SpeedupX),
+			report.Pct(row.EfficiencyPct),
+			report.Pct(row.CommSharePct),
+			report.Pct(row.ProjErrPct))
+	}
+	return t.String()
+}
+
+// CSV renders the scaling curve for external plotting.
+func (r ScaleOutResult) CSV() string {
+	t := report.NewTable("", "gpus", "shard_batch", "throughput_sps", "speedup_x",
+		"efficiency_pct", "comm_share_pct", "proj_train_us", "actual_train_us", "proj_err_pct")
+	for _, row := range r.Rows {
+		t.AddStringRow(
+			fmt.Sprintf("%d", row.GPUs),
+			fmt.Sprintf("%d", row.ShardBatch),
+			fmt.Sprintf("%.6f", row.ThroughputSPS),
+			fmt.Sprintf("%.6f", row.SpeedupX),
+			fmt.Sprintf("%.6f", row.EfficiencyPct),
+			fmt.Sprintf("%.6f", row.CommSharePct),
+			fmt.Sprintf("%.6f", row.ProjTrainUS),
+			fmt.Sprintf("%.6f", row.ActualTrainUS),
+			fmt.Sprintf("%.6f", row.ProjErrPct))
+	}
+	return t.CSV()
+}
+
+// ScaleOutGPUCounts is the default sweep: the cluster sizes of the
+// acceptance evaluation.
+func ScaleOutGPUCounts() []int { return []int{1, 2, 4, 8} }
+
+// ScaleOutSpec builds the trainer spec of one sweep point — exposed so
+// callers (and tests) can reproduce exactly what the sweep simulates.
+func ScaleOutSpec(w Workload, base gpusim.ClusterConfig, gpus int) trainer.Spec {
+	c := base
+	c.GPUs = gpus
+	w.Cluster = c.Normalized()
+	return w.Spec()
+}

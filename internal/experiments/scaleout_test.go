@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"seqpoint/internal/gpusim"
+)
+
+func scaleOutCluster() gpusim.ClusterConfig {
+	return gpusim.ClusterConfig{
+		GPUs:          2, // overridden per sweep point
+		Topology:      gpusim.TopologyRing,
+		LinkGBps:      gpusim.DefaultLinkGBps,
+		LinkLatencyUS: gpusim.DefaultLinkLatencyUS,
+		Overlap:       gpusim.DefaultOverlap,
+	}
+}
+
+// TestScaleOutAcceptance is the acceptance sweep of the cluster layer:
+// over GNMT and DS2 at {1,2,4,8} GPUs, parallel efficiency must be
+// monotonically non-increasing, and the SeqPoint projection on every
+// cluster size — including 8 GPUs — must stay within the paper's
+// single-GPU error envelope (~5%).
+func TestScaleOutAcceptance(t *testing.T) {
+	lab := NewLab()
+	for _, w := range []Workload{testGNMTWorkload(t), testDS2Workload(t)} {
+		res, err := ScaleOut(lab, w, gpusim.VegaFE(), scaleOutCluster(), ScaleOutGPUCounts(), SelectOptions())
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		if len(res.Rows) != 4 {
+			t.Fatalf("%s: got %d rows, want 4", w.Name, len(res.Rows))
+		}
+		if res.Rows[0].GPUs != 1 || res.Rows[0].SpeedupX != 1 || res.Rows[0].EfficiencyPct != 100 {
+			t.Errorf("%s: 1-GPU row must be the 1x/100%% baseline, got %+v", w.Name, res.Rows[0])
+		}
+		if res.Rows[0].CommSharePct != 0 {
+			t.Errorf("%s: single GPU has no communication, got %v%%", w.Name, res.Rows[0].CommSharePct)
+		}
+		for i := 1; i < len(res.Rows); i++ {
+			prev, cur := res.Rows[i-1], res.Rows[i]
+			if cur.EfficiencyPct > prev.EfficiencyPct {
+				t.Errorf("%s: efficiency increased from %d GPUs (%.2f%%) to %d GPUs (%.2f%%)",
+					w.Name, prev.GPUs, prev.EfficiencyPct, cur.GPUs, cur.EfficiencyPct)
+			}
+			if cur.ThroughputSPS <= prev.ThroughputSPS {
+				t.Errorf("%s: throughput did not grow from %d to %d GPUs (%.1f -> %.1f samples/s)",
+					w.Name, prev.GPUs, cur.GPUs, prev.ThroughputSPS, cur.ThroughputSPS)
+			}
+			if cur.CommSharePct < 0 {
+				t.Errorf("%s: negative communication share at %d GPUs", w.Name, cur.GPUs)
+			}
+			// GNMT's 640 MB gradient cannot hide behind its short
+			// iterations; DS2's compute is heavy enough to hide the
+			// all-reduce at the default overlap, so no such check there.
+			if w.Name == "gnmt" && cur.CommSharePct <= 0 {
+				t.Errorf("%s: %d GPUs must expose some communication", w.Name, cur.GPUs)
+			}
+		}
+		for _, row := range res.Rows {
+			if row.ProjErrPct > 5 {
+				t.Errorf("%s at %d GPUs: projection error %.2f%% exceeds the 5%% envelope",
+					w.Name, row.GPUs, row.ProjErrPct)
+			}
+		}
+	}
+}
+
+// TestScaleOutMeshBeatsRing asserts the topology model matters end to
+// end: at the same link speed a fully-connected node exposes less
+// communication than a ring, so its 8-GPU efficiency is at least as
+// high.
+func TestScaleOutMeshBeatsRing(t *testing.T) {
+	lab := NewLab()
+	w := testGNMTWorkload(t)
+
+	ringCfg := scaleOutCluster()
+	meshCfg := ringCfg
+	meshCfg.Topology = gpusim.TopologyFullMesh
+
+	ring, err := ScaleOut(lab, w, gpusim.VegaFE(), ringCfg, []int{1, 8}, SelectOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mesh, err := ScaleOut(lab, w, gpusim.VegaFE(), meshCfg, []int{1, 8}, SelectOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mesh.Rows[1].EfficiencyPct < ring.Rows[1].EfficiencyPct {
+		t.Errorf("mesh 8-GPU efficiency %.2f%% below ring %.2f%%",
+			mesh.Rows[1].EfficiencyPct, ring.Rows[1].EfficiencyPct)
+	}
+}
+
+// TestScaleOutBaselineIsAlwaysOneGPU: even when 1 is not among the
+// swept counts, speedup and efficiency are relative to the 1-GPU
+// calibration run, so a 2-GPU row never reports a 1.00x "baseline".
+func TestScaleOutBaselineIsAlwaysOneGPU(t *testing.T) {
+	lab := NewLab()
+	res, err := ScaleOut(lab, testGNMTWorkload(t), gpusim.VegaFE(), scaleOutCluster(), []int{2, 4}, SelectOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	two := res.Rows[0]
+	if two.GPUs != 2 {
+		t.Fatalf("first row is %d GPUs, want 2", two.GPUs)
+	}
+	if two.SpeedupX <= 1 || two.SpeedupX >= 2 {
+		t.Errorf("2-GPU speedup vs the 1-GPU baseline = %.2fx, want within (1x, 2x)", two.SpeedupX)
+	}
+	if two.EfficiencyPct >= 100 {
+		t.Errorf("2-GPU efficiency %.2f%% must be below 100%% of the 1-GPU baseline", two.EfficiencyPct)
+	}
+}
+
+func TestScaleOutRejectsBadInput(t *testing.T) {
+	lab := NewLab()
+	w := testGNMTWorkload(t)
+	if _, err := ScaleOut(lab, w, gpusim.VegaFE(), scaleOutCluster(), nil, SelectOptions()); err == nil {
+		t.Error("empty GPU list must error")
+	}
+	if _, err := ScaleOut(lab, w, gpusim.VegaFE(), scaleOutCluster(), []int{0, 2}, SelectOptions()); err == nil {
+		t.Error("non-positive GPU count must error")
+	}
+}
+
+func TestScaleOutRenderAndCSV(t *testing.T) {
+	lab := NewLab()
+	res, err := ScaleOut(lab, testGNMTWorkload(t), gpusim.VegaFE(), scaleOutCluster(), []int{1, 2}, SelectOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := res.Render()
+	for _, want := range []string{"Scale-out", "gnmt", "efficiency", "1.00x"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("rendering missing %q:\n%s", want, text)
+		}
+	}
+	csv := res.CSV()
+	if !strings.HasPrefix(csv, "gpus,shard_batch,throughput_sps") {
+		t.Errorf("CSV header wrong: %q", strings.SplitN(csv, "\n", 2)[0])
+	}
+	if got := strings.Count(csv, "\n"); got != 3 {
+		t.Errorf("CSV has %d lines, want header + 2 rows", got)
+	}
+}

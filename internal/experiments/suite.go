@@ -19,16 +19,23 @@ type Suite struct {
 	GNMT    Workload
 	Configs []gpusim.Config
 	Opts    core.Options
+	// BaseCluster is the interconnect used by the scale-out experiment
+	// (its GPUs field is overridden per sweep point); ScaleGPUs the
+	// cluster sizes swept.
+	BaseCluster gpusim.ClusterConfig
+	ScaleGPUs   []int
 }
 
 // NewSuite builds the default paper-evaluation suite.
 func NewSuite(seed int64) *Suite {
 	return &Suite{
-		Lab:     NewLab(),
-		DS2:     DS2Workload(seed),
-		GNMT:    GNMTWorkload(seed),
-		Configs: gpusim.TableII(),
-		Opts:    SelectOptions(),
+		Lab:         NewLab(),
+		DS2:         DS2Workload(seed),
+		GNMT:        GNMTWorkload(seed),
+		Configs:     gpusim.TableII(),
+		Opts:        SelectOptions(),
+		BaseCluster: gpusim.DefaultCluster(2),
+		ScaleGPUs:   ScaleOutGPUCounts(),
 	}
 }
 
@@ -340,6 +347,20 @@ func (s *Suite) RunAll(w io.Writer) error {
 		var out string
 		for _, w := range s.Workloads() {
 			r, err := BoundShares(s.Lab, w, calib, 6)
+			if err != nil {
+				return "", err
+			}
+			out += r.Render()
+		}
+		return out, nil
+	}); err != nil {
+		return err
+	}
+
+	if err := emit("Scale-out (multi-GPU data parallelism)", func() (string, error) {
+		var out string
+		for _, w := range s.Workloads() {
+			r, err := ScaleOut(s.Lab, w, calib, s.BaseCluster, s.ScaleGPUs, s.Opts)
 			if err != nil {
 				return "", err
 			}

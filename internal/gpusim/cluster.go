@@ -1,0 +1,209 @@
+package gpusim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Topology names the interconnect wiring of a multi-GPU node.
+type Topology string
+
+const (
+	// TopologyRing wires the GPUs in a ring (each GPU has one inbound
+	// and one outbound link), the layout of the bandwidth-optimal ring
+	// all-reduce.
+	TopologyRing Topology = "ring"
+	// TopologyFullMesh wires every GPU pair directly (N-1 links per
+	// GPU), so a reduce-scatter/all-gather pair completes in two steps.
+	TopologyFullMesh Topology = "mesh"
+)
+
+// ParseTopology maps a CLI spelling to a Topology.
+func ParseTopology(s string) (Topology, error) {
+	switch Topology(s) {
+	case TopologyRing:
+		return TopologyRing, nil
+	case TopologyFullMesh:
+		return TopologyFullMesh, nil
+	default:
+		return "", fmt.Errorf("gpusim: unknown topology %q (want %q or %q)", s, TopologyRing, TopologyFullMesh)
+	}
+}
+
+// ClusterConfig describes a data-parallel multi-GPU node: how many
+// replicas of the (per-GPU) hardware configuration train together and
+// what interconnect carries the gradient all-reduce between them. The
+// zero value means "one GPU, no interconnect" (see Normalized), so
+// existing single-GPU specs work unchanged. ClusterConfig is a flat
+// comparable struct and participates as a value in the engine's
+// profile-cache key.
+type ClusterConfig struct {
+	// GPUs is the number of data-parallel replicas; <= 1 means a single
+	// GPU and disables the communication model entirely.
+	GPUs int
+	// Topology selects the interconnect wiring (ring or full mesh).
+	Topology Topology
+	// LinkGBps is the bandwidth of one unidirectional link in GB/s.
+	LinkGBps float64
+	// LinkLatencyUS is the per-hop message latency in microseconds.
+	LinkLatencyUS float64
+	// Overlap is the fraction of the per-step compute time the
+	// all-reduce can hide behind (gradients become available
+	// progressively during the backward pass); in [0,1].
+	Overlap float64
+}
+
+// SingleGPU is the canonical one-GPU cluster: no interconnect, no
+// communication term.
+func SingleGPU() ClusterConfig { return ClusterConfig{GPUs: 1} }
+
+// Default interconnect parameters for DefaultCluster, loosely modeled
+// on a PCIe/xGMI-class link between workstation GPUs.
+const (
+	DefaultLinkGBps      = 25.0
+	DefaultLinkLatencyUS = 1.5
+	DefaultOverlap       = 0.5
+)
+
+// DefaultCluster returns a ring-connected n-GPU cluster with the
+// default link parameters — the configuration the CLI flags start from.
+func DefaultCluster(n int) ClusterConfig {
+	if n <= 1 {
+		return SingleGPU()
+	}
+	return ClusterConfig{
+		GPUs:          n,
+		Topology:      TopologyRing,
+		LinkGBps:      DefaultLinkGBps,
+		LinkLatencyUS: DefaultLinkLatencyUS,
+		Overlap:       DefaultOverlap,
+	}
+}
+
+// Normalized maps every single-GPU spelling (zero value, GPUs 0 or 1
+// with stray interconnect fields) to the canonical SingleGPU value, so
+// all of them share one profile-cache key. Multi-GPU configs are
+// returned unchanged.
+func (c ClusterConfig) Normalized() ClusterConfig {
+	if c.GPUs <= 1 {
+		return SingleGPU()
+	}
+	return c
+}
+
+// Physical bounds on the interconnect model. Outside these the
+// analytical formulas stop meaning anything (and at float extremes stop
+// being finite), so Validate rejects them.
+const (
+	// MaxClusterGPUs bounds the modeled node size.
+	MaxClusterGPUs = 4096
+	// MinLinkGBps / MaxLinkGBps bound the per-link bandwidth (1 MB/s to
+	// 1 PB/s).
+	MinLinkGBps = 1e-3
+	MaxLinkGBps = 1e6
+	// MaxLinkLatencyUS bounds the per-hop latency at one second.
+	MaxLinkLatencyUS = 1e6
+)
+
+// Validate reports whether the cluster configuration is physically
+// meaningful. Single-GPU configurations are always valid (the
+// interconnect fields are unused); multi-GPU configurations need a
+// known topology, a link bandwidth and latency within the model's
+// physical bounds, and an overlap fraction in [0,1].
+func (c ClusterConfig) Validate() error {
+	if c.GPUs <= 0 && c != (ClusterConfig{}) {
+		return fmt.Errorf("gpusim: cluster: GPU count must be positive, got %d", c.GPUs)
+	}
+	if c.GPUs <= 1 {
+		return nil
+	}
+	switch {
+	case c.GPUs > MaxClusterGPUs:
+		return fmt.Errorf("gpusim: cluster: GPU count %d exceeds the modeled maximum %d", c.GPUs, MaxClusterGPUs)
+	case c.Topology != TopologyRing && c.Topology != TopologyFullMesh:
+		return fmt.Errorf("gpusim: cluster: unknown topology %q (want %q or %q)", c.Topology, TopologyRing, TopologyFullMesh)
+	case math.IsNaN(c.LinkGBps) || c.LinkGBps < MinLinkGBps || c.LinkGBps > MaxLinkGBps:
+		return fmt.Errorf("gpusim: cluster: link bandwidth must be in [%g, %g] GB/s, got %v", MinLinkGBps, MaxLinkGBps, c.LinkGBps)
+	case math.IsNaN(c.LinkLatencyUS) || c.LinkLatencyUS < 0 || c.LinkLatencyUS > MaxLinkLatencyUS:
+		return fmt.Errorf("gpusim: cluster: link latency must be in [0, %g] us, got %v", MaxLinkLatencyUS, c.LinkLatencyUS)
+	case math.IsNaN(c.Overlap) || c.Overlap < 0 || c.Overlap > 1:
+		return fmt.Errorf("gpusim: cluster: overlap fraction must be in [0,1], got %v", c.Overlap)
+	}
+	return nil
+}
+
+// ShardBatch is the per-GPU share of a global minibatch under data
+// parallelism (ceiling division: the last shard may run underfilled,
+// but every GPU steps in lockstep at the padded size).
+func (c ClusterConfig) ShardBatch(globalBatch int) int {
+	n := c.GPUs
+	if n <= 1 {
+		return globalBatch
+	}
+	return (globalBatch + n - 1) / n
+}
+
+// RingAllReduceUS is the analytical cost of a bandwidth-optimal ring
+// all-reduce of `bytes` gradient bytes over `gpus` GPUs: 2(N-1) steps,
+// each moving bytes/N per GPU over one link and paying one hop latency.
+func RingAllReduceUS(gpus int, bytes, linkGBps, latencyUS float64) float64 {
+	if gpus <= 1 || !(bytes > 0) {
+		return 0
+	}
+	steps := 2 * float64(gpus-1)
+	chunk := bytes / float64(gpus)
+	return steps * (bytesToUS(chunk, linkGBps) + latencyUS)
+}
+
+// MeshAllReduceUS is the analytical cost of a direct reduce-scatter /
+// all-gather pair on a fully-connected topology: two steps, each
+// sending bytes/N to every peer in parallel over the N-1 dedicated
+// links.
+func MeshAllReduceUS(gpus int, bytes, linkGBps, latencyUS float64) float64 {
+	if gpus <= 1 || !(bytes > 0) {
+		return 0
+	}
+	chunk := bytes / float64(gpus)
+	return 2 * (bytesToUS(chunk, linkGBps) + latencyUS)
+}
+
+// AllReduceUS is the modeled wall-clock cost of all-reducing `bytes`
+// gradient bytes across the cluster, before any compute overlap. It is
+// zero for a single GPU or an empty gradient.
+func (c ClusterConfig) AllReduceUS(bytes float64) float64 {
+	c = c.Normalized()
+	if c.GPUs <= 1 || !(bytes > 0) {
+		return 0
+	}
+	if c.Topology == TopologyFullMesh {
+		return MeshAllReduceUS(c.GPUs, bytes, c.LinkGBps, c.LinkLatencyUS)
+	}
+	return RingAllReduceUS(c.GPUs, bytes, c.LinkGBps, c.LinkLatencyUS)
+}
+
+// ExposedCommUS is the part of an all-reduce that lengthens the step
+// after hiding behind the configured fraction of the step's compute.
+// The result is always in [0, allReduceUS].
+func (c ClusterConfig) ExposedCommUS(allReduceUS, computeUS float64) float64 {
+	ov := c.Normalized().Overlap
+	if !(ov > 0) {
+		return allReduceUS
+	}
+	if ov > 1 {
+		ov = 1
+	}
+	exposed := allReduceUS - ov*computeUS
+	if exposed < 0 {
+		return 0
+	}
+	return exposed
+}
+
+// String renders the cluster for reports ("4xGPU ring 25 GB/s").
+func (c ClusterConfig) String() string {
+	c = c.Normalized()
+	if c.GPUs <= 1 {
+		return "1xGPU"
+	}
+	return fmt.Sprintf("%dxGPU %s %g GB/s", c.GPUs, c.Topology, c.LinkGBps)
+}

@@ -1,0 +1,117 @@
+package gpusim
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzClusterValidate drives ClusterConfig.Validate with arbitrary
+// field combinations: any configuration Validate accepts must produce a
+// finite, non-negative all-reduce cost for any finite positive gradient
+// size, and the cost model must never panic. Configurations Validate
+// rejects must carry a non-empty error.
+func FuzzClusterValidate(f *testing.F) {
+	f.Add(1, "ring", 25.0, 1.5, 0.5, 152e6)
+	f.Add(4, "ring", 25.0, 0.0, 0.0, 640e6)
+	f.Add(8, "mesh", 50.0, 2.0, 1.0, 1e3)
+	f.Add(0, "", 0.0, 0.0, 0.0, 1e9)
+	f.Add(-3, "torus", -1.0, -1.0, 2.0, 0.5)
+	f.Add(1024, "mesh", 1e-3, 1e6, 0.25, 1e12)
+
+	f.Fuzz(func(t *testing.T, gpus int, topology string, linkGBps, latencyUS, overlap, bytes float64) {
+		cfg := ClusterConfig{
+			GPUs:          gpus,
+			Topology:      Topology(topology),
+			LinkGBps:      linkGBps,
+			LinkLatencyUS: latencyUS,
+			Overlap:       overlap,
+		}
+		err := cfg.Validate()
+		if err != nil {
+			if err.Error() == "" {
+				t.Fatal("invalid config produced an empty error")
+			}
+			return
+		}
+
+		// Valid configs must survive normalization and stay valid.
+		norm := cfg.Normalized()
+		if nerr := norm.Validate(); nerr != nil {
+			t.Fatalf("normalized form of valid config %+v became invalid: %v", cfg, nerr)
+		}
+
+		// Pin the gradient size to a finite positive value (capped well
+		// above any real model); the cost model's contract covers that
+		// domain.
+		if math.IsNaN(bytes) || math.IsInf(bytes, 0) || bytes < 0 || bytes > 1e30 {
+			bytes = 1
+		}
+		for _, b := range []float64{0, 1, bytes, 152e6} {
+			cost := cfg.AllReduceUS(b)
+			if math.IsNaN(cost) || math.IsInf(cost, 0) || cost < 0 {
+				t.Fatalf("AllReduceUS(%v) = %v for valid config %+v", b, cost, cfg)
+			}
+			if b == 0 && cost != 0 {
+				t.Fatalf("empty gradient must cost 0, got %v", cost)
+			}
+			// The exposed share never exceeds the full cost and never
+			// goes negative, for any compute time.
+			for _, compute := range []float64{0, 1, 1e6} {
+				exposed := cfg.ExposedCommUS(cost, compute)
+				if exposed < 0 || exposed > cost {
+					t.Fatalf("ExposedCommUS(%v, %v) = %v outside [0, %v]", cost, compute, exposed, cost)
+				}
+			}
+		}
+
+		// Sharding must cover the global batch: GPUs * shard >= batch.
+		for _, batch := range []int{1, 7, 64} {
+			shard := cfg.ShardBatch(batch)
+			n := cfg.Normalized().GPUs
+			if shard <= 0 || shard*n < batch {
+				t.Fatalf("ShardBatch(%d) = %d on %d GPUs does not cover the batch", batch, shard, n)
+			}
+		}
+	})
+}
+
+// FuzzAllReduceCost fuzzes the topology cost functions directly: for
+// any positive finite inputs the cost is finite, non-negative, and
+// monotone in the gradient size.
+func FuzzAllReduceCost(f *testing.F) {
+	f.Add(2, 152e6, 25.0, 1.5)
+	f.Add(8, 640e6, 50.0, 0.0)
+	f.Add(3, 1.0, 1e-3, 1e3)
+
+	f.Fuzz(func(t *testing.T, gpus int, bytes, linkGBps, latencyUS float64) {
+		if gpus < 0 {
+			gpus = -gpus
+		}
+		gpus = gpus%1024 + 1
+		clamp := func(v, lo, hi, fallback float64) float64 {
+			if math.IsNaN(v) || v < lo || v > hi {
+				return fallback
+			}
+			return v
+		}
+		bytes = clamp(bytes, 1, 1e30, 1e6)
+		linkGBps = clamp(linkGBps, MinLinkGBps, MaxLinkGBps, 25)
+		latencyUS = clamp(latencyUS, 0, MaxLinkLatencyUS, 0.5)
+
+		for name, cost := range map[string]func(int, float64, float64, float64) float64{
+			"ring": RingAllReduceUS,
+			"mesh": MeshAllReduceUS,
+		} {
+			c := cost(gpus, bytes, linkGBps, latencyUS)
+			if math.IsNaN(c) || math.IsInf(c, 0) || c < 0 {
+				t.Fatalf("%s(%d, %v, %v, %v) = %v", name, gpus, bytes, linkGBps, latencyUS, c)
+			}
+			if gpus > 1 && c == 0 {
+				t.Fatalf("%s must charge a positive cost for a real exchange", name)
+			}
+			if bigger := cost(gpus, bytes*2, linkGBps, latencyUS); bigger < c {
+				t.Fatalf("%s not monotone in bytes: %v for 2x bytes < %v", name, bigger, c)
+			}
+		}
+	})
+}

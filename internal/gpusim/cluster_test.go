@@ -1,0 +1,151 @@
+package gpusim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestClusterValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		cfg     ClusterConfig
+		wantErr bool
+	}{
+		{"zero value (single GPU)", ClusterConfig{}, false},
+		{"canonical single GPU", SingleGPU(), false},
+		{"default 4-GPU ring", DefaultCluster(4), false},
+		{"mesh", ClusterConfig{GPUs: 8, Topology: TopologyFullMesh, LinkGBps: 50}, false},
+		{"single GPU ignores interconnect", ClusterConfig{GPUs: 1, LinkGBps: -3}, false},
+		{"negative GPUs", ClusterConfig{GPUs: -2, LinkGBps: 25}, true},
+		{"zero GPUs with interconnect", ClusterConfig{GPUs: 0, LinkGBps: 25}, true},
+		{"missing topology", ClusterConfig{GPUs: 4, LinkGBps: 25}, true},
+		{"unknown topology", ClusterConfig{GPUs: 4, Topology: "torus", LinkGBps: 25}, true},
+		{"zero bandwidth", ClusterConfig{GPUs: 4, Topology: TopologyRing}, true},
+		{"NaN bandwidth", ClusterConfig{GPUs: 4, Topology: TopologyRing, LinkGBps: math.NaN()}, true},
+		{"infinite bandwidth", ClusterConfig{GPUs: 4, Topology: TopologyRing, LinkGBps: math.Inf(1)}, true},
+		{"negative latency", ClusterConfig{GPUs: 4, Topology: TopologyRing, LinkGBps: 25, LinkLatencyUS: -1}, true},
+		{"overlap above 1", ClusterConfig{GPUs: 4, Topology: TopologyRing, LinkGBps: 25, Overlap: 1.5}, true},
+		{"negative overlap", ClusterConfig{GPUs: 4, Topology: TopologyRing, LinkGBps: 25, Overlap: -0.1}, true},
+	}
+	for _, tc := range cases {
+		if err := tc.cfg.Validate(); (err != nil) != tc.wantErr {
+			t.Errorf("%s: Validate() = %v, wantErr %v", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+func TestClusterNormalized(t *testing.T) {
+	for _, c := range []ClusterConfig{
+		{},
+		{GPUs: 1, Topology: TopologyRing, LinkGBps: 25, LinkLatencyUS: 2, Overlap: 0.5},
+		{GPUs: 0, LinkGBps: 99},
+		{GPUs: -4},
+	} {
+		if got := c.Normalized(); got != SingleGPU() {
+			t.Errorf("Normalized(%+v) = %+v, want canonical single GPU", c, got)
+		}
+	}
+	multi := DefaultCluster(4)
+	if multi.Normalized() != multi {
+		t.Errorf("multi-GPU config must normalize to itself")
+	}
+}
+
+func TestParseTopology(t *testing.T) {
+	if tp, err := ParseTopology("ring"); err != nil || tp != TopologyRing {
+		t.Errorf("ParseTopology(ring) = %v, %v", tp, err)
+	}
+	if tp, err := ParseTopology("mesh"); err != nil || tp != TopologyFullMesh {
+		t.Errorf("ParseTopology(mesh) = %v, %v", tp, err)
+	}
+	if _, err := ParseTopology("hypercube"); err == nil {
+		t.Error("ParseTopology must reject unknown topologies")
+	}
+}
+
+func TestRingAllReduceCost(t *testing.T) {
+	const bytes = 152e6 // DS2-sized gradient: 38M params * 4 B
+	const bw = 25.0     // GB/s
+	// Ring: 2(N-1) steps of bytes/N at bw, zero latency.
+	for _, n := range []int{2, 4, 8} {
+		got := RingAllReduceUS(n, bytes, bw, 0)
+		want := 2 * float64(n-1) / float64(n) * bytes / (bw * 1e9) * 1e6
+		if math.Abs(got-want) > 1e-9*want {
+			t.Errorf("ring N=%d: %v us, want %v us", n, got, want)
+		}
+	}
+	// Latency adds 2(N-1) hops.
+	if got, want := RingAllReduceUS(4, bytes, bw, 1.5), RingAllReduceUS(4, bytes, bw, 0)+6*1.5; math.Abs(got-want) > 1e-9 {
+		t.Errorf("ring latency term: %v, want %v", got, want)
+	}
+	// Degenerate inputs cost nothing.
+	if RingAllReduceUS(1, bytes, bw, 0) != 0 || RingAllReduceUS(4, 0, bw, 0) != 0 {
+		t.Error("single GPU or empty gradient must cost 0")
+	}
+}
+
+func TestMeshFasterThanRing(t *testing.T) {
+	const bytes = 640e6
+	for _, n := range []int{4, 8, 16} {
+		ring := RingAllReduceUS(n, bytes, 25, 1.5)
+		mesh := MeshAllReduceUS(n, bytes, 25, 1.5)
+		if mesh >= ring {
+			t.Errorf("N=%d: mesh (%v us) must beat ring (%v us): fewer serialized steps", n, mesh, ring)
+		}
+	}
+}
+
+func TestAllReduceUSMatchesTopology(t *testing.T) {
+	ring := ClusterConfig{GPUs: 4, Topology: TopologyRing, LinkGBps: 25, LinkLatencyUS: 1}
+	mesh := ClusterConfig{GPUs: 4, Topology: TopologyFullMesh, LinkGBps: 25, LinkLatencyUS: 1}
+	const bytes = 1e8
+	if got, want := ring.AllReduceUS(bytes), RingAllReduceUS(4, bytes, 25, 1); got != want {
+		t.Errorf("ring AllReduceUS = %v, want %v", got, want)
+	}
+	if got, want := mesh.AllReduceUS(bytes), MeshAllReduceUS(4, bytes, 25, 1); got != want {
+		t.Errorf("mesh AllReduceUS = %v, want %v", got, want)
+	}
+	if SingleGPU().AllReduceUS(bytes) != 0 {
+		t.Error("single GPU all-reduce must cost 0")
+	}
+}
+
+func TestExposedCommUS(t *testing.T) {
+	c := ClusterConfig{GPUs: 2, Topology: TopologyRing, LinkGBps: 25, Overlap: 0.5}
+	if got := c.ExposedCommUS(100, 100); got != 50 {
+		t.Errorf("half-overlapped comm: %v, want 50", got)
+	}
+	if got := c.ExposedCommUS(40, 100); got != 0 {
+		t.Errorf("fully hidden comm: %v, want 0", got)
+	}
+	noOverlap := ClusterConfig{GPUs: 2, Topology: TopologyRing, LinkGBps: 25}
+	if got := noOverlap.ExposedCommUS(100, 1e9); got != 100 {
+		t.Errorf("zero overlap exposes everything: %v, want 100", got)
+	}
+}
+
+func TestShardBatch(t *testing.T) {
+	cases := []struct {
+		gpus, batch, want int
+	}{
+		{1, 64, 64}, {0, 64, 64}, {2, 64, 32}, {4, 64, 16}, {8, 64, 8},
+		{3, 64, 22}, // ceiling: 3*22 >= 64
+		{8, 4, 1},
+	}
+	for _, tc := range cases {
+		c := ClusterConfig{GPUs: tc.gpus}
+		if got := c.ShardBatch(tc.batch); got != tc.want {
+			t.Errorf("ShardBatch(gpus=%d, batch=%d) = %d, want %d", tc.gpus, tc.batch, got, tc.want)
+		}
+	}
+}
+
+func TestClusterString(t *testing.T) {
+	if got := SingleGPU().String(); got != "1xGPU" {
+		t.Errorf("SingleGPU.String() = %q", got)
+	}
+	c := ClusterConfig{GPUs: 4, Topology: TopologyRing, LinkGBps: 25}
+	if got := c.String(); got != "4xGPU ring 25 GB/s" {
+		t.Errorf("String() = %q", got)
+	}
+}

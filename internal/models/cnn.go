@@ -47,6 +47,9 @@ func (m *CNN) Name() string { return "cnn" }
 // SeqLenDependent reports false: every CNN iteration does the same work.
 func (m *CNN) SeqLenDependent() bool { return false }
 
+// ParamCount returns the trainable-parameter count.
+func (m *CNN) ParamCount() int { return cnnParamCount }
+
 // input returns the image-batch activation; seqLen is ignored because
 // images are scaled to a fixed resolution before training.
 func (m *CNN) input(batch int) nn.Activation {

@@ -56,6 +56,9 @@ func (m *Custom) Name() string { return m.name }
 // SeqLenDependent reports the declared SL dependence.
 func (m *Custom) SeqLenDependent() bool { return m.seqDep }
 
+// ParamCount returns the declared trainable-parameter count.
+func (m *Custom) ParamCount() int { return m.paramCount }
+
 // IterationOps returns one training iteration's ops.
 func (m *Custom) IterationOps(batch, seqLen int) []tensor.Op {
 	layers := m.build(seqLen)

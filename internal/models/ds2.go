@@ -53,6 +53,9 @@ func (m *DeepSpeech2) Name() string { return "ds2" }
 // SeqLenDependent reports true: DS2 is an SQNN.
 func (m *DeepSpeech2) SeqLenDependent() bool { return true }
 
+// ParamCount returns the trainable-parameter count.
+func (m *DeepSpeech2) ParamCount() int { return ds2ParamCount }
+
 // input returns the spectrogram activation for an iteration.
 func (m *DeepSpeech2) input(batch, seqLen int) nn.Activation {
 	return nn.Activation{Batch: batch, Time: seqLen, Freq: DS2Freq, Channels: 1}

@@ -37,6 +37,9 @@ func (m *GNMT) Name() string { return "gnmt" }
 // SeqLenDependent reports true: GNMT is an SQNN.
 func (m *GNMT) SeqLenDependent() bool { return true }
 
+// ParamCount returns the trainable-parameter count.
+func (m *GNMT) ParamCount() int { return gnmtParamCount }
+
 // encoderLayers builds the encoder stack for one iteration.
 func (m *GNMT) encoderLayers() []nn.Layer {
 	layers := []nn.Layer{

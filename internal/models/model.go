@@ -25,6 +25,17 @@ type Model interface {
 	// SeqLenDependent reports whether iteration work varies with the
 	// input sequence length (true for SQNNs, false for CNNs).
 	SeqLenDependent() bool
+	// ParamCount is the number of trainable parameters — the quantity
+	// the optimizer pass streams over and the gradient all-reduce of a
+	// data-parallel cluster moves every step.
+	ParamCount() int
+}
+
+// GradientBytes is the size of one full gradient exchange for m: one
+// element per trainable parameter. This is the byte count a
+// data-parallel all-reduce moves per training step.
+func GradientBytes(m Model) float64 {
+	return float64(m.ParamCount()) * tensor.ElemSize
 }
 
 // runForward applies the layer stack to in, returning all forward ops

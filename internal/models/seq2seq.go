@@ -32,6 +32,9 @@ func (m *Seq2Seq) Name() string { return "seq2seq" }
 // SeqLenDependent reports true.
 func (m *Seq2Seq) SeqLenDependent() bool { return true }
 
+// ParamCount returns the trainable-parameter count.
+func (m *Seq2Seq) ParamCount() int { return seq2seqParams }
+
 // layers builds the full stack: embedding, encoder LSTMs, decoder
 // LSTMs, vocabulary projection. Without attention the encoder-decoder
 // boundary carries only the final hidden state, so a single stack

@@ -35,6 +35,9 @@ func (m *Transformer) Name() string { return "transformer" }
 // SeqLenDependent reports true: attention work scales with SL squared.
 func (m *Transformer) SeqLenDependent() bool { return true }
 
+// ParamCount returns the trainable-parameter count.
+func (m *Transformer) ParamCount() int { return transformerParams }
+
 // block returns one Transformer block: self-attention over seqLen
 // positions, then the position-wise feed-forward pair, each followed by
 // layer normalization (post-norm, as in the original architecture).

@@ -40,7 +40,12 @@ type IterationProfile struct {
 	// Batch is the minibatch size.
 	Batch int
 	// TimeUS is the iteration runtime (all kernels, incl. launches).
+	// For a cluster step profile (see ProfileStep) it additionally
+	// includes the exposed gradient-communication time.
 	TimeUS float64
+	// CommUS is the exposed (overlap-adjusted) gradient all-reduce time
+	// included in TimeUS; zero for single-GPU profiles.
+	CommUS float64
 	// NumKernels is the dynamic kernel-invocation count.
 	NumKernels int
 	// Counters are the iteration-aggregate hardware counters.

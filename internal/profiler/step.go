@@ -1,0 +1,46 @@
+package profiler
+
+import (
+	"seqpoint/internal/gpusim"
+	"seqpoint/internal/models"
+)
+
+// Data-parallel step profiling. Under data parallelism every GPU holds
+// a full model replica and computes the iteration on its 1/N shard of
+// the global minibatch; the replicas then all-reduce the gradient (one
+// element per trainable parameter) over the interconnect before the
+// optimizer applies it. Because the replicas run identical kernel
+// streams in lockstep, one shard profile plus the analytical collective
+// cost describes the whole step.
+
+// ProfileStep prices one data-parallel training step of m at the given
+// *global* batch: the per-GPU compute on the shard batch plus the
+// overlap-adjusted ring/mesh all-reduce of the model's gradient bytes.
+// With a single-GPU cluster it reduces exactly to ProfileIteration.
+func ProfileStep(sim *gpusim.Simulator, cl gpusim.ClusterConfig, m models.Model, globalBatch, seqLen int) (IterationProfile, error) {
+	cl = cl.Normalized()
+	if err := cl.Validate(); err != nil {
+		return IterationProfile{}, err
+	}
+	p, err := ProfileIteration(sim, m, cl.ShardBatch(globalBatch), seqLen)
+	if err != nil {
+		return IterationProfile{}, err
+	}
+	if cl.GPUs > 1 {
+		comm := cl.AllReduceUS(models.GradientBytes(m))
+		p.CommUS = cl.ExposedCommUS(comm, p.TimeUS)
+		p.TimeUS += p.CommUS
+	}
+	return p, nil
+}
+
+// ProfileEvalStep prices one data-parallel evaluation step: a
+// forward-only pass on the shard batch. No gradients exist, so there is
+// no communication term; evaluation scales with the shard size alone.
+func ProfileEvalStep(sim *gpusim.Simulator, cl gpusim.ClusterConfig, m models.Model, globalBatch, seqLen int) (IterationProfile, error) {
+	cl = cl.Normalized()
+	if err := cl.Validate(); err != nil {
+		return IterationProfile{}, err
+	}
+	return ProfileEval(sim, m, cl.ShardBatch(globalBatch), seqLen)
+}

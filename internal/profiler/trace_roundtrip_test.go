@@ -1,0 +1,117 @@
+package profiler
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"math"
+	"testing"
+
+	"seqpoint/internal/gpusim"
+	"seqpoint/internal/models"
+	"seqpoint/internal/tensor"
+)
+
+// TestChromeTraceRoundTrip writes a synthetic invocation stream with
+// known fields and parses it back, asserting every field — name,
+// category, label, duration, and the cumulative timeline — survives the
+// serialization, not just that the JSON parses.
+func TestChromeTraceRoundTrip(t *testing.T) {
+	invs := []gpusim.Invocation{
+		{Kernel: "gemm_nn_128", Signature: "gemm/128x64x32", Label: "classifier", Kind: tensor.KindGEMM, TimeUS: 12.5},
+		{Kernel: "pointwise_tanh", Signature: "ew/4096", Label: "", Kind: tensor.KindElementwise, TimeUS: 0.75},
+		{Kernel: "reduce_sum", Signature: "red/512", Label: "softmax", Kind: tensor.KindReduction, TimeUS: 3.25},
+	}
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, invs); err != nil {
+		t.Fatal(err)
+	}
+
+	var parsed struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Cat  string            `json:"cat"`
+			Ph   string            `json:"ph"`
+			TS   float64           `json:"ts"`
+			Dur  float64           `json:"dur"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed.TraceEvents) != len(invs) {
+		t.Fatalf("round trip lost events: %d != %d", len(parsed.TraceEvents), len(invs))
+	}
+
+	var cursor float64
+	for i, ev := range parsed.TraceEvents {
+		want := invs[i]
+		if ev.Name != want.Kernel {
+			t.Errorf("event %d name %q, want %q", i, ev.Name, want.Kernel)
+		}
+		if ev.Cat != want.Kind.String() {
+			t.Errorf("event %d category %q, want %q", i, ev.Cat, want.Kind.String())
+		}
+		if ev.Dur != want.TimeUS {
+			t.Errorf("event %d duration %v, want %v", i, ev.Dur, want.TimeUS)
+		}
+		if ev.Args["signature"] != want.Signature || ev.Args["label"] != want.Label {
+			t.Errorf("event %d args %+v, want signature %q label %q", i, ev.Args, want.Signature, want.Label)
+		}
+		if math.Abs(ev.TS-cursor) > 1e-12 {
+			t.Errorf("event %d starts at %v, want cumulative %v", i, ev.TS, cursor)
+		}
+		cursor += want.TimeUS
+	}
+}
+
+// failWriter errors after n successful writes.
+type failWriter struct{ n int }
+
+var errSink = errors.New("sink failed")
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, errSink
+	}
+	w.n--
+	return len(p), nil
+}
+
+// TestWriteChromeTracePropagatesWriterError: a failing sink must
+// surface its error instead of being swallowed.
+func TestWriteChromeTracePropagatesWriterError(t *testing.T) {
+	invs := []gpusim.Invocation{{Kernel: "k", Kind: tensor.KindGEMM, TimeUS: 1}}
+	if err := WriteChromeTrace(&failWriter{}, invs); !errors.Is(err, errSink) {
+		t.Errorf("writer error not propagated: %v", err)
+	}
+}
+
+// TestStepProfileRoundTripThroughTrace: the cluster step profile's
+// compute share must equal the traced single-GPU iteration at the shard
+// batch — the communication term is purely additive.
+func TestStepProfileRoundTripThroughTrace(t *testing.T) {
+	s := sim(t)
+	m := models.NewGNMT()
+	cl := gpusim.ClusterConfig{GPUs: 4, Topology: gpusim.TopologyRing, LinkGBps: 25, LinkLatencyUS: 1.5, Overlap: 0.5}
+
+	step, err := ProfileStep(s, cl, m, 64, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shard, err := ProfileIteration(s, m, cl.ShardBatch(64), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := step.TimeUS-step.CommUS, shard.TimeUS; math.Abs(got-want) > 1e-9*want {
+		t.Errorf("step compute share %v != shard iteration %v", got, want)
+	}
+	if step.NumKernels != shard.NumKernels {
+		t.Errorf("step kernels %d != shard kernels %d", step.NumKernels, shard.NumKernels)
+	}
+	if step.CommUS < 0 {
+		t.Errorf("negative communication %v", step.CommUS)
+	}
+}

@@ -75,7 +75,7 @@ func SimulateInference(spec InferenceSpec, hw gpusim.Config) (*InferenceRun, err
 	if err != nil {
 		return nil, err
 	}
-	profiles, err := src.EvalProfiles(hw, spec.Model, spec.Batch, uniqueSLs([]dataset.EpochPlan{plan}))
+	profiles, err := src.EvalProfiles(hw, gpusim.SingleGPU(), spec.Model, spec.Batch, uniqueSLs([]dataset.EpochPlan{plan}))
 	if err != nil {
 		return nil, err
 	}

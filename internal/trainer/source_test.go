@@ -15,16 +15,16 @@ type countingSource struct {
 	trainSLs, evalSLs     int
 }
 
-func (c *countingSource) TrainProfiles(hw gpusim.Config, m models.Model, batch int, sls []int) (map[int]profiler.IterationProfile, error) {
+func (c *countingSource) TrainProfiles(hw gpusim.Config, cl gpusim.ClusterConfig, m models.Model, batch int, sls []int) (map[int]profiler.IterationProfile, error) {
 	c.trainCalls++
 	c.trainSLs += len(sls)
-	return directSource{}.TrainProfiles(hw, m, batch, sls)
+	return directSource{}.TrainProfiles(hw, cl, m, batch, sls)
 }
 
-func (c *countingSource) EvalProfiles(hw gpusim.Config, m models.Model, batch int, sls []int) (map[int]profiler.IterationProfile, error) {
+func (c *countingSource) EvalProfiles(hw gpusim.Config, cl gpusim.ClusterConfig, m models.Model, batch int, sls []int) (map[int]profiler.IterationProfile, error) {
 	c.evalCalls++
 	c.evalSLs += len(sls)
-	return directSource{}.EvalProfiles(hw, m, batch, sls)
+	return directSource{}.EvalProfiles(hw, cl, m, batch, sls)
 }
 
 func sourceSpec(t *testing.T) Spec {

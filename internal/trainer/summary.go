@@ -1,6 +1,7 @@
 package trainer
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 )
@@ -66,4 +67,85 @@ func (r *Run) UniqueSLs() []int {
 	}
 	sort.Ints(out)
 	return out
+}
+
+// SLDigest is one unique sequence length's row in a RunSummary.
+type SLDigest struct {
+	// SeqLen is the padded sequence length.
+	SeqLen int `json:"seqlen"`
+	// StepUS is the wall-clock time of one training step at this SL
+	// (per-GPU compute plus exposed communication).
+	StepUS float64 `json:"step_us"`
+	// CommUS is the exposed-communication share of StepUS.
+	CommUS float64 `json:"comm_us"`
+	// Kernels is the dynamic kernel-invocation count of one step.
+	Kernels int `json:"kernels"`
+}
+
+// RunSummary is the deterministic, serialization-stable digest of a
+// Run: everything the run's aggregate behaviour pins down, with all
+// map-ordered state flattened into sorted slices. Two runs of the same
+// Spec must produce byte-identical Serialize output at any profiling
+// parallelism — the golden determinism tests hold the simulator to
+// exactly that.
+type RunSummary struct {
+	Config        string     `json:"config"`
+	Cluster       string     `json:"cluster"`
+	GPUs          int        `json:"gpus"`
+	Batch         int        `json:"batch"`
+	ShardBatch    int        `json:"shard_batch"`
+	Epochs        int        `json:"epochs"`
+	Iterations    int        `json:"iterations"`
+	Samples       int        `json:"samples"`
+	TrainUS       float64    `json:"train_us"`
+	CommUS        float64    `json:"comm_us"`
+	EvalUS        float64    `json:"eval_us"`
+	AutotuneUS    float64    `json:"autotune_us"`
+	TotalUS       float64    `json:"total_us"`
+	ThroughputSPS float64    `json:"throughput_sps"`
+	BySL          []SLDigest `json:"by_sl"`
+}
+
+// Summary digests the run.
+func (r *Run) Summary() RunSummary {
+	s := RunSummary{
+		Config:        r.Config.Name,
+		Cluster:       r.Cluster.String(),
+		GPUs:          r.Cluster.Normalized().GPUs,
+		Batch:         r.Batch,
+		ShardBatch:    r.Cluster.ShardBatch(r.Batch),
+		Epochs:        len(r.EpochPlans),
+		Iterations:    r.Iterations,
+		Samples:       r.Samples,
+		TrainUS:       r.TrainUS,
+		CommUS:        r.CommUS,
+		EvalUS:        r.EvalUS,
+		AutotuneUS:    r.AutotuneUS,
+		TotalUS:       r.TotalUS(),
+		ThroughputSPS: r.Throughput(),
+		BySL:          make([]SLDigest, 0, len(r.BySL)),
+	}
+	for _, sl := range r.UniqueSLs() {
+		p := r.BySL[sl]
+		s.BySL = append(s.BySL, SLDigest{
+			SeqLen:  sl,
+			StepUS:  p.TimeUS,
+			CommUS:  p.CommUS,
+			Kernels: p.NumKernels,
+		})
+	}
+	return s
+}
+
+// Serialize renders the summary as indented JSON with a trailing
+// newline. The output is deterministic: field order is fixed by the
+// struct, slices are sorted, and Go's float64 JSON encoding is exact
+// (shortest round-trip representation), so byte-level comparison is a
+// sound equality test for simulated results.
+func (s RunSummary) Serialize() ([]byte, error) {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
 }

@@ -23,35 +23,38 @@ import (
 	"seqpoint/internal/profiler"
 )
 
-// ProfileSource supplies per-unique-SL iteration profiles to the
-// simulator. It is the seam through which a process-wide engine (see
+// ProfileSource supplies per-unique-SL step profiles to the simulator.
+// It is the seam through which a process-wide engine (see
 // internal/engine) can dedupe and parallelize profiling across runs;
 // the direct source computes each profile in place. Implementations
-// must be deterministic: the profile returned for a (config, model,
-// batch, SL) tuple may not depend on call order or concurrency.
+// must be deterministic: the profile returned for a (config, cluster,
+// model, batch, SL) tuple may not depend on call order or concurrency.
+// `batch` is always the global minibatch; sources derive the per-GPU
+// shard from the cluster configuration.
 type ProfileSource interface {
-	// TrainProfiles returns one training-iteration profile per requested
-	// sequence length (forward + backward + optimizer).
-	TrainProfiles(hw gpusim.Config, m models.Model, batch int, seqLens []int) (map[int]profiler.IterationProfile, error)
+	// TrainProfiles returns one training-step profile per requested
+	// sequence length (per-GPU forward + backward + optimizer, plus the
+	// exposed gradient all-reduce on multi-GPU clusters).
+	TrainProfiles(hw gpusim.Config, cl gpusim.ClusterConfig, m models.Model, batch int, seqLens []int) (map[int]profiler.IterationProfile, error)
 	// EvalProfiles returns one forward-only evaluation profile per
-	// requested sequence length.
-	EvalProfiles(hw gpusim.Config, m models.Model, batch int, seqLens []int) (map[int]profiler.IterationProfile, error)
+	// requested sequence length, computed on the per-GPU shard batch.
+	EvalProfiles(hw gpusim.Config, cl gpusim.ClusterConfig, m models.Model, batch int, seqLens []int) (map[int]profiler.IterationProfile, error)
 }
 
 // directSource prices every requested profile in place, sequentially —
 // the engine-free fallback with no cross-run reuse.
 type directSource struct{}
 
-func (directSource) TrainProfiles(hw gpusim.Config, m models.Model, batch int, seqLens []int) (map[int]profiler.IterationProfile, error) {
-	return directProfiles(hw, m, batch, seqLens, profiler.ProfileIteration)
+func (directSource) TrainProfiles(hw gpusim.Config, cl gpusim.ClusterConfig, m models.Model, batch int, seqLens []int) (map[int]profiler.IterationProfile, error) {
+	return directProfiles(hw, cl, m, batch, seqLens, profiler.ProfileStep)
 }
 
-func (directSource) EvalProfiles(hw gpusim.Config, m models.Model, batch int, seqLens []int) (map[int]profiler.IterationProfile, error) {
-	return directProfiles(hw, m, batch, seqLens, profiler.ProfileEval)
+func (directSource) EvalProfiles(hw gpusim.Config, cl gpusim.ClusterConfig, m models.Model, batch int, seqLens []int) (map[int]profiler.IterationProfile, error) {
+	return directProfiles(hw, cl, m, batch, seqLens, profiler.ProfileEvalStep)
 }
 
-func directProfiles(hw gpusim.Config, m models.Model, batch int, seqLens []int,
-	profile func(*gpusim.Simulator, models.Model, int, int) (profiler.IterationProfile, error),
+func directProfiles(hw gpusim.Config, cl gpusim.ClusterConfig, m models.Model, batch int, seqLens []int,
+	profile func(*gpusim.Simulator, gpusim.ClusterConfig, models.Model, int, int) (profiler.IterationProfile, error),
 ) (map[int]profiler.IterationProfile, error) {
 	sim, err := gpusim.New(hw)
 	if err != nil {
@@ -62,7 +65,7 @@ func directProfiles(hw gpusim.Config, m models.Model, batch int, seqLens []int,
 		if _, ok := out[sl]; ok {
 			continue
 		}
-		p, err := profile(sim, m, batch, sl)
+		p, err := profile(sim, cl, m, batch, sl)
 		if err != nil {
 			return nil, err
 		}
@@ -116,6 +119,10 @@ type Spec struct {
 	Schedule dataset.Schedule
 	// Seed drives all shuffling.
 	Seed int64
+	// Cluster describes the data-parallel multi-GPU set-up. The zero
+	// value (and any single-GPU spelling) trains on one GPU with no
+	// communication term, exactly as before the cluster layer existed.
+	Cluster gpusim.ClusterConfig
 	// Profiles overrides the profile source for this run; nil uses the
 	// process default (the shared engine when internal/engine is linked,
 	// otherwise direct sequential profiling). Either way the simulated
@@ -135,28 +142,37 @@ func (s Spec) Validate() error {
 	case s.Epochs <= 0:
 		return fmt.Errorf("trainer: epoch count must be positive, got %d", s.Epochs)
 	}
-	return nil
+	return s.Cluster.Validate()
 }
 
-// Run is a simulated training run on one hardware configuration.
+// Run is a simulated training run on one hardware configuration
+// (optionally a data-parallel cluster of them).
 type Run struct {
-	// Config is the hardware configuration the run executed on.
+	// Config is the per-GPU hardware configuration the run executed on.
 	Config gpusim.Config
+	// Cluster is the normalized data-parallel configuration.
+	Cluster gpusim.ClusterConfig
 	// EpochPlans holds the realized iteration order of every epoch.
 	EpochPlans []dataset.EpochPlan
-	// BySL memoizes the training-iteration profile per unique padded SL.
+	// BySL memoizes the training-step profile per unique padded SL. On
+	// a multi-GPU cluster each profile prices the per-GPU shard compute
+	// plus the exposed all-reduce (profile.CommUS).
 	BySL map[int]profiler.IterationProfile
-	// TrainUS is the summed runtime of all training iterations.
+	// TrainUS is the summed wall-clock time of all training steps,
+	// including exposed gradient communication.
 	TrainUS float64
+	// CommUS is the exposed gradient-communication share of TrainUS
+	// (zero on a single GPU).
+	CommUS float64
 	// EvalUS is the summed runtime of all evaluation phases.
 	EvalUS float64
 	// AutotuneUS is the one-time kernel-selection overhead.
 	AutotuneUS float64
-	// Iterations is the total training-iteration count.
+	// Iterations is the total training-step count.
 	Iterations int
 	// Samples is the total number of training samples processed.
 	Samples int
-	// Batch is the minibatch size.
+	// Batch is the global minibatch size.
 	Batch int
 }
 
@@ -195,12 +211,13 @@ func Simulate(spec Spec, hw gpusim.Config) (*Run, error) {
 	if src == nil {
 		src = DefaultProfileSource()
 	}
+	cl := spec.Cluster.Normalized()
 	plans, err := dataset.PlanTraining(spec.Train, spec.Batch, spec.Epochs, spec.Schedule, spec.Seed)
 	if err != nil {
 		return nil, err
 	}
 
-	profiles, err := src.TrainProfiles(hw, spec.Model, spec.Batch, uniqueSLs(plans))
+	profiles, err := src.TrainProfiles(hw, cl, spec.Model, spec.Batch, uniqueSLs(plans))
 	if err != nil {
 		return nil, err
 	}
@@ -210,7 +227,7 @@ func Simulate(spec Spec, hw gpusim.Config) (*Run, error) {
 	// so it is priced once and charged per epoch.
 	var evalOnceUS float64
 	if spec.Eval != nil {
-		evalOnceUS, err = evalEpochUS(src, spec, hw)
+		evalOnceUS, err = evalEpochUS(src, spec, hw, cl)
 		if err != nil {
 			return nil, err
 		}
@@ -218,10 +235,14 @@ func Simulate(spec Spec, hw gpusim.Config) (*Run, error) {
 
 	run := &Run{
 		Config:     hw,
+		Cluster:    cl,
 		EpochPlans: plans,
 		BySL:       make(map[int]profiler.IterationProfile, len(profiles)),
 		Batch:      spec.Batch,
 	}
+	// Autotune runs once per replica, concurrently on every GPU against
+	// the shard-batch shapes, so the cluster pays it once at shard size.
+	shardBatch := cl.ShardBatch(spec.Batch)
 	tunedShapes := make(map[string]bool)
 
 	for _, plan := range plans {
@@ -233,9 +254,10 @@ func Simulate(spec Spec, hw gpusim.Config) (*Run, error) {
 					return nil, fmt.Errorf("trainer: profile source returned no profile for SL %d", sl)
 				}
 				run.BySL[sl] = p
-				run.AutotuneUS += profiler.AutotuneUS(sim, spec.Model, spec.Batch, sl, tunedShapes)
+				run.AutotuneUS += profiler.AutotuneUS(sim, spec.Model, shardBatch, sl, tunedShapes)
 			}
 			run.TrainUS += p.TimeUS
+			run.CommUS += p.CommUS
 			run.Iterations++
 			run.Samples += spec.Batch
 		}
@@ -244,6 +266,14 @@ func Simulate(spec Spec, hw gpusim.Config) (*Run, error) {
 		}
 	}
 	return run, nil
+}
+
+// SimulateCluster runs the full training described by spec on a
+// data-parallel cluster of hw replicas: a convenience wrapper that pins
+// the spec's cluster configuration before simulating.
+func SimulateCluster(spec Spec, hw gpusim.Config, cl gpusim.ClusterConfig) (*Run, error) {
+	spec.Cluster = cl
+	return Simulate(spec, hw)
 }
 
 // uniqueSLs returns the distinct sequence lengths of the plans in
@@ -263,13 +293,13 @@ func uniqueSLs(plans []dataset.EpochPlan) []int {
 }
 
 // evalEpochUS prices one pass over the evaluation corpus (forward only,
-// bucketed batching, deterministic order).
-func evalEpochUS(src ProfileSource, spec Spec, hw gpusim.Config) (float64, error) {
+// bucketed batching, deterministic order, sharded across the cluster).
+func evalEpochUS(src ProfileSource, spec Spec, hw gpusim.Config, cl gpusim.ClusterConfig) (float64, error) {
 	plan, err := dataset.PlanEpoch(spec.Eval, spec.Batch, dataset.OrderBucketed, spec.Seed)
 	if err != nil {
 		return 0, err
 	}
-	profiles, err := src.EvalProfiles(hw, spec.Model, spec.Batch, uniqueSLs([]dataset.EpochPlan{plan}))
+	profiles, err := src.EvalProfiles(hw, cl, spec.Model, spec.Batch, uniqueSLs([]dataset.EpochPlan{plan}))
 	if err != nil {
 		return 0, err
 	}

@@ -26,13 +26,25 @@
 // testbed, and the training-run simulator. Simulation runs on a
 // concurrent engine (internal/engine) with a process-wide profile
 // cache: because every iteration at the same padded sequence length
-// performs identical work, each (model, config, batch, phase, SL)
-// profile is priced exactly once per process — across runs, workloads
-// and goroutines — with singleflight deduplication, and sweeps over
-// (workload × config) grids fan out over a bounded worker pool.
-// Parallelism never changes results: same seed ⇒ byte-identical
+// performs identical work, each (model, config, cluster, batch, phase,
+// SL) profile is priced exactly once per process — across runs,
+// workloads and goroutines — with singleflight deduplication, and
+// sweeps over (workload × config) grids fan out over a bounded worker
+// pool. Parallelism never changes results: same seed ⇒ byte-identical
 // output at any worker count. See NewEngine, SharedEngine, Sweep and
-// EngineStats. Typical use:
+// EngineStats.
+//
+// Beyond the paper's single-GPU testbed, the simulator scales out to
+// data-parallel multi-GPU clusters: a ClusterConfig describes the
+// replica count and the interconnect (ring or fully-connected
+// topology, per-link bandwidth and latency, compute/communication
+// overlap), and each training step then prices the per-GPU shard
+// compute plus an analytical gradient all-reduce (RingAllReduce) over
+// the model's parameter bytes. SeqPoint composes unchanged: select
+// SeqPoints on a 1-GPU run, then project any cluster size via
+// Equation 1 from per-SL step times. See SimulateCluster,
+// ClusterConfig, DefaultCluster and the Spec.Cluster field. Typical
+// use:
 //
 //	run, _ := seqpoint.Simulate(seqpoint.Spec{
 //	    Model:    seqpoint.NewGNMT(),
@@ -109,12 +121,20 @@ type (
 	Schedule = dataset.Schedule
 	// Config is one hardware configuration (paper Table II).
 	Config = gpusim.Config
+	// ClusterConfig describes a data-parallel multi-GPU cluster and its
+	// interconnect; the zero value means a single GPU.
+	ClusterConfig = gpusim.ClusterConfig
+	// Topology names a cluster interconnect wiring (ring or full mesh).
+	Topology = gpusim.Topology
 	// Simulator prices kernels under a configuration.
 	Simulator = gpusim.Simulator
 	// Spec describes a training run to simulate.
 	Spec = trainer.Spec
 	// Run is a simulated training run.
 	Run = trainer.Run
+	// RunSummary is the deterministic serializable digest of a Run,
+	// the unit of the golden determinism tests.
+	RunSummary = trainer.RunSummary
 	// InferenceSpec describes a serving run to simulate (Section VII-E).
 	InferenceSpec = trainer.InferenceSpec
 	// InferenceRun is a simulated serving run.
@@ -201,6 +221,12 @@ var (
 	GNMTSchedule = dataset.GNMTSchedule
 )
 
+// Cluster topologies.
+const (
+	TopologyRing     = gpusim.TopologyRing
+	TopologyFullMesh = gpusim.TopologyFullMesh
+)
+
 // Hardware configurations and simulation.
 var (
 	// VegaFE is the calibration configuration (config #1).
@@ -209,8 +235,23 @@ var (
 	TableII = gpusim.TableII
 	// NewSimulator builds a kernel-pricing simulator for a config.
 	NewSimulator = gpusim.New
+	// SingleGPU is the canonical one-GPU cluster configuration.
+	SingleGPU = gpusim.SingleGPU
+	// DefaultCluster returns a ring-connected n-GPU cluster with
+	// default link parameters.
+	DefaultCluster = gpusim.DefaultCluster
+	// ParseTopology maps a CLI spelling to a cluster topology.
+	ParseTopology = gpusim.ParseTopology
+	// RingAllReduce prices a bandwidth-optimal ring all-reduce of the
+	// given gradient bytes (microseconds).
+	RingAllReduce = gpusim.RingAllReduceUS
+	// MeshAllReduce prices a fully-connected all-reduce.
+	MeshAllReduce = gpusim.MeshAllReduceUS
 	// Simulate runs a full training simulation.
 	Simulate = trainer.Simulate
+	// SimulateCluster runs a training simulation on a data-parallel
+	// cluster of identical GPUs.
+	SimulateCluster = trainer.SimulateCluster
 	// SimulateInference runs a serving simulation (Section VII-E).
 	SimulateInference = trainer.SimulateInference
 	// ProfileIteration profiles one training iteration of a model.

@@ -1,0 +1,128 @@
+// Command seqpointd serves the simulation engine over HTTP/JSON: the
+// long-running form of SeqPoint's cheap what-if queries. One daemon
+// amortizes the profile cache across every request, and with
+// -cache-file across restarts too — the cache is loaded on start and
+// snapshotted atomically on shutdown (plus periodically with
+// -snapshot-interval), so a restarted daemon answers warm.
+//
+// Usage:
+//
+//	seqpointd -addr :8080 -cache-file /var/lib/seqpoint/cache.json \
+//	          -parallelism 8 -max-inflight 32
+//
+// Endpoints: POST /v1/simulate, POST /v1/sweep, POST /v1/seqpoint,
+// GET /healthz, GET /v1/stats. See the README's "Running as a service"
+// section for request examples.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"seqpoint/internal/engine"
+	"seqpoint/internal/server"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		cacheFile   = flag.String("cache-file", "", "profile-cache snapshot path; empty disables persistence")
+		parallelism = flag.Int("parallelism", 0, "engine worker-pool width; <= 0 uses GOMAXPROCS")
+		maxInflight = flag.Int("max-inflight", server.DefaultMaxInflight, "max concurrently executing simulation requests")
+		timeout     = flag.Duration("request-timeout", server.DefaultRequestTimeout, "per-request wall-clock budget")
+		snapshotInt = flag.Duration("snapshot-interval", 0, "periodic cache-snapshot interval; 0 snapshots only on shutdown")
+	)
+	flag.Parse()
+
+	if err := run(*addr, *cacheFile, *parallelism, *maxInflight, *timeout, *snapshotInt); err != nil {
+		fmt.Fprintln(os.Stderr, "seqpointd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, cacheFile string, parallelism, maxInflight int, timeout, snapshotInt time.Duration) error {
+	eng := engine.New()
+	eng.SetParallelism(parallelism)
+
+	if cacheFile != "" {
+		n, err := eng.LoadSnapshot(cacheFile)
+		switch {
+		case err != nil:
+			// A corrupt, truncated or version-mismatched snapshot is not
+			// fatal: log why and serve cold.
+			log.Printf("cache %s unusable, starting cold: %v", cacheFile, err)
+		case n > 0:
+			log.Printf("restored %d cached profiles from %s", n, cacheFile)
+		default:
+			log.Printf("no cache at %s, starting cold", cacheFile)
+		}
+	}
+
+	srv := server.New(server.Options{
+		Engine:         eng,
+		MaxInflight:    maxInflight,
+		RequestTimeout: timeout,
+	})
+	httpSrv := &http.Server{
+		Addr:              addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if cacheFile != "" && snapshotInt > 0 {
+		go func() {
+			tick := time.NewTicker(snapshotInt)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					if err := eng.SaveSnapshot(cacheFile); err != nil {
+						log.Printf("periodic cache snapshot: %v", err)
+					}
+				}
+			}
+		}()
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("seqpointd listening on %s (parallelism=%d, max-inflight=%d)",
+			addr, eng.Parallelism(), maxInflight)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	log.Printf("shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("shutdown: %v", err)
+	}
+
+	if cacheFile != "" {
+		stats := eng.Stats()
+		if err := eng.SaveSnapshot(cacheFile); err != nil {
+			return fmt.Errorf("saving cache snapshot: %w", err)
+		}
+		log.Printf("saved %d cached profiles to %s", stats.Entries, cacheFile)
+	}
+	return nil
+}

@@ -1,0 +1,118 @@
+// The service example runs the whole seqpointd story in one process:
+// it starts the HTTP simulation service on a random port, queries it
+// through the typed client — a simulate, the same simulate again
+// (answered from cache), and a SeqPoint selection — then snapshots the
+// profile cache to disk and shows a "restarted" engine answering warm
+// from the snapshot.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+
+	"seqpoint"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	eng := seqpoint.NewEngine()
+	srv := seqpoint.NewServer(seqpoint.ServerOptions{Engine: eng})
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("seqpointd serving on %s\n\n", base)
+	client := seqpoint.NewServiceClient(base, nil)
+	ctx := context.Background()
+
+	if err := client.Health(ctx); err != nil {
+		return err
+	}
+
+	// A what-if query: GNMT on a synthetic corpus, 4-GPU ring cluster.
+	req := seqpoint.SimulateRequest{
+		Model:   "gnmt",
+		Batch:   8,
+		SeqLens: []int{4, 7, 7, 9, 12, 12, 12, 15, 4, 9, 21, 21, 25, 25, 30, 30},
+		GPUs:    4,
+	}
+	sum, err := client.Simulate(ctx, req)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("simulate:  %d iterations on %s x%d GPUs -> train %.0f us (comm %.0f us)\n",
+		sum.Iterations, sum.Config, sum.GPUs, sum.TrainUS, sum.CommUS)
+
+	// The same query again: every profile is served from the cache.
+	if _, err := client.Simulate(ctx, req); err != nil {
+		return err
+	}
+	stats, err := client.Stats(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("repeat:    cache hits=%d misses=%d entries=%d coalesced=%d\n",
+		stats.Engine.Hits, stats.Engine.Misses, stats.Engine.Entries, stats.Coalesced)
+
+	// Representative-iteration selection over the wire.
+	sel, err := client.SeqPoint(ctx, seqpoint.SeqPointRequest{
+		SimulateRequest:    seqpoint.SimulateRequest{Model: "gnmt", Batch: 4, SeqLens: req.SeqLens},
+		MaxUniqueNoBinning: 2,
+		ErrorThresholdPct:  5,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("seqpoint:  %d unique SLs -> %d points (k=%d, self error %.3f%%)\n",
+		sel.UniqueSLs, len(sel.Points), sel.Bins, sel.ErrorPct)
+
+	// Persistence: snapshot the cache, load it into a fresh engine (a
+	// stand-in for a daemon restart with -cache-file) and answer warm.
+	dir, err := os.MkdirTemp("", "seqpoint-cache-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	cachePath := filepath.Join(dir, "cache.json")
+	if err := eng.SaveSnapshot(cachePath); err != nil {
+		return err
+	}
+	restarted := seqpoint.NewEngine()
+	n, err := restarted.LoadSnapshot(cachePath)
+	if err != nil {
+		return err
+	}
+	before := restarted.Stats()
+	srv2 := seqpoint.NewServer(seqpoint.ServerOptions{Engine: restarted})
+	ln2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv2 := &http.Server{Handler: srv2}
+	go httpSrv2.Serve(ln2)
+	defer httpSrv2.Close()
+	client2 := seqpoint.NewServiceClient("http://"+ln2.Addr().String(), nil)
+	if _, err := client2.Simulate(ctx, req); err != nil {
+		return err
+	}
+	after := restarted.Stats()
+	fmt.Printf("restart:   %d profiles restored from disk; warm replay hits=%d misses=%d\n",
+		n, after.Hits-before.Hits, after.Misses-before.Misses)
+	return nil
+}

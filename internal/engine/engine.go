@@ -122,14 +122,14 @@ func Fingerprint(m models.Model) uint64 {
 // Stats is a snapshot of the engine's cache counters.
 type Stats struct {
 	// Hits counts requests served from a completed cache entry.
-	Hits int64
+	Hits int64 `json:"hits"`
 	// Misses counts profiles actually computed (one per unique key).
-	Misses int64
+	Misses int64 `json:"misses"`
 	// Dedups counts requests that arrived while the same key was being
 	// computed and waited for it instead of recomputing.
-	Dedups int64
+	Dedups int64 `json:"dedups"`
 	// Entries is the number of profiles currently cached.
-	Entries int64
+	Entries int64 `json:"entries"`
 }
 
 const numShards = 32

@@ -1,0 +1,260 @@
+package engine
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"seqpoint/internal/gpusim"
+	"seqpoint/internal/models"
+)
+
+// warmEngine returns an engine whose cache holds a handful of real
+// profiles across phases, batches and cluster sizes.
+func warmEngine(t *testing.T) *Engine {
+	t.Helper()
+	e := New()
+	m := models.NewGNMT()
+	hw := gpusim.VegaFE()
+	for _, sl := range []int{4, 9, 17} {
+		if _, err := e.Profile(hw, m, 16, sl, PhaseTrain); err != nil {
+			t.Fatalf("profiling SL %d: %v", sl, err)
+		}
+	}
+	if _, err := e.Profile(hw, m, 16, 9, PhaseEval); err != nil {
+		t.Fatalf("profiling eval: %v", err)
+	}
+	if _, err := e.ProfileCluster(hw, gpusim.DefaultCluster(4), m, 16, 9, PhaseTrain); err != nil {
+		t.Fatalf("profiling cluster: %v", err)
+	}
+	// A key differing from the ring entry only in topology: the
+	// snapshot's sort order must still be total.
+	mesh := gpusim.DefaultCluster(4)
+	mesh.Topology = gpusim.TopologyFullMesh
+	if _, err := e.ProfileCluster(hw, mesh, m, 16, 9, PhaseTrain); err != nil {
+		t.Fatalf("profiling mesh cluster: %v", err)
+	}
+	return e
+}
+
+// dumpCache flattens an engine's completed cache entries for equality
+// comparison.
+func dumpCache(e *Engine) map[Key]string {
+	out := make(map[Key]string)
+	for i := range e.shards {
+		s := &e.shards[i]
+		s.mu.Lock()
+		for k, en := range s.m {
+			select {
+			case <-en.done:
+				if en.err == nil {
+					b, _ := json.Marshal(en.p)
+					out[k] = string(b)
+				}
+			default:
+			}
+		}
+		s.mu.Unlock()
+	}
+	return out
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	src := warmEngine(t)
+	path := filepath.Join(t.TempDir(), "cache.json")
+	if err := src.SaveSnapshot(path); err != nil {
+		t.Fatalf("SaveSnapshot: %v", err)
+	}
+
+	dst := New()
+	n, err := dst.LoadSnapshot(path)
+	if err != nil {
+		t.Fatalf("LoadSnapshot: %v", err)
+	}
+	want := dumpCache(src)
+	if n != len(want) {
+		t.Fatalf("LoadSnapshot restored %d entries, want %d", n, len(want))
+	}
+	if got := dumpCache(dst); !reflect.DeepEqual(got, want) {
+		t.Fatalf("restored cache differs from source:\ngot  %v\nwant %v", got, want)
+	}
+
+	// A restored entry must be served as a hit, not recomputed.
+	before := dst.Stats()
+	if _, err := dst.Profile(gpusim.VegaFE(), models.NewGNMT(), 16, 9, PhaseTrain); err != nil {
+		t.Fatalf("Profile on restored cache: %v", err)
+	}
+	after := dst.Stats()
+	if after.Hits != before.Hits+1 || after.Misses != before.Misses {
+		t.Fatalf("restored entry not served warm: hits %d->%d misses %d->%d",
+			before.Hits, after.Hits, before.Misses, after.Misses)
+	}
+}
+
+func TestSnapshotDeterministicBytes(t *testing.T) {
+	e := warmEngine(t)
+	var a, b bytes.Buffer
+	if err := e.WriteSnapshot(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.WriteSnapshot(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two snapshots of the same cache produced different bytes")
+	}
+}
+
+func TestLoadSnapshotMissingFileIsColdStart(t *testing.T) {
+	e := New()
+	n, err := e.LoadSnapshot(filepath.Join(t.TempDir(), "nope.json"))
+	if err != nil || n != 0 {
+		t.Fatalf("missing file: got (%d, %v), want (0, nil)", n, err)
+	}
+}
+
+func TestLoadSnapshotCorruptFallsBackCold(t *testing.T) {
+	src := warmEngine(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cache.json")
+	if err := src.SaveSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := map[string][]byte{
+		"truncated":   good[:len(good)/2],
+		"garbage":     []byte("{not json at all"),
+		"empty":       nil,
+		"wrong-magic": []byte(`{"magic":"something-else","version":1,"entries":[]}`),
+	}
+	for name, data := range cases {
+		t.Run(name, func(t *testing.T) {
+			p := filepath.Join(dir, name)
+			if err := os.WriteFile(p, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			e := New()
+			n, err := e.LoadSnapshot(p)
+			if err == nil {
+				t.Fatalf("corrupt snapshot loaded without error (%d entries)", n)
+			}
+			if got := e.Stats().Entries; got != 0 {
+				t.Fatalf("corrupt snapshot left %d entries in the cache, want 0", got)
+			}
+		})
+	}
+}
+
+func TestLoadSnapshotRejectsTamperedEntries(t *testing.T) {
+	src := warmEngine(t)
+	path := filepath.Join(t.TempDir(), "cache.json")
+	if err := src.SaveSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt one entry's profile time into a negative number: right
+	// magic, right version, garbage payload.
+	tampered := bytes.Replace(data, []byte(`"TimeUS": `), []byte(`"TimeUS": -`), 1)
+	if bytes.Equal(tampered, data) {
+		t.Fatal("test could not find a TimeUS field to tamper with")
+	}
+	if err := os.WriteFile(path, tampered, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	e := New()
+	n, err := e.LoadSnapshot(path)
+	if err == nil || !strings.Contains(err.Error(), "invalid") {
+		t.Fatalf("tampered snapshot: got (%d, %v), want entry-validation error", n, err)
+	}
+	if got := e.Stats().Entries; got != 0 {
+		t.Fatalf("tampered snapshot installed %d entries, want 0", got)
+	}
+}
+
+func TestLoadSnapshotVersionMismatchInvalidates(t *testing.T) {
+	src := warmEngine(t)
+	path := filepath.Join(t.TempDir(), "cache.json")
+	if err := src.SaveSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale := bytes.Replace(data,
+		[]byte(`"version": 1`), []byte(`"version": 9999`), 1)
+	if bytes.Equal(stale, data) {
+		t.Fatal("test could not rewrite the snapshot version field")
+	}
+	if err := os.WriteFile(path, stale, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	e := New()
+	n, err := e.LoadSnapshot(path)
+	if err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("version-mismatched snapshot: got (%d, %v), want version error", n, err)
+	}
+	if got := e.Stats().Entries; got != 0 {
+		t.Fatalf("version-mismatched snapshot installed %d entries, want 0", got)
+	}
+}
+
+func TestSaveSnapshotAtomicNoTempLeftover(t *testing.T) {
+	e := warmEngine(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sub", "cache.json")
+	if err := e.SaveSnapshot(path); err != nil {
+		t.Fatalf("SaveSnapshot into fresh subdirectory: %v", err)
+	}
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "cache.json" {
+		names := make([]string, 0, len(entries))
+		for _, en := range entries {
+			names = append(names, en.Name())
+		}
+		t.Fatalf("cache dir holds %v, want exactly [cache.json]", names)
+	}
+}
+
+func TestReadSnapshotKeepsExistingEntries(t *testing.T) {
+	src := warmEngine(t)
+	var buf bytes.Buffer
+	if err := src.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Warm the destination for one of the snapshot's keys first: the
+	// restore must not clobber it, and must report one fewer install.
+	dst := New()
+	if _, err := dst.Profile(gpusim.VegaFE(), models.NewGNMT(), 16, 4, PhaseTrain); err != nil {
+		t.Fatal(err)
+	}
+	total := len(dumpCache(src))
+	n, err := dst.ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != total-1 {
+		t.Fatalf("restore over warm cache installed %d entries, want %d", n, total-1)
+	}
+	if got := dst.Stats().Entries; got != int64(total) {
+		t.Fatalf("cache holds %d entries after merge, want %d", got, total)
+	}
+}

@@ -1,0 +1,111 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"seqpoint/internal/trainer"
+)
+
+// Client is a typed HTTP client for a seqpointd server. The zero value
+// is not usable; build with NewClient. Methods are safe for concurrent
+// use.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for the server at baseURL (e.g.
+// "http://127.0.0.1:8080"). httpClient may be nil for
+// http.DefaultClient; pass a custom one to control transport-level
+// timeouts.
+func NewClient(baseURL string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(baseURL, "/"), hc: httpClient}
+}
+
+// Simulate runs one training-run simulation and returns its summary.
+func (c *Client) Simulate(ctx context.Context, req SimulateRequest) (trainer.RunSummary, error) {
+	var out trainer.RunSummary
+	err := c.post(ctx, "/v1/simulate", req, &out)
+	return out, err
+}
+
+// Sweep runs a (workload × config) grid and returns per-task results.
+func (c *Client) Sweep(ctx context.Context, req SweepRequest) (SweepResponse, error) {
+	var out SweepResponse
+	err := c.post(ctx, "/v1/sweep", req, &out)
+	return out, err
+}
+
+// SeqPoint simulates one run and selects representative iterations.
+func (c *Client) SeqPoint(ctx context.Context, req SeqPointRequest) (SeqPointResponse, error) {
+	var out SeqPointResponse
+	err := c.post(ctx, "/v1/seqpoint", req, &out)
+	return out, err
+}
+
+// Stats fetches the engine cache and service counters.
+func (c *Client) Stats(ctx context.Context) (StatsResponse, error) {
+	var out StatsResponse
+	err := c.get(ctx, "/v1/stats", &out)
+	return out, err
+}
+
+// Health reports whether the server answers its liveness probe.
+func (c *Client) Health(ctx context.Context) error {
+	return c.get(ctx, "/healthz", &struct {
+		Status string `json:"status"`
+	}{})
+}
+
+func (c *Client) post(ctx context.Context, path string, reqBody, out any) error {
+	payload, err := json.Marshal(reqBody)
+	if err != nil {
+		return fmt.Errorf("server client: encoding %s request: %w", path, err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(payload))
+	if err != nil {
+		return fmt.Errorf("server client: building %s request: %w", path, err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.do(req, out)
+}
+
+func (c *Client) get(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return fmt.Errorf("server client: building %s request: %w", path, err)
+	}
+	return c.do(req, out)
+}
+
+func (c *Client) do(req *http.Request, out any) error {
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("server client: %s %s: %w", req.Method, req.URL.Path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return fmt.Errorf("server client: reading %s response: %w", req.URL.Path, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		var er errorResponse
+		if json.Unmarshal(body, &er) == nil && er.Error != "" {
+			return fmt.Errorf("server client: %s: %s (HTTP %d)", req.URL.Path, er.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("server client: %s: HTTP %d: %s", req.URL.Path, resp.StatusCode, bytes.TrimSpace(body))
+	}
+	if err := json.Unmarshal(body, out); err != nil {
+		return fmt.Errorf("server client: decoding %s response: %w", req.URL.Path, err)
+	}
+	return nil
+}

@@ -1,0 +1,503 @@
+// Package server exposes the concurrent simulation engine over
+// HTTP/JSON: the long-running form of SeqPoint's what-if queries. One
+// seqpointd process amortizes the engine's profile cache across every
+// request (and, with cache persistence, across restarts), so the
+// expensive part of a query — pricing each unique (model, config,
+// batch, SL) profile — happens once per key for the lifetime of the
+// deployment.
+//
+// Endpoints:
+//
+//	POST /v1/simulate  — one training-run simulation → RunSummary JSON
+//	POST /v1/sweep     — a (workload × config) grid → per-task results
+//	POST /v1/seqpoint  — representative-iteration selection
+//	GET  /healthz      — liveness probe
+//	GET  /v1/stats     — engine cache + service counters
+//
+// Three throttles protect the process: a bounded in-flight limiter
+// (excess simulation requests get 429 instead of queueing unboundedly),
+// a per-request timeout with context cancellation, and request
+// coalescing — identical concurrent queries share one computation and
+// one response, stacking on top of the engine's per-profile
+// singleflight underneath.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"seqpoint/internal/core"
+	"seqpoint/internal/engine"
+)
+
+// Defaults for Options fields left zero.
+const (
+	DefaultMaxInflight    = 32
+	DefaultRequestTimeout = 2 * time.Minute
+	DefaultMaxBatch       = 4096
+	DefaultMaxSweepTasks  = 256
+	DefaultMaxEpochs      = 1000
+)
+
+// Hard request-shape bounds. Simulations cannot be cancelled once
+// started (they run to completion to warm the cache), so anything that
+// scales a request's work or memory super-linearly must be capped
+// before it reaches the engine.
+const (
+	// maxRequestBytes caps a request body before JSON decoding touches
+	// it; large sweeps fit in a fraction of this.
+	maxRequestBytes = 8 << 20
+	// maxSeqLen caps one synthetic sequence length: op-stream size grows
+	// with SL, and the paper's corpora top out around a few thousand.
+	maxSeqLen = 100000
+	// maxSeqLens caps the synthetic-corpus sample count.
+	maxSeqLens = 65536
+)
+
+// Options configures a Server; the zero value is fully usable.
+type Options struct {
+	// Engine is the simulation engine to serve; nil uses the shared
+	// process-wide engine.
+	Engine *engine.Engine
+	// MaxInflight bounds concurrently executing simulation requests;
+	// beyond it new work is rejected with 429. <= 0 uses
+	// DefaultMaxInflight.
+	MaxInflight int
+	// RequestTimeout bounds one request's wall-clock time; <= 0 uses
+	// DefaultRequestTimeout.
+	RequestTimeout time.Duration
+	// MaxBatch rejects absurd minibatch sizes before they allocate; <= 0
+	// uses DefaultMaxBatch.
+	MaxBatch int
+	// MaxSweepTasks bounds one sweep request's grid size; <= 0 uses
+	// DefaultMaxSweepTasks.
+	MaxSweepTasks int
+	// MaxEpochs bounds one request's simulated epoch count; <= 0 uses
+	// DefaultMaxEpochs.
+	MaxEpochs int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Engine == nil {
+		o.Engine = engine.Shared()
+	}
+	if o.MaxInflight <= 0 {
+		o.MaxInflight = DefaultMaxInflight
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = DefaultRequestTimeout
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = DefaultMaxBatch
+	}
+	if o.MaxSweepTasks <= 0 {
+		o.MaxSweepTasks = DefaultMaxSweepTasks
+	}
+	if o.MaxEpochs <= 0 {
+		o.MaxEpochs = DefaultMaxEpochs
+	}
+	return o
+}
+
+// flight is one in-progress computation shared by coalesced requests.
+type flight struct {
+	done   chan struct{}
+	status int
+	body   []byte
+}
+
+// Server serves the engine over HTTP. Build with New; a Server is an
+// http.Handler safe for concurrent use.
+type Server struct {
+	opts Options
+	eng  *engine.Engine
+	mux  *http.ServeMux
+
+	// sem is the in-flight limiter: one token per executing simulation.
+	sem chan struct{}
+
+	flightMu sync.Mutex
+	flights  map[string]*flight
+
+	requests  atomic.Int64
+	coalesced atomic.Int64
+	rejected  atomic.Int64
+	inflight  atomic.Int64
+}
+
+// New builds a Server over opts.Engine.
+func New(opts Options) *Server {
+	opts = opts.withDefaults()
+	s := &Server{
+		opts:    opts,
+		eng:     opts.Engine,
+		mux:     http.NewServeMux(),
+		sem:     make(chan struct{}, opts.MaxInflight),
+		flights: make(map[string]*flight),
+	}
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/v1/simulate", s.handleSimulate)
+	s.mux.HandleFunc("/v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("/v1/seqpoint", s.handleSeqPoint)
+	return s
+}
+
+// Engine returns the engine the server simulates on.
+func (s *Server) Engine() *engine.Engine { return s.eng }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Stats snapshots the service and engine counters.
+func (s *Server) Stats() StatsResponse {
+	return StatsResponse{
+		Engine:      s.eng.Stats(),
+		Requests:    s.requests.Load(),
+		Coalesced:   s.coalesced.Load(),
+		Rejected:    s.rejected.Load(),
+		Inflight:    s.inflight.Load(),
+		MaxInflight: s.opts.MaxInflight,
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed; use GET", r.Method))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed; use GET", r.Method))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req SimulateRequest
+	if !s.decodePost(w, r, &req) {
+		return
+	}
+	req = req.normalize()
+	if err := s.validate(req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	spec, hw, err := buildSpec(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	status, body := s.execute(r.Context(), coalesceKey("simulate", req), func() (int, []byte) {
+		run, err := s.eng.Simulate(spec, hw)
+		if err != nil {
+			return http.StatusInternalServerError, errorBody(err)
+		}
+		buf, err := run.Summary().Serialize()
+		if err != nil {
+			return http.StatusInternalServerError, errorBody(err)
+		}
+		return http.StatusOK, buf
+	})
+	writeRaw(w, status, body)
+}
+
+func (s *Server) handleSeqPoint(w http.ResponseWriter, r *http.Request) {
+	var req SeqPointRequest
+	if !s.decodePost(w, r, &req) {
+		return
+	}
+	req.SimulateRequest = req.SimulateRequest.normalize()
+	if err := s.validate(req.SimulateRequest); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	method := req.Method
+	if method == "" {
+		method = "seqpoint"
+	}
+	var selectFn func([]core.SLRecord) (core.Selection, error)
+	switch method {
+	case "seqpoint":
+		opts := core.Options{
+			MaxUniqueNoBinning: req.MaxUniqueNoBinning,
+			InitialBins:        req.InitialBins,
+			ErrorThresholdPct:  req.ErrorThresholdPct,
+		}
+		selectFn = func(recs []core.SLRecord) (core.Selection, error) { return core.Select(recs, opts) }
+	case "frequent":
+		selectFn = core.Frequent
+	case "median":
+		selectFn = core.Median
+	case "worst":
+		selectFn = core.Worst
+	default:
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("unknown method %q (want seqpoint, frequent, median or worst)", req.Method))
+		return
+	}
+	spec, hw, err := buildSpec(req.SimulateRequest)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	status, body := s.execute(r.Context(), coalesceKey("seqpoint", req), func() (int, []byte) {
+		run, err := s.eng.Simulate(spec, hw)
+		if err != nil {
+			return http.StatusInternalServerError, errorBody(err)
+		}
+		sum, err := run.EpochSummary(0)
+		if err != nil {
+			return http.StatusInternalServerError, errorBody(err)
+		}
+		recs := make([]core.SLRecord, len(sum))
+		for i, sl := range sum {
+			recs[i] = core.SLRecord{SeqLen: sl.SeqLen, Freq: sl.Count, Stat: sl.IterTimeUS}
+		}
+		sel, err := selectFn(recs)
+		if err != nil {
+			return http.StatusInternalServerError, errorBody(err)
+		}
+		resp := SeqPointResponse{
+			Model:     req.Model,
+			Config:    req.Config,
+			Method:    method,
+			UniqueSLs: len(recs),
+			Bins:      sel.Bins,
+			Binned:    sel.Binned,
+			ErrorPct:  sel.ErrorPct,
+			Points:    make([]SeqPointResult, len(sel.Points)),
+		}
+		for i, p := range sel.Points {
+			resp.Points[i] = SeqPointResult{SeqLen: p.SeqLen, Weight: p.Weight, IterTimeUS: p.Stat}
+		}
+		return http.StatusOK, marshalBody(resp)
+	})
+	writeRaw(w, status, body)
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if !s.decodePost(w, r, &req) {
+		return
+	}
+	if len(req.Tasks) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("sweep needs at least one task"))
+		return
+	}
+	if len(req.Tasks) > s.opts.MaxSweepTasks {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("sweep of %d tasks exceeds the %d-task limit", len(req.Tasks), s.opts.MaxSweepTasks))
+		return
+	}
+	tasks := make([]engine.SweepTask, len(req.Tasks))
+	for i, tr := range req.Tasks {
+		tr = tr.normalize()
+		req.Tasks[i] = tr
+		if err := s.validate(tr); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("task %d: %w", i, err))
+			return
+		}
+		spec, hw, err := buildSpec(tr)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("task %d: %w", i, err))
+			return
+		}
+		tasks[i] = engine.SweepTask{Name: taskName(tr), Spec: spec, Config: hw}
+	}
+
+	// A sweep occupies one limiter slot regardless of its internal
+	// parallelism; the engine's own pool bounds the real fan-out.
+	status, body := s.execute(r.Context(), coalesceKey("sweep", req), func() (int, []byte) {
+		results := s.eng.Sweep(context.Background(), tasks, req.Parallelism)
+		resp := SweepResponse{Results: make([]SweepTaskResult, len(results))}
+		for i, res := range results {
+			out := SweepTaskResult{Name: res.Task.Name}
+			if res.Err != nil {
+				out.Error = res.Err.Error()
+			} else {
+				sum := res.Run.Summary()
+				out.Summary = &sum
+			}
+			resp.Results[i] = out
+		}
+		return http.StatusOK, marshalBody(resp)
+	})
+	writeRaw(w, status, body)
+}
+
+// decodePost enforces the POST method and strict JSON decoding; it
+// writes the error response itself and reports whether to continue.
+func (s *Server) decodePost(w http.ResponseWriter, r *http.Request, dst any) bool {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed; use POST", r.Method))
+		return false
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request body: %w", err))
+		return false
+	}
+	return true
+}
+
+// validate applies the server's request-shape limits.
+func (s *Server) validate(r SimulateRequest) error {
+	switch {
+	case r.Batch <= 0:
+		return fmt.Errorf("batch must be positive, got %d", r.Batch)
+	case r.Batch > s.opts.MaxBatch:
+		return fmt.Errorf("batch %d exceeds the server limit %d", r.Batch, s.opts.MaxBatch)
+	case r.Epochs <= 0:
+		return fmt.Errorf("epochs must be positive, got %d", r.Epochs)
+	case r.Epochs > s.opts.MaxEpochs:
+		return fmt.Errorf("epochs %d exceeds the server limit %d", r.Epochs, s.opts.MaxEpochs)
+	case len(r.SeqLens) > maxSeqLens:
+		return fmt.Errorf("seqlens provides %d samples, more than the %d-sample limit", len(r.SeqLens), maxSeqLens)
+	case r.GPUs > r.Batch:
+		return fmt.Errorf("gpus %d exceeds batch %d: every replica needs at least one sample", r.GPUs, r.Batch)
+	}
+	for _, sl := range r.SeqLens {
+		if sl <= 0 || sl > maxSeqLen {
+			return fmt.Errorf("sequence length %d outside (0, %d]", sl, maxSeqLen)
+		}
+	}
+	return nil
+}
+
+// coalesceKey canonicalizes a normalized request as the coalescing
+// identity: endpoint + deterministic JSON of every request field.
+func coalesceKey(endpoint string, req any) string {
+	b, err := json.Marshal(req)
+	if err != nil {
+		// Requests are plain data structs; marshal cannot fail. Fall
+		// back to never-coalesce rather than panicking.
+		return fmt.Sprintf("%s|unkeyed|%p", endpoint, req)
+	}
+	return endpoint + "|" + string(b)
+}
+
+// execute runs compute under the server's three throttles: coalescing
+// (an identical in-flight request shares its response), the bounded
+// in-flight limiter (429 when saturated) and the per-request timeout.
+// The computation itself is not abandoned on timeout — it finishes and
+// populates the flight so later identical requests still benefit — but
+// the waiting handler returns as soon as its context is done.
+func (s *Server) execute(ctx context.Context, key string, compute func() (int, []byte)) (int, []byte) {
+	ctx, cancel := context.WithTimeout(ctx, s.opts.RequestTimeout)
+	defer cancel()
+
+	s.flightMu.Lock()
+	if f, ok := s.flights[key]; ok {
+		s.flightMu.Unlock()
+		s.coalesced.Add(1)
+		select {
+		case <-f.done:
+			return f.status, f.body
+		case <-ctx.Done():
+			return statusForContext(ctx.Err()), errorBody(ctx.Err())
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	s.flights[key] = f
+	s.flightMu.Unlock()
+
+	finish := func(status int, body []byte) {
+		f.status, f.body = status, body
+		s.flightMu.Lock()
+		delete(s.flights, key)
+		s.flightMu.Unlock()
+		close(f.done)
+	}
+
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		// Saturated: reject this flight; coalesced followers (if any
+		// raced in) receive the same 429.
+		s.rejected.Add(1)
+		finish(http.StatusTooManyRequests,
+			errorBody(fmt.Errorf("server at max in-flight simulations (%d); retry later", s.opts.MaxInflight)))
+		return f.status, f.body
+	}
+	if err := ctx.Err(); err != nil {
+		// The request was already cancelled before any work started.
+		<-s.sem
+		finish(statusForContext(err), errorBody(err))
+		return f.status, f.body
+	}
+
+	s.requests.Add(1)
+	s.inflight.Add(1)
+	go func() {
+		status, body := compute()
+		s.inflight.Add(-1)
+		finish(status, body)
+		<-s.sem
+	}()
+
+	select {
+	case <-f.done:
+		return f.status, f.body
+	case <-ctx.Done():
+		return statusForContext(ctx.Err()), errorBody(ctx.Err())
+	}
+}
+
+// statusForContext maps a context error to a response status: timeouts
+// are 504, client cancellations 503.
+func statusForContext(err error) int {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return http.StatusGatewayTimeout
+	}
+	return http.StatusServiceUnavailable
+}
+
+func marshalBody(v any) []byte {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return errorBody(err)
+	}
+	return append(b, '\n')
+}
+
+func errorBody(err error) []byte {
+	return marshalErr(errorResponse{Error: err.Error()})
+}
+
+func marshalErr(v errorResponse) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return []byte(`{"error":"internal encoding failure"}`)
+	}
+	return append(b, '\n')
+}
+
+func writeRaw(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeRaw(w, status, errorBody(err))
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	writeRaw(w, status, marshalBody(v))
+}

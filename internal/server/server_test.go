@@ -1,0 +1,303 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"seqpoint/internal/engine"
+)
+
+// testSeqLens is a small fixed SL set shared by the handler tests:
+// hermetic (no full corpus synthesis) and quick to profile.
+var testSeqLens = []int{4, 7, 7, 9, 12, 12, 12, 15, 4, 9, 21, 21}
+
+func testServer(opts Options) *Server {
+	if opts.Engine == nil {
+		opts.Engine = engine.New()
+	}
+	return New(opts)
+}
+
+func postJSON(t *testing.T, s *Server, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	return w
+}
+
+func TestHandlerTable(t *testing.T) {
+	s := testServer(Options{})
+	cases := []struct {
+		name       string
+		method     string
+		path       string
+		body       string
+		wantStatus int
+		wantInBody string
+	}{
+		{
+			name:   "simulate ok",
+			method: http.MethodPost, path: "/v1/simulate",
+			body:       `{"model":"gnmt","batch":8,"seqlens":[4,7,7,9,12,12,12,15,4,9,21,21]}`,
+			wantStatus: http.StatusOK,
+			wantInBody: `"iterations"`,
+		},
+		{
+			name:   "bad json",
+			method: http.MethodPost, path: "/v1/simulate",
+			body:       `{"model": "gnmt",`,
+			wantStatus: http.StatusBadRequest,
+			wantInBody: "decoding request body",
+		},
+		{
+			name:   "unknown field",
+			method: http.MethodPost, path: "/v1/simulate",
+			body:       `{"model":"gnmt","bacth":8}`,
+			wantStatus: http.StatusBadRequest,
+			wantInBody: "decoding request body",
+		},
+		{
+			name:   "unknown model",
+			method: http.MethodPost, path: "/v1/simulate",
+			body:       `{"model":"bert"}`,
+			wantStatus: http.StatusBadRequest,
+			wantInBody: "unknown model",
+		},
+		{
+			name:   "missing model",
+			method: http.MethodPost, path: "/v1/simulate",
+			body:       `{"batch":8}`,
+			wantStatus: http.StatusBadRequest,
+			wantInBody: "unknown model",
+		},
+		{
+			name:   "oversized batch",
+			method: http.MethodPost, path: "/v1/simulate",
+			body:       `{"model":"gnmt","batch":1000000}`,
+			wantStatus: http.StatusBadRequest,
+			wantInBody: "exceeds the server limit",
+		},
+		{
+			name:   "negative batch",
+			method: http.MethodPost, path: "/v1/simulate",
+			body:       `{"model":"gnmt","batch":-3}`,
+			wantStatus: http.StatusBadRequest,
+			wantInBody: "batch must be positive",
+		},
+		{
+			name:   "oversized epochs",
+			method: http.MethodPost, path: "/v1/simulate",
+			body:       `{"model":"gnmt","batch":2,"epochs":2000000000,"seqlens":[4,7]}`,
+			wantStatus: http.StatusBadRequest,
+			wantInBody: "exceeds the server limit",
+		},
+		{
+			name:   "absurd seqlen",
+			method: http.MethodPost, path: "/v1/simulate",
+			body:       `{"model":"gnmt","batch":2,"seqlens":[4,1000000000]}`,
+			wantStatus: http.StatusBadRequest,
+			wantInBody: "outside",
+		},
+		{
+			name:   "more gpus than batch",
+			method: http.MethodPost, path: "/v1/simulate",
+			body:       `{"model":"gnmt","batch":2,"gpus":8,"seqlens":[4,7]}`,
+			wantStatus: http.StatusBadRequest,
+			wantInBody: "every replica needs at least one sample",
+		},
+		{
+			name:   "unknown config",
+			method: http.MethodPost, path: "/v1/simulate",
+			body:       `{"model":"gnmt","config":"#9","seqlens":[4,7]}`,
+			wantStatus: http.StatusBadRequest,
+			wantInBody: "unknown config",
+		},
+		{
+			name:   "bad topology",
+			method: http.MethodPost, path: "/v1/simulate",
+			body:       `{"model":"gnmt","gpus":4,"topology":"torus","seqlens":[4,7]}`,
+			wantStatus: http.StatusBadRequest,
+			wantInBody: "unknown topology",
+		},
+		{
+			name:   "invalid cluster overlap",
+			method: http.MethodPost, path: "/v1/simulate",
+			body:       `{"model":"gnmt","gpus":4,"overlap":1.5,"seqlens":[4,7]}`,
+			wantStatus: http.StatusBadRequest,
+			wantInBody: "overlap",
+		},
+		{
+			name:   "method not allowed",
+			method: http.MethodGet, path: "/v1/simulate",
+			wantStatus: http.StatusMethodNotAllowed,
+			wantInBody: "use POST",
+		},
+		{
+			name:   "stats wrong method",
+			method: http.MethodPost, path: "/v1/stats",
+			body:       `{}`,
+			wantStatus: http.StatusMethodNotAllowed,
+			wantInBody: "use GET",
+		},
+		{
+			name:   "healthz ok",
+			method: http.MethodGet, path: "/healthz",
+			wantStatus: http.StatusOK,
+			wantInBody: `"ok"`,
+		},
+		{
+			name:   "unknown path",
+			method: http.MethodGet, path: "/v1/nope",
+			wantStatus: http.StatusNotFound,
+		},
+		{
+			name:   "seqpoint ok",
+			method: http.MethodPost, path: "/v1/seqpoint",
+			body:       `{"model":"gnmt","batch":4,"seqlens":[4,7,7,9,12,12,15,4,9,21],"n":3,"e":5}`,
+			wantStatus: http.StatusOK,
+			wantInBody: `"points"`,
+		},
+		{
+			name:   "seqpoint unknown method",
+			method: http.MethodPost, path: "/v1/seqpoint",
+			body:       `{"model":"gnmt","batch":4,"seqlens":[4,7],"method":"psychic"}`,
+			wantStatus: http.StatusBadRequest,
+			wantInBody: "unknown method",
+		},
+		{
+			name:   "sweep empty",
+			method: http.MethodPost, path: "/v1/sweep",
+			body:       `{"tasks":[]}`,
+			wantStatus: http.StatusBadRequest,
+			wantInBody: "at least one task",
+		},
+		{
+			name:   "sweep bad task",
+			method: http.MethodPost, path: "/v1/sweep",
+			body:       `{"tasks":[{"model":"gnmt","batch":1,"seqlens":[4]},{"model":"nope"}]}`,
+			wantStatus: http.StatusBadRequest,
+			wantInBody: "task 1",
+		},
+		{
+			name:   "sweep ok",
+			method: http.MethodPost, path: "/v1/sweep",
+			body:       `{"tasks":[{"model":"gnmt","batch":2,"seqlens":[4,7]},{"model":"gnmt","batch":2,"config":"#3","seqlens":[4,7]}]}`,
+			wantStatus: http.StatusOK,
+			wantInBody: `"gnmt on #3`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req := httptest.NewRequest(tc.method, tc.path, strings.NewReader(tc.body))
+			w := httptest.NewRecorder()
+			s.ServeHTTP(w, req)
+			if w.Code != tc.wantStatus {
+				t.Fatalf("status %d, want %d; body: %s", w.Code, tc.wantStatus, w.Body.String())
+			}
+			if tc.wantInBody != "" && !strings.Contains(w.Body.String(), tc.wantInBody) {
+				t.Fatalf("body %q does not contain %q", w.Body.String(), tc.wantInBody)
+			}
+			if ct := w.Header().Get("Content-Type"); tc.wantStatus != http.StatusNotFound && ct != "application/json" {
+				t.Fatalf("Content-Type %q, want application/json", ct)
+			}
+		})
+	}
+}
+
+func TestCancelledContext(t *testing.T) {
+	s := testServer(Options{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := httptest.NewRequest(http.MethodPost, "/v1/simulate",
+		strings.NewReader(`{"model":"gnmt","batch":3,"seqlens":[4,7,9]}`)).WithContext(ctx)
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("cancelled request: status %d, want %d; body: %s",
+			w.Code, http.StatusServiceUnavailable, w.Body.String())
+	}
+}
+
+func TestRequestTimeout(t *testing.T) {
+	// A nanosecond budget expires before any simulation can finish, so
+	// the handler must answer 504 while the flight completes off-path.
+	s := testServer(Options{RequestTimeout: 1})
+	w := postJSON(t, s, "/v1/simulate", `{"model":"gnmt","batch":3,"seqlens":[4,7,9]}`)
+	if w.Code != http.StatusGatewayTimeout {
+		t.Fatalf("timed-out request: status %d, want %d; body: %s",
+			w.Code, http.StatusGatewayTimeout, w.Body.String())
+	}
+}
+
+func TestInflightLimiterRejects(t *testing.T) {
+	s := testServer(Options{MaxInflight: 1})
+	// Occupy the only slot directly: deterministic saturation without
+	// timing games.
+	s.sem <- struct{}{}
+	defer func() { <-s.sem }()
+
+	w := postJSON(t, s, "/v1/simulate", `{"model":"gnmt","batch":2,"seqlens":[4,7]}`)
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("saturated server: status %d, want %d; body: %s",
+			w.Code, http.StatusTooManyRequests, w.Body.String())
+	}
+	if got := s.Stats().Rejected; got != 1 {
+		t.Fatalf("rejected counter = %d, want 1", got)
+	}
+}
+
+// TestRepeatServedFromCache is the acceptance check: a second identical
+// request must be answered from the engine cache, observable through
+// the /v1/stats hit counter, and byte-identical to the first response.
+func TestRepeatServedFromCache(t *testing.T) {
+	s := testServer(Options{})
+	body := `{"model":"gnmt","batch":4,"seqlens":[4,7,9,12]}`
+
+	first := postJSON(t, s, "/v1/simulate", body)
+	if first.Code != http.StatusOK {
+		t.Fatalf("first request failed: %s", first.Body.String())
+	}
+	statsAfterFirst := s.Stats()
+	if statsAfterFirst.Engine.Misses == 0 {
+		t.Fatal("first request computed no profiles")
+	}
+
+	second := postJSON(t, s, "/v1/simulate", body)
+	if second.Code != http.StatusOK {
+		t.Fatalf("second request failed: %s", second.Body.String())
+	}
+	statsAfterSecond := s.Stats()
+	if statsAfterSecond.Engine.Hits <= statsAfterFirst.Engine.Hits {
+		t.Fatalf("second identical request added no cache hits: %+v -> %+v",
+			statsAfterFirst.Engine, statsAfterSecond.Engine)
+	}
+	if statsAfterSecond.Engine.Misses != statsAfterFirst.Engine.Misses {
+		t.Fatalf("second identical request recomputed profiles: misses %d -> %d",
+			statsAfterFirst.Engine.Misses, statsAfterSecond.Engine.Misses)
+	}
+	if first.Body.String() != second.Body.String() {
+		t.Fatal("cached response differs from computed response")
+	}
+}
+
+func TestStatsEndpointShape(t *testing.T) {
+	s := testServer(Options{MaxInflight: 7})
+	if w := postJSON(t, s, "/v1/simulate", `{"model":"gnmt","batch":2,"seqlens":[4,7]}`); w.Code != http.StatusOK {
+		t.Fatalf("simulate: %s", w.Body.String())
+	}
+	req := httptest.NewRequest(http.MethodGet, "/v1/stats", nil)
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	var resp StatsResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("decoding stats: %v", err)
+	}
+	if resp.MaxInflight != 7 || resp.Requests != 1 || resp.Engine.Entries == 0 {
+		t.Fatalf("unexpected stats: %+v", resp)
+	}
+}

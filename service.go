@@ -1,0 +1,49 @@
+package seqpoint
+
+import (
+	"seqpoint/internal/engine"
+	"seqpoint/internal/server"
+)
+
+// HTTP simulation service (internal/server): the engine behind
+// seqpointd. A Server exposes the engine over HTTP/JSON — POST
+// /v1/simulate, /v1/sweep and /v1/seqpoint, GET /healthz and /v1/stats
+// — with per-request timeouts, a bounded in-flight limiter and request
+// coalescing on top of the engine's per-profile singleflight. The
+// typed ServiceClient speaks the same wire format.
+type (
+	// Server serves an engine over HTTP; it is an http.Handler.
+	Server = server.Server
+	// ServerOptions configures a Server; the zero value is usable.
+	ServerOptions = server.Options
+	// ServiceClient is the typed HTTP client for a seqpointd server.
+	ServiceClient = server.Client
+	// SimulateRequest describes one training-run simulation over the
+	// wire.
+	SimulateRequest = server.SimulateRequest
+	// SweepRequest is a (workload × config) grid request.
+	SweepRequest = server.SweepRequest
+	// SweepResponse carries per-task sweep results in task order.
+	SweepResponse = server.SweepResponse
+	// SeqPointRequest asks for representative-iteration selection.
+	SeqPointRequest = server.SeqPointRequest
+	// SeqPointResponse is the selection outcome over the wire.
+	SeqPointResponse = server.SeqPointResponse
+	// ServiceStats is the service- and engine-level counter snapshot
+	// served by GET /v1/stats.
+	ServiceStats = server.StatsResponse
+)
+
+var (
+	// NewServer builds an HTTP simulation server over an engine.
+	NewServer = server.New
+	// NewServiceClient returns a typed client for the server at the
+	// given base URL.
+	NewServiceClient = server.NewClient
+)
+
+// CacheSnapshotVersion is the on-disk profile-cache format version;
+// snapshots written at any other version are invalidated on load. See
+// Engine.SaveSnapshot and Engine.LoadSnapshot for the persistence API
+// that lets a restarted service answer warm.
+const CacheSnapshotVersion = engine.SnapshotVersion

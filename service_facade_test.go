@@ -1,0 +1,82 @@
+package seqpoint_test
+
+// Facade coverage for the serving subsystem: the public re-exports must
+// be enough to run the full service story — build a server over a
+// private engine, query it through the typed client, persist the cache
+// and restore it warm — without touching internal packages.
+
+import (
+	"context"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+
+	"seqpoint"
+)
+
+func TestServiceFacadeRoundTrip(t *testing.T) {
+	eng := seqpoint.NewEngine()
+	srv := seqpoint.NewServer(seqpoint.ServerOptions{Engine: eng})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	client := seqpoint.NewServiceClient(ts.URL, nil)
+	ctx := context.Background()
+	if err := client.Health(ctx); err != nil {
+		t.Fatalf("health: %v", err)
+	}
+
+	req := seqpoint.SimulateRequest{
+		Model:   "gnmt",
+		Batch:   4,
+		SeqLens: []int{4, 7, 9, 12, 4, 9, 15, 21},
+	}
+	sum, err := client.Simulate(ctx, req)
+	if err != nil {
+		t.Fatalf("simulate: %v", err)
+	}
+	if sum.Iterations == 0 || sum.TrainUS <= 0 {
+		t.Fatalf("degenerate summary: %+v", sum)
+	}
+
+	// Snapshot through the facade, restore into a fresh engine, and
+	// verify the restarted server answers the same query warm.
+	cachePath := filepath.Join(t.TempDir(), "cache.json")
+	if err := eng.SaveSnapshot(cachePath); err != nil {
+		t.Fatalf("SaveSnapshot: %v", err)
+	}
+	restarted := seqpoint.NewEngine()
+	n, err := restarted.LoadSnapshot(cachePath)
+	if err != nil {
+		t.Fatalf("LoadSnapshot: %v", err)
+	}
+	if n == 0 {
+		t.Fatal("snapshot restored no profiles")
+	}
+
+	ts2 := httptest.NewServer(seqpoint.NewServer(seqpoint.ServerOptions{Engine: restarted}))
+	defer ts2.Close()
+	sum2, err := seqpoint.NewServiceClient(ts2.URL, nil).Simulate(ctx, req)
+	if err != nil {
+		t.Fatalf("warm simulate: %v", err)
+	}
+	stats := restarted.Stats()
+	if stats.Misses != 0 {
+		t.Fatalf("restarted engine recomputed %d profiles; want all served from the restored cache", stats.Misses)
+	}
+	a, err := sum.Serialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sum2.Serialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatalf("warm restart changed the answer:\n%s\nvs\n%s", a, b)
+	}
+
+	if seqpoint.CacheSnapshotVersion < 1 {
+		t.Fatalf("CacheSnapshotVersion = %d, want >= 1", seqpoint.CacheSnapshotVersion)
+	}
+}

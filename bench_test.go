@@ -304,6 +304,32 @@ func BenchmarkEngineSweep(b *testing.B) {
 	}
 }
 
+// BenchmarkServingLoadSweep measures the online-serving load sweep —
+// the arrival-rate saturation curve — on the shared suite, reporting
+// the measured capacity and the latency tail on either side of the
+// knee. The numbers land in the BENCH_ci.json artifact alongside the
+// paper benchmarks.
+func BenchmarkServingLoadSweep(b *testing.B) {
+	s := bsuite(b)
+	var res experiments.LoadSweepResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiments.LoadSweep(s.Lab, s.GNMT, s.Calib(),
+			experiments.DefaultServeRequests, experiments.LoadSweepFactors())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.CapacityRPS, "capacity-rps")
+	knee := res.Knee()
+	if knee >= 0 {
+		b.ReportMetric(res.Rows[knee].P99US, "p99-at-knee-us")
+	}
+	last := res.Rows[len(res.Rows)-1]
+	b.ReportMetric(last.P99US, "p99-overload-us")
+	b.ReportMetric(last.ThroughputRPS, "overload-throughput-rps")
+}
+
 // BenchmarkSelect measures the SeqPoint selection algorithm itself
 // (binning + auto-k) on a realistic epoch log — microseconds, which is
 // the point: selection is free compared to profiling.

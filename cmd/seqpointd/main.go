@@ -11,8 +11,9 @@
 //	          -parallelism 8 -max-inflight 32
 //
 // Endpoints: POST /v1/simulate, POST /v1/sweep, POST /v1/seqpoint,
-// GET /healthz, GET /v1/stats. See the README's "Running as a service"
-// section for request examples.
+// POST /v1/serve, GET /healthz, GET /v1/stats. See the README's
+// "Running as a service" and "Online serving simulation" sections for
+// request examples.
 package main
 
 import (
@@ -24,6 +25,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
@@ -80,8 +82,15 @@ func run(addr, cacheFile string, parallelism, maxInflight int, timeout, snapshot
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// The periodic snapshotter is stopped AND joined before the final
+	// shutdown save: without the join, a tick that fired just before the
+	// signal could still be mid-write and win the atomic-rename race,
+	// persisting a snapshot older than the shutdown one.
+	var snapWG sync.WaitGroup
 	if cacheFile != "" && snapshotInt > 0 {
+		snapWG.Add(1)
 		go func() {
+			defer snapWG.Done()
 			tick := time.NewTicker(snapshotInt)
 			defer tick.Stop()
 			for {
@@ -116,6 +125,11 @@ func run(addr, cacheFile string, parallelism, maxInflight int, timeout, snapshot
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("shutdown: %v", err)
 	}
+
+	// Stop and join the snapshotter before the final save so no stale
+	// periodic write can land after (and over) the shutdown snapshot.
+	stop()
+	snapWG.Wait()
 
 	if cacheFile != "" {
 		stats := eng.Stats()

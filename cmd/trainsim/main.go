@@ -3,10 +3,15 @@
 // (seqlen, iterations, iteration time, counters) plus a run summary.
 // The CSV is the raw data behind the paper's Figs 7 and 9.
 //
+// With -serve it instead simulates online inference serving: a Poisson
+// arrival trace at -rate requests/s through the -policy batcher,
+// reporting throughput, utilization and the p50/p95/p99 latency tail.
+//
 // Usage:
 //
 //	trainsim -model ds2 -config 3 -epochs 2 -parallelism 8 -o profile.csv
 //	trainsim -model gnmt -gpus 8 -topology ring -linkgbps 25
+//	trainsim -model gnmt -serve -rate 120 -policy dynamic -requests 512
 package main
 
 import (
@@ -14,12 +19,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"seqpoint/internal/engine"
 	"seqpoint/internal/experiments"
 	"seqpoint/internal/gpusim"
 	"seqpoint/internal/profiler"
 	"seqpoint/internal/report"
+	"seqpoint/internal/serving"
 )
 
 // writeTrace prices one iteration at traceSL and writes its kernel
@@ -57,9 +64,49 @@ func main() {
 		linkGBps = flag.Float64("linkgbps", gpusim.DefaultLinkGBps, "per-link interconnect bandwidth in GB/s")
 		linkLat  = flag.Float64("linklatus", gpusim.DefaultLinkLatencyUS, "per-hop interconnect latency in microseconds")
 		overlap  = flag.Float64("overlap", gpusim.DefaultOverlap, "fraction of compute the all-reduce can hide behind [0,1]")
+		serve    = flag.Bool("serve", false, "simulate online serving instead of training")
+		rate     = flag.Float64("rate", 100, "(with -serve) Poisson arrival rate in requests/s")
+		policy   = flag.String("policy", serving.PolicyDynamic, "(with -serve) batching policy: fixed, dynamic or length")
+		requests = flag.Int("requests", experiments.DefaultServeRequests, "(with -serve) arrival-trace length")
+		timeout  = flag.Float64("serve-timeout-us", 50000, "(with -serve) dynamic policy's batching window in µs")
 	)
 	flag.Parse()
 	engine.Shared().SetParallelism(*par)
+
+	// The two modes accept disjoint knobs; reject mismatched flags
+	// instead of silently ignoring them (forgetting -serve while
+	// passing -rate would otherwise run a training simulation).
+	trainOnly := map[string]bool{
+		"gpus": true, "topology": true, "linkgbps": true, "linklatus": true,
+		"overlap": true, "epochs": true, "o": true, "trace-sl": true, "trace-o": true,
+	}
+	serveOnly := map[string]bool{
+		"rate": true, "policy": true, "requests": true, "serve-timeout-us": true,
+	}
+	var bad []string
+	flag.Visit(func(f *flag.Flag) {
+		if *serve && trainOnly[f.Name] || !*serve && serveOnly[f.Name] {
+			bad = append(bad, "-"+f.Name)
+		}
+	})
+	if len(bad) > 0 {
+		if *serve {
+			fmt.Fprintf(os.Stderr, "trainsim: %s apply to training simulation only, not -serve\n",
+				strings.Join(bad, ", "))
+		} else {
+			fmt.Fprintf(os.Stderr, "trainsim: %s apply to -serve only; add -serve to simulate serving\n",
+				strings.Join(bad, ", "))
+		}
+		os.Exit(1)
+	}
+
+	if *serve {
+		if err := runServe(*model, *cfgIdx, *batch, *seed, *rate, *policy, *requests, *timeout); err != nil {
+			fmt.Fprintln(os.Stderr, "trainsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	cl, err := clusterFromFlags(*gpus, *topology, *linkGBps, *linkLat, *overlap)
 	if err != nil {
@@ -70,6 +117,48 @@ func main() {
 		fmt.Fprintln(os.Stderr, "trainsim:", err)
 		os.Exit(1)
 	}
+}
+
+// runServe simulates online serving and prints the roll-up.
+func runServe(model string, cfgIdx, batch int, seed int64, rate float64, policyName string, requests int, timeoutUS float64) error {
+	cfgs := gpusim.TableII()
+	if cfgIdx < 1 || cfgIdx > len(cfgs) {
+		return fmt.Errorf("config %d outside Table II range 1-%d", cfgIdx, len(cfgs))
+	}
+	cfg := cfgs[cfgIdx-1]
+	w, err := experiments.ServedWorkloadByName(model, seed)
+	if err != nil {
+		return err
+	}
+	pol, err := serving.ParsePolicy(policyName, batch, timeoutUS)
+	if err != nil {
+		return err
+	}
+	trace, err := serving.PoissonTrace(w.Train, requests, rate, seed)
+	if err != nil {
+		return err
+	}
+	res, err := serving.Simulate(serving.Spec{Model: w.Model, Trace: trace, Policy: pol}, cfg)
+	if err != nil {
+		return err
+	}
+	sum := res.Summary()
+
+	fmt.Printf("model=%s trace=%s config=%s policy=%s\n", w.Name, trace.Name, cfg, sum.Policy)
+	t := report.NewTable("Serving summary", "quantity", "value").Align(1, report.AlignRight)
+	t.AddStringRow("requests", report.Count(sum.Requests))
+	t.AddStringRow("batches", report.Count(sum.Batches))
+	t.AddStringRow("mean batch size", fmt.Sprintf("%.1f", sum.MeanBatch))
+	t.AddStringRow("makespan", report.US(sum.MakespanUS))
+	t.AddStringRow("utilization", report.Pct(sum.UtilizationPct))
+	t.AddStringRow("throughput", fmt.Sprintf("%.1f req/s", sum.ThroughputRPS))
+	t.AddStringRow("mean wait", report.US(sum.MeanWaitUS))
+	t.AddStringRow("mean latency", report.US(sum.MeanLatencyUS))
+	t.AddStringRow("p50 latency", report.US(sum.P50LatencyUS))
+	t.AddStringRow("p95 latency", report.US(sum.P95LatencyUS))
+	t.AddStringRow("p99 latency", report.US(sum.P99LatencyUS))
+	fmt.Print(t.String())
+	return nil
 }
 
 // clusterFromFlags assembles and validates the cluster configuration.
@@ -98,20 +187,9 @@ func run(model string, cfgIdx, epochs, batch int, seed int64, outCSV string, tra
 	}
 	cfg := cfgs[cfgIdx-1]
 
-	var w experiments.Workload
-	switch model {
-	case "ds2":
-		w = experiments.DS2Workload(seed)
-	case "gnmt":
-		w = experiments.GNMTWorkload(seed)
-	case "transformer":
-		w = experiments.TransformerWorkload(seed)
-	case "seq2seq":
-		w = experiments.Seq2SeqWorkload(seed)
-	case "cnn":
-		w = experiments.CNNWorkload(seed)
-	default:
-		return fmt.Errorf("unknown model %q (want ds2, gnmt, transformer, seq2seq or cnn)", model)
+	w, err := experiments.WorkloadByName(model, seed)
+	if err != nil {
+		return err
 	}
 	w.Batch = batch
 	w.Epochs = epochs

@@ -1,0 +1,59 @@
+// Example serving simulates online inference serving of GNMT under
+// three batching policies at the same arrival rate, showing how the
+// policy choice trades mean latency against the p99 tail — and how the
+// length-aware batcher exploits the sequence-length histogram to cut
+// padding waste.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"seqpoint"
+)
+
+func main() {
+	// A small IWSLT-shaped corpus keeps the demo fast; request lengths
+	// are drawn from it uniformly.
+	corpus := seqpoint.Subsample(seqpoint.IWSLT15(1), 512, 1)
+	trace, err := seqpoint.PoissonTrace(corpus, 256, 120, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fixed, err := seqpoint.NewFixedBatch(16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dynamic, err := seqpoint.NewDynamicBatch(16, 50_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	length, err := seqpoint.NewLengthAware(16)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("serving %d GNMT requests at 120 req/s on %s\n\n",
+		len(trace.Requests), seqpoint.VegaFE().Name)
+	fmt.Printf("%-18s %10s %10s %12s %12s %12s\n",
+		"policy", "req/s", "util", "p50", "p95", "p99")
+	for _, policy := range []seqpoint.BatchPolicy{fixed, dynamic, length} {
+		res, err := seqpoint.SimulateServing(seqpoint.ServingSpec{
+			Model:  seqpoint.NewGNMT(),
+			Trace:  trace,
+			Policy: policy,
+		}, seqpoint.VegaFE())
+		if err != nil {
+			log.Fatal(err)
+		}
+		s := res.Summary()
+		fmt.Printf("%-18s %10.1f %9.1f%% %10.1fms %10.1fms %10.1fms\n",
+			s.Policy, s.ThroughputRPS, s.UtilizationPct,
+			s.P50LatencyUS/1e3, s.P95LatencyUS/1e3, s.P99LatencyUS/1e3)
+	}
+	fmt.Println("\nEvery policy reuses the shared engine's profile cache: each unique")
+	fmt.Println("(batch, padded SL) forward pass was priced exactly once across all three runs.")
+	st := seqpoint.EngineCacheStats()
+	fmt.Printf("engine cache: %d profiles computed, %d hits\n", st.Misses, st.Hits)
+}

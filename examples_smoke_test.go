@@ -23,13 +23,22 @@ func examplePrograms(t *testing.T) []string {
 		t.Fatalf("listing examples/: %v", err)
 	}
 	var names []string
+	found := make(map[string]bool)
 	for _, e := range entries {
 		if e.IsDir() {
 			names = append(names, e.Name())
+			found[e.Name()] = true
 		}
 	}
 	if len(names) == 0 {
 		t.Fatal("no example programs found")
+	}
+	// Discovery covers whatever exists; these README-referenced demos
+	// must exist.
+	for _, required := range []string{"quickstart", "service", "scaleout", "serving"} {
+		if !found[required] {
+			t.Errorf("examples/%s is referenced by the README but missing", required)
+		}
 	}
 	return names
 }

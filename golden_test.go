@@ -118,6 +118,90 @@ func TestGoldenClusterDeterminism(t *testing.T) {
 	}
 }
 
+const goldenServingPath = "testdata/golden_serving_summary.json"
+
+// goldenServingSpec mirrors goldenSpec for the online-serving layer: a
+// seeded Poisson trace over a fixed synthetic corpus, served with
+// dynamic batching, so the arrival process, the batcher, the event
+// loop, and the eval-profile pricing all contribute to the digest.
+func goldenServingSpec(t *testing.T, eng *seqpoint.Engine) seqpoint.ServingSpec {
+	t.Helper()
+	lengths := make([]int, 192)
+	for i := range lengths {
+		lengths[i] = 4 + (i*13)%48
+	}
+	corpus, err := seqpoint.Synthetic("golden-serve", lengths, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, err := seqpoint.PoissonTrace(corpus, 128, 250, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	policy, err := seqpoint.NewDynamicBatch(16, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return seqpoint.ServingSpec{
+		Model:    seqpoint.NewGNMT(),
+		Trace:    trace,
+		Policy:   policy,
+		Profiles: eng,
+	}
+}
+
+// TestGoldenServingDeterminism holds the serving simulator to the same
+// contract as training: byte-identical ServingSummary JSON at
+// profiling parallelism 1, 4 and GOMAXPROCS, pinned against a
+// committed golden file. Regenerate with -update-golden.
+func TestGoldenServingDeterminism(t *testing.T) {
+	parallelisms := []int{1, 4, runtime.GOMAXPROCS(0)}
+
+	var reference []byte
+	for _, par := range parallelisms {
+		// A fresh private engine per run: a cold cache is the harder
+		// determinism test.
+		eng := seqpoint.NewEngine()
+		eng.SetParallelism(par)
+		res, err := seqpoint.SimulateServing(goldenServingSpec(t, eng), seqpoint.VegaFE())
+		if err != nil {
+			t.Fatalf("parallelism=%d: %v", par, err)
+		}
+		buf, err := res.Summary().Serialize()
+		if err != nil {
+			t.Fatalf("parallelism=%d: serialize: %v", par, err)
+		}
+		if reference == nil {
+			reference = buf
+			continue
+		}
+		if !bytes.Equal(buf, reference) {
+			t.Fatalf("ServingSummary at parallelism %d differs from parallelism %d:\n%s\nvs\n%s",
+				par, parallelisms[0], buf, reference)
+		}
+	}
+
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenServingPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenServingPath, reference, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", goldenServingPath, len(reference))
+		return
+	}
+
+	want, err := os.ReadFile(goldenServingPath)
+	if err != nil {
+		t.Fatalf("reading golden file (regenerate with -update-golden): %v", err)
+	}
+	if !bytes.Equal(reference, want) {
+		t.Errorf("serving summary drifted from %s — if the cost model changed intentionally, regenerate with -update-golden.\ngot:\n%s\nwant:\n%s",
+			goldenServingPath, reference, want)
+	}
+}
+
 // TestGoldenSummaryScalesSanely spot-checks the committed scenario's
 // physics rather than its bytes: more GPUs must not slow training down,
 // and communication only exists on clusters.

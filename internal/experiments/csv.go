@@ -151,6 +151,12 @@ func (s *Suite) CSVBundle() (map[string]string, error) {
 			return nil, err
 		}
 		out[fmt.Sprintf("scaleout_%s.csv", w.Name)] = so.CSV()
+
+		ls, err := LoadSweep(s.Lab, w, calib, DefaultServeRequests, LoadSweepFactors())
+		if err != nil {
+			return nil, err
+		}
+		out[fmt.Sprintf("loadsweep_%s.csv", w.Name)] = ls.CSV()
 	}
 	return out, nil
 }

@@ -135,6 +135,37 @@ func CNNWorkload(seed int64) Workload {
 	}
 }
 
+// WorkloadByName resolves a workload by its CLI/HTTP name: "ds2",
+// "gnmt", "transformer", "seq2seq" or "cnn". The single registry both
+// cmd/trainsim and the HTTP service resolve models through.
+func WorkloadByName(name string, seed int64) (Workload, error) {
+	switch name {
+	case "ds2":
+		return DS2Workload(seed), nil
+	case "gnmt":
+		return GNMTWorkload(seed), nil
+	case "transformer":
+		return TransformerWorkload(seed), nil
+	case "seq2seq":
+		return Seq2SeqWorkload(seed), nil
+	case "cnn":
+		return CNNWorkload(seed), nil
+	default:
+		return Workload{}, fmt.Errorf("experiments: unknown model %q (want ds2, gnmt, transformer, seq2seq or cnn)", name)
+	}
+}
+
+// ServedWorkloadByName resolves a model served online (trainsim
+// -serve and POST /v1/serve): WorkloadByName minus the fixed-input
+// CNN, which exists for the Fig. 3 homogeneity contrast only and has
+// no sequence-length variation to serve.
+func ServedWorkloadByName(name string, seed int64) (Workload, error) {
+	if name == "cnn" {
+		return Workload{}, fmt.Errorf("experiments: model cnn is training/characterization only (serving wants ds2, gnmt, transformer or seq2seq)")
+	}
+	return WorkloadByName(name, seed)
+}
+
 // Spec converts the workload to a trainer spec.
 func (w Workload) Spec() trainer.Spec {
 	return trainer.Spec{

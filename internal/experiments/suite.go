@@ -371,6 +371,20 @@ func (s *Suite) RunAll(w io.Writer) error {
 		return err
 	}
 
+	if err := emit("Online serving (load sweep)", func() (string, error) {
+		var out string
+		for _, w := range s.Workloads() {
+			r, err := LoadSweep(s.Lab, w, calib, DefaultServeRequests, LoadSweepFactors())
+			if err != nil {
+				return "", err
+			}
+			out += r.Render()
+		}
+		return out, nil
+	}); err != nil {
+		return err
+	}
+
 	if err := emit("Section VI-F (dataset scaling)", func() (string, error) {
 		var out string
 		for _, tc := range []struct {

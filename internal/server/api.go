@@ -79,22 +79,26 @@ func (r SimulateRequest) normalize() SimulateRequest {
 	return r
 }
 
+// workloadByName resolves a wire model name to its workload. The wire
+// model set (no CNN, on any endpoint) is experiments'
+// ServedWorkloadByName; every failure maps to the wire-facing model
+// list (the registry's own error mentions cnn, which this API never
+// accepts — /v1/serve adds its own explanation for cnn specifically).
+func workloadByName(model string, seed int64) (experiments.Workload, error) {
+	w, err := experiments.ServedWorkloadByName(model, seed)
+	if err != nil {
+		return experiments.Workload{}, fmt.Errorf("unknown model %q (want ds2, gnmt, transformer or seq2seq)", model)
+	}
+	return w, nil
+}
+
 // buildSpec resolves a normalized request into a runnable trainer.Spec
 // and hardware configuration. All resolution failures are client errors.
 func buildSpec(r SimulateRequest) (trainer.Spec, gpusim.Config, error) {
 	var zero trainer.Spec
-	var w experiments.Workload
-	switch r.Model {
-	case "ds2":
-		w = experiments.DS2Workload(r.Seed)
-	case "gnmt":
-		w = experiments.GNMTWorkload(r.Seed)
-	case "transformer":
-		w = experiments.TransformerWorkload(r.Seed)
-	case "seq2seq":
-		w = experiments.Seq2SeqWorkload(r.Seed)
-	default:
-		return zero, gpusim.Config{}, fmt.Errorf("unknown model %q (want ds2, gnmt, transformer or seq2seq)", r.Model)
+	w, err := workloadByName(r.Model, r.Seed)
+	if err != nil {
+		return zero, gpusim.Config{}, err
 	}
 
 	hw, err := configByName(r.Config)

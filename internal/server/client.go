@@ -52,6 +52,14 @@ func (c *Client) SeqPoint(ctx context.Context, req SeqPointRequest) (SeqPointRes
 	return out, err
 }
 
+// Serve runs an online-serving simulation and returns its latency and
+// throughput roll-up.
+func (c *Client) Serve(ctx context.Context, req ServeRequest) (ServeResponse, error) {
+	var out ServeResponse
+	err := c.post(ctx, "/v1/serve", req, &out)
+	return out, err
+}
+
 // Stats fetches the engine cache and service counters.
 func (c *Client) Stats(ctx context.Context) (StatsResponse, error) {
 	var out StatsResponse
@@ -87,6 +95,27 @@ func (c *Client) get(ctx context.Context, path string, out any) error {
 	return c.do(req, out)
 }
 
+// APIError is a non-2xx server response: the HTTP status plus the
+// server's own error body, so callers see *why* a request failed (the
+// validation message behind a 400, the limiter message behind a 429,
+// the timeout message behind a 504) rather than a bare status code.
+// Retrieve it with errors.As to branch on Status.
+type APIError struct {
+	// Status is the HTTP status code.
+	Status int
+	// Message is the server's error body: the decoded {"error": ...}
+	// payload, or the raw body when the server sent something else.
+	Message string
+}
+
+// Error renders the status and the server's message.
+func (e *APIError) Error() string {
+	if e.Message == "" {
+		return fmt.Sprintf("HTTP %d", e.Status)
+	}
+	return fmt.Sprintf("HTTP %d: %s", e.Status, e.Message)
+}
+
 func (c *Client) do(req *http.Request, out any) error {
 	resp, err := c.hc.Do(req)
 	if err != nil {
@@ -97,12 +126,15 @@ func (c *Client) do(req *http.Request, out any) error {
 	if err != nil {
 		return fmt.Errorf("server client: reading %s response: %w", req.URL.Path, err)
 	}
-	if resp.StatusCode != http.StatusOK {
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		apiErr := &APIError{Status: resp.StatusCode}
 		var er errorResponse
 		if json.Unmarshal(body, &er) == nil && er.Error != "" {
-			return fmt.Errorf("server client: %s: %s (HTTP %d)", req.URL.Path, er.Error, resp.StatusCode)
+			apiErr.Message = er.Error
+		} else {
+			apiErr.Message = string(bytes.TrimSpace(body))
 		}
-		return fmt.Errorf("server client: %s: HTTP %d: %s", req.URL.Path, resp.StatusCode, bytes.TrimSpace(body))
+		return fmt.Errorf("server client: %s: %w", req.URL.Path, apiErr)
 	}
 	if err := json.Unmarshal(body, out); err != nil {
 		return fmt.Errorf("server client: decoding %s response: %w", req.URL.Path, err)

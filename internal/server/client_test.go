@@ -1,0 +1,102 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestClientSurfacesErrorBodies is the regression table for non-2xx
+// handling: whatever status the server answers with, the client's
+// error must carry the server's error body — the validation message,
+// the limiter message, the timeout message — not just the code.
+func TestClientSurfacesErrorBodies(t *testing.T) {
+	cases := []struct {
+		name     string
+		status   int
+		body     string
+		wantMsg  string
+		wantCode int
+	}{
+		{
+			name:     "400 validation",
+			status:   http.StatusBadRequest,
+			body:     `{"error":"batch must be positive, got -3"}`,
+			wantMsg:  "batch must be positive, got -3",
+			wantCode: http.StatusBadRequest,
+		},
+		{
+			name:     "429 limiter",
+			status:   http.StatusTooManyRequests,
+			body:     `{"error":"server at max in-flight simulations (32); retry later"}`,
+			wantMsg:  "server at max in-flight simulations (32); retry later",
+			wantCode: http.StatusTooManyRequests,
+		},
+		{
+			name:     "504 timeout",
+			status:   http.StatusGatewayTimeout,
+			body:     `{"error":"context deadline exceeded"}`,
+			wantMsg:  "context deadline exceeded",
+			wantCode: http.StatusGatewayTimeout,
+		},
+		{
+			name:     "non-JSON body still surfaces",
+			status:   http.StatusBadGateway,
+			body:     "upstream proxy fell over",
+			wantMsg:  "upstream proxy fell over",
+			wantCode: http.StatusBadGateway,
+		},
+		{
+			name:     "empty error field falls back to raw body",
+			status:   http.StatusInternalServerError,
+			body:     `{"error":""}`,
+			wantMsg:  `{"error":""}`,
+			wantCode: http.StatusInternalServerError,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				w.Header().Set("Content-Type", "application/json")
+				w.WriteHeader(tc.status)
+				w.Write([]byte(tc.body))
+			}))
+			defer ts.Close()
+
+			c := NewClient(ts.URL, nil)
+			_, err := c.Simulate(context.Background(), SimulateRequest{Model: "gnmt"})
+			if err == nil {
+				t.Fatalf("status %d returned nil error", tc.status)
+			}
+			if !strings.Contains(err.Error(), tc.wantMsg) {
+				t.Errorf("error %q does not surface server body %q", err, tc.wantMsg)
+			}
+			var apiErr *APIError
+			if !errors.As(err, &apiErr) {
+				t.Fatalf("error %q is not an *APIError", err)
+			}
+			if apiErr.Status != tc.wantCode {
+				t.Errorf("APIError.Status = %d, want %d", apiErr.Status, tc.wantCode)
+			}
+			if apiErr.Message != tc.wantMsg {
+				t.Errorf("APIError.Message = %q, want %q", apiErr.Message, tc.wantMsg)
+			}
+		})
+	}
+}
+
+// TestClientAcceptsAny2xx: a 204-style success with a valid JSON body
+// must not be treated as an error.
+func TestClientAcceptsAny2xx(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusAccepted)
+		w.Write([]byte(`{"status":"ok"}`))
+	}))
+	defer ts.Close()
+	if err := NewClient(ts.URL, nil).Health(context.Background()); err != nil {
+		t.Errorf("202 treated as error: %v", err)
+	}
+}

@@ -1,0 +1,189 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestServeHandlerTable(t *testing.T) {
+	s := testServer(Options{})
+	cases := []struct {
+		name       string
+		body       string
+		wantStatus int
+		wantInBody string
+	}{
+		{
+			name:       "serve ok",
+			body:       `{"model":"gnmt","rate":200,"batch":8,"requests":64,"seqlens":[4,7,9,12,15,21]}`,
+			wantStatus: http.StatusOK,
+			wantInBody: `"p99_latency_us"`,
+		},
+		{
+			name:       "fixed policy ok",
+			body:       `{"model":"gnmt","rate":500,"batch":4,"policy":"fixed","requests":32,"seqlens":[4,7,9]}`,
+			wantStatus: http.StatusOK,
+			wantInBody: `"policy": "fixed(4)"`,
+		},
+		{
+			name:       "length policy ok",
+			body:       `{"model":"gnmt","rate":500,"batch":4,"policy":"length","requests":32,"seqlens":[4,7,9]}`,
+			wantStatus: http.StatusOK,
+			wantInBody: `"policy": "length(4)"`,
+		},
+		{
+			name:       "missing rate",
+			body:       `{"model":"gnmt"}`,
+			wantStatus: http.StatusBadRequest,
+			wantInBody: "rate must be in",
+		},
+		{
+			name:       "unknown model",
+			body:       `{"model":"bert","rate":100}`,
+			wantStatus: http.StatusBadRequest,
+			wantInBody: "unknown model",
+		},
+		{
+			name:       "cnn not served, explanation surfaced",
+			body:       `{"model":"cnn","rate":100}`,
+			wantStatus: http.StatusBadRequest,
+			wantInBody: "training/characterization only",
+		},
+		{
+			// Regression: a denormal-small rate overflows arrival times
+			// to +Inf; that is the client's fault (400), not a 500.
+			name:       "degenerate rate rejected as client error",
+			body:       `{"model":"gnmt","rate":5e-306,"requests":16,"seqlens":[4,7,9]}`,
+			wantStatus: http.StatusBadRequest,
+			wantInBody: "invalid arrival",
+		},
+		{
+			name:       "unknown policy",
+			body:       `{"model":"gnmt","rate":100,"policy":"magic"}`,
+			wantStatus: http.StatusBadRequest,
+			wantInBody: "unknown policy",
+		},
+		{
+			name:       "oversized trace",
+			body:       `{"model":"gnmt","rate":100,"requests":1000000}`,
+			wantStatus: http.StatusBadRequest,
+			wantInBody: "request limit",
+		},
+		{
+			name: "oversized seqlens pool",
+			body: func() string {
+				var sb strings.Builder
+				sb.WriteString(`{"model":"gnmt","rate":100,"seqlens":[`)
+				for i := 0; i < 65537; i++ {
+					if i > 0 {
+						sb.WriteString(",")
+					}
+					sb.WriteString("7")
+				}
+				sb.WriteString("]}")
+				return sb.String()
+			}(),
+			wantStatus: http.StatusBadRequest,
+			wantInBody: "sample limit",
+		},
+		{
+			name:       "negative timeout",
+			body:       `{"model":"gnmt","rate":100,"timeout_us":-5}`,
+			wantStatus: http.StatusBadRequest,
+			wantInBody: "timeout_us",
+		},
+		{
+			// Regression: an explicit zero timeout must reach the policy
+			// (serve-immediately), not be swallowed by the default.
+			name:       "explicit zero timeout honored",
+			body:       `{"model":"gnmt","rate":500,"batch":4,"timeout_us":0,"requests":16,"seqlens":[4,7,9]}`,
+			wantStatus: http.StatusOK,
+			wantInBody: `"policy": "dynamic(4,0us)"`,
+		},
+		{
+			name:       "bad seqlen",
+			body:       `{"model":"gnmt","rate":100,"seqlens":[4,0]}`,
+			wantStatus: http.StatusBadRequest,
+			wantInBody: "sequence length",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := postJSON(t, s, "/v1/serve", tc.body)
+			if w.Code != tc.wantStatus {
+				t.Fatalf("status = %d, want %d; body %s", w.Code, tc.wantStatus, w.Body.String())
+			}
+			if !strings.Contains(w.Body.String(), tc.wantInBody) {
+				t.Errorf("body %s missing %q", w.Body.String(), tc.wantInBody)
+			}
+		})
+	}
+}
+
+func TestServeGetMethodNotAllowed(t *testing.T) {
+	s := testServer(Options{})
+	req := httptest.NewRequest(http.MethodGet, "/v1/serve", nil)
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	if w.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/serve = %d, want 405", w.Code)
+	}
+}
+
+// TestServeDeterministicAcrossRequests: the same serve request must
+// produce byte-identical bodies on repeat — the wire-level face of the
+// simulator's determinism promise.
+func TestServeDeterministicAcrossRequests(t *testing.T) {
+	s := testServer(Options{})
+	body := `{"model":"gnmt","rate":300,"batch":8,"requests":48,"seqlens":[4,7,9,12,15,21]}`
+	first := postJSON(t, s, "/v1/serve", body)
+	if first.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", first.Code, first.Body.String())
+	}
+	second := postJSON(t, s, "/v1/serve", body)
+	if first.Body.String() != second.Body.String() {
+		t.Errorf("repeat serve differs:\n%s\nvs\n%s", first.Body.String(), second.Body.String())
+	}
+}
+
+// TestServeClientRoundTrip drives /v1/serve through the typed client
+// and sanity-checks the roll-up.
+func TestServeClientRoundTrip(t *testing.T) {
+	ts := httptest.NewServer(testServer(Options{}))
+	defer ts.Close()
+	c := NewClient(ts.URL, nil)
+
+	resp, err := c.Serve(context.Background(), ServeRequest{
+		Model:    "gnmt",
+		Rate:     400,
+		Batch:    8,
+		Requests: 64,
+		SeqLens:  []int{4, 7, 9, 12, 15, 21},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := resp.Summary
+	if sum.Requests != 64 {
+		t.Errorf("requests = %d, want 64", sum.Requests)
+	}
+	if sum.ThroughputRPS <= 0 || sum.P99LatencyUS <= 0 {
+		t.Errorf("degenerate summary: %+v", sum)
+	}
+	if sum.P50LatencyUS > sum.P99LatencyUS {
+		t.Errorf("p50 %v > p99 %v", sum.P50LatencyUS, sum.P99LatencyUS)
+	}
+	// The response must round-trip as the documented shape.
+	var echo ServeResponse
+	raw, _ := json.Marshal(resp)
+	if err := json.Unmarshal(raw, &echo); err != nil {
+		t.Fatal(err)
+	}
+	if echo.Model != "gnmt" || echo.RatePerSec != 400 {
+		t.Errorf("round-trip lost fields: %+v", echo)
+	}
+}

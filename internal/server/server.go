@@ -11,6 +11,7 @@
 //	POST /v1/simulate  — one training-run simulation → RunSummary JSON
 //	POST /v1/sweep     — a (workload × config) grid → per-task results
 //	POST /v1/seqpoint  — representative-iteration selection
+//	POST /v1/serve     — online-serving simulation → latency percentiles
 //	GET  /healthz      — liveness probe
 //	GET  /v1/stats     — engine cache + service counters
 //
@@ -146,6 +147,7 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("/v1/simulate", s.handleSimulate)
 	s.mux.HandleFunc("/v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("/v1/seqpoint", s.handleSeqPoint)
+	s.mux.HandleFunc("/v1/serve", s.handleServe)
 	return s
 }
 
@@ -356,28 +358,45 @@ func (s *Server) decodePost(w http.ResponseWriter, r *http.Request, dst any) boo
 	return true
 }
 
-// validate applies the server's request-shape limits.
-func (s *Server) validate(r SimulateRequest) error {
-	switch {
-	case r.Batch <= 0:
-		return fmt.Errorf("batch must be positive, got %d", r.Batch)
-	case r.Batch > s.opts.MaxBatch:
-		return fmt.Errorf("batch %d exceeds the server limit %d", r.Batch, s.opts.MaxBatch)
-	case r.Epochs <= 0:
-		return fmt.Errorf("epochs must be positive, got %d", r.Epochs)
-	case r.Epochs > s.opts.MaxEpochs:
-		return fmt.Errorf("epochs %d exceeds the server limit %d", r.Epochs, s.opts.MaxEpochs)
-	case len(r.SeqLens) > maxSeqLens:
-		return fmt.Errorf("seqlens provides %d samples, more than the %d-sample limit", len(r.SeqLens), maxSeqLens)
-	case r.GPUs > r.Batch:
-		return fmt.Errorf("gpus %d exceeds batch %d: every replica needs at least one sample", r.GPUs, r.Batch)
+// batchBounds applies the minibatch limits shared by every endpoint.
+func (s *Server) batchBounds(batch int) error {
+	if batch <= 0 {
+		return fmt.Errorf("batch must be positive, got %d", batch)
 	}
-	for _, sl := range r.SeqLens {
+	if batch > s.opts.MaxBatch {
+		return fmt.Errorf("batch %d exceeds the server limit %d", batch, s.opts.MaxBatch)
+	}
+	return nil
+}
+
+// seqLenBounds applies the synthetic-SL-pool limits shared by every
+// endpoint that accepts a seqlens list.
+func seqLenBounds(seqLens []int) error {
+	if len(seqLens) > maxSeqLens {
+		return fmt.Errorf("seqlens provides %d samples, more than the %d-sample limit", len(seqLens), maxSeqLens)
+	}
+	for _, sl := range seqLens {
 		if sl <= 0 || sl > maxSeqLen {
 			return fmt.Errorf("sequence length %d outside (0, %d]", sl, maxSeqLen)
 		}
 	}
 	return nil
+}
+
+// validate applies the server's request-shape limits.
+func (s *Server) validate(r SimulateRequest) error {
+	if err := s.batchBounds(r.Batch); err != nil {
+		return err
+	}
+	switch {
+	case r.Epochs <= 0:
+		return fmt.Errorf("epochs must be positive, got %d", r.Epochs)
+	case r.Epochs > s.opts.MaxEpochs:
+		return fmt.Errorf("epochs %d exceeds the server limit %d", r.Epochs, s.opts.MaxEpochs)
+	case r.GPUs > r.Batch:
+		return fmt.Errorf("gpus %d exceeds batch %d: every replica needs at least one sample", r.GPUs, r.Batch)
+	}
+	return seqLenBounds(r.SeqLens)
 }
 
 // coalesceKey canonicalizes a normalized request as the coalescing

@@ -1,0 +1,152 @@
+// Package serving simulates online inference serving: the load-
+// dependent regime the paper's offline training and fixed-batch
+// inference simulators (Section VII-E) stop short of. Requests arrive
+// over time, a batching policy decides when to launch and which queued
+// requests to group, a single server executes one batch at a time, and
+// every per-batch latency comes from the same analytical cost model —
+// through the trainer's ProfileSource seam, so the engine's cross-run
+// profile cache prices each unique (batch, padded SL) forward pass
+// exactly once per process.
+//
+// This is where SeqPoint-style sequence-length skew matters most: with
+// pad-to-max batching the batch's longest request dictates the whole
+// batch's latency, so the SL distribution of the arrival stream shapes
+// the p95/p99 latency tail long before the server saturates.
+//
+// The simulator is a deterministic discrete-event loop: arrivals are a
+// pre-generated seeded trace (Poisson or replayed), the event loop is
+// strictly sequential, and profiling parallelism only changes how fast
+// profiles are computed — never a single output byte.
+package serving
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"seqpoint/internal/dataset"
+)
+
+// Request is one inference request of an arrival trace.
+type Request struct {
+	// ID is the request's index in the trace (arrival order).
+	ID int
+	// ArrivalUS is the arrival time in microseconds from trace start.
+	ArrivalUS float64
+	// SeqLen is the request's input sequence length.
+	SeqLen int
+}
+
+// Trace is an arrival-ordered request sequence.
+type Trace struct {
+	// Name labels the trace in reports.
+	Name string
+	// Requests are the requests in non-decreasing arrival order.
+	Requests []Request
+}
+
+// Validate reports whether the trace is well-formed: non-empty, IDs in
+// trace order, arrivals non-negative and non-decreasing, SLs positive.
+func (t Trace) Validate() error {
+	if len(t.Requests) == 0 {
+		return fmt.Errorf("serving: trace %q has no requests", t.Name)
+	}
+	prev := 0.0
+	for i, r := range t.Requests {
+		if r.ID != i {
+			return fmt.Errorf("serving: trace %q request %d has ID %d", t.Name, i, r.ID)
+		}
+		if r.SeqLen <= 0 {
+			return fmt.Errorf("serving: trace %q request %d has sequence length %d", t.Name, i, r.SeqLen)
+		}
+		if math.IsNaN(r.ArrivalUS) || math.IsInf(r.ArrivalUS, 0) || r.ArrivalUS < 0 {
+			return fmt.Errorf("serving: trace %q request %d has invalid arrival %v", t.Name, i, r.ArrivalUS)
+		}
+		if r.ArrivalUS < prev {
+			return fmt.Errorf("serving: trace %q request %d arrives at %v, before request %d at %v",
+				t.Name, i, r.ArrivalUS, i-1, prev)
+		}
+		prev = r.ArrivalUS
+	}
+	return nil
+}
+
+// UniqueSLs returns the distinct sequence lengths of the trace in
+// first-arrival order.
+func (t Trace) UniqueSLs() []int {
+	seen := make(map[int]bool)
+	var out []int
+	for _, r := range t.Requests {
+		if !seen[r.SeqLen] {
+			seen[r.SeqLen] = true
+			out = append(out, r.SeqLen)
+		}
+	}
+	return out
+}
+
+// PoissonTrace generates n requests with exponentially distributed
+// inter-arrival times at ratePerSec requests per second, each request's
+// sequence length drawn uniformly from the corpus. Everything is
+// seeded: the same (corpus, n, rate, seed) yields the same trace.
+func PoissonTrace(c *dataset.Corpus, n int, ratePerSec float64, seed int64) (Trace, error) {
+	if c == nil || c.Size() == 0 {
+		return Trace{}, fmt.Errorf("serving: Poisson trace needs a non-empty corpus")
+	}
+	if n <= 0 {
+		return Trace{}, fmt.Errorf("serving: request count must be positive, got %d", n)
+	}
+	if ratePerSec <= 0 || math.IsNaN(ratePerSec) || math.IsInf(ratePerSec, 0) {
+		return Trace{}, fmt.Errorf("serving: arrival rate must be a positive finite rate, got %v", ratePerSec)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	reqs := make([]Request, n)
+	t := 0.0
+	for i := range reqs {
+		t += rng.ExpFloat64() / ratePerSec * 1e6
+		reqs[i] = Request{ID: i, ArrivalUS: t, SeqLen: c.Lengths[rng.Intn(c.Size())]}
+	}
+	return Trace{
+		Name:     fmt.Sprintf("poisson(%s, %.4g rps, n=%d)", c.Name, ratePerSec, n),
+		Requests: reqs,
+	}, nil
+}
+
+// BurstTrace generates n requests that all arrive at time zero, with
+// sequence lengths drawn uniformly from the corpus — a fully
+// backlogged server. Its achieved throughput is the serving capacity
+// of a (model, config, policy) triple, the normalizer load sweeps
+// express arrival rates against.
+func BurstTrace(c *dataset.Corpus, n int, seed int64) (Trace, error) {
+	if c == nil || c.Size() == 0 {
+		return Trace{}, fmt.Errorf("serving: burst trace needs a non-empty corpus")
+	}
+	if n <= 0 {
+		return Trace{}, fmt.Errorf("serving: request count must be positive, got %d", n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	reqs := make([]Request, n)
+	for i := range reqs {
+		reqs[i] = Request{ID: i, SeqLen: c.Lengths[rng.Intn(c.Size())]}
+	}
+	return Trace{Name: fmt.Sprintf("burst(%s, n=%d)", c.Name, n), Requests: reqs}, nil
+}
+
+// ReplayTrace builds a trace from explicit arrival offsets (in
+// microseconds) and sequence lengths — the replayed-production-log
+// arrival process. The two slices pair up element-wise.
+func ReplayTrace(name string, arrivalsUS []float64, seqLens []int) (Trace, error) {
+	if len(arrivalsUS) != len(seqLens) {
+		return Trace{}, fmt.Errorf("serving: replay trace %q has %d arrivals but %d sequence lengths",
+			name, len(arrivalsUS), len(seqLens))
+	}
+	reqs := make([]Request, len(arrivalsUS))
+	for i := range reqs {
+		reqs[i] = Request{ID: i, ArrivalUS: arrivalsUS[i], SeqLen: seqLens[i]}
+	}
+	tr := Trace{Name: name, Requests: reqs}
+	if err := tr.Validate(); err != nil {
+		return Trace{}, err
+	}
+	return tr, nil
+}

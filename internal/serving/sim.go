@@ -1,0 +1,344 @@
+package serving
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+
+	"seqpoint/internal/gpusim"
+	"seqpoint/internal/models"
+	"seqpoint/internal/stats"
+	"seqpoint/internal/trainer"
+)
+
+// Spec describes one online-serving simulation.
+type Spec struct {
+	// Model is the network being served.
+	Model models.Model
+	// Trace is the arrival process.
+	Trace Trace
+	// Policy is the batching policy.
+	Policy Policy
+	// Profiles overrides the profile source; nil uses the process
+	// default (the shared engine when internal/engine is linked).
+	Profiles trainer.ProfileSource
+}
+
+// Validate reports whether the spec is complete.
+func (s Spec) Validate() error {
+	switch {
+	case s.Model == nil:
+		return fmt.Errorf("serving: spec needs a model")
+	case s.Policy == nil:
+		return fmt.Errorf("serving: spec needs a batching policy")
+	case s.Policy.MaxBatch() <= 0:
+		return fmt.Errorf("serving: policy %q has non-positive max batch", s.Policy.Name())
+	}
+	return s.Trace.Validate()
+}
+
+// RequestMetric is one request's realized timeline.
+type RequestMetric struct {
+	// ID is the request's trace index.
+	ID int `json:"id"`
+	// SeqLen is the request's own sequence length.
+	SeqLen int `json:"seqlen"`
+	// ArrivalUS, StartUS and DoneUS are the arrival, batch-launch and
+	// completion times.
+	ArrivalUS float64 `json:"arrival_us"`
+	StartUS   float64 `json:"start_us"`
+	DoneUS    float64 `json:"done_us"`
+	// BatchSize is the size of the batch that served the request;
+	// PaddedSL the batch's padded sequence length (its longest member).
+	BatchSize int `json:"batch"`
+	PaddedSL  int `json:"padded_sl"`
+}
+
+// WaitUS is the request's queueing delay.
+func (m RequestMetric) WaitUS() float64 { return m.StartUS - m.ArrivalUS }
+
+// LatencyUS is the request's end-to-end latency (queueing + service).
+func (m RequestMetric) LatencyUS() float64 { return m.DoneUS - m.ArrivalUS }
+
+// Result is one serving simulation's full outcome.
+type Result struct {
+	// Config is the hardware configuration served on.
+	Config gpusim.Config
+	// Policy is the batching policy's name.
+	Policy string
+	// Requests holds every request's metric in trace (arrival) order.
+	Requests []RequestMetric
+	// Batches is the number of batches launched.
+	Batches int
+	// BusyUS is the summed batch execution time.
+	BusyUS float64
+	// MakespanUS is the completion time of the last batch.
+	MakespanUS float64
+}
+
+// policyConsultSlack bounds policy consultations per dispatched batch
+// beyond the ones legitimately needed to fill it (every wait-consult
+// admits at most one arrival, so a batch of B can take B-1 consults to
+// fill). A policy that keeps asking to wait past that is a bug, and
+// the bound turns the would-be hang into an error.
+const policyConsultSlack = 64
+
+// Simulate runs the serving trace on hw. The event loop is strictly
+// sequential; per-batch latencies come from the profile source's eval
+// (forward-only) profiles. The trace's unique SLs are prefetched at the
+// policy's max batch size up front — one bulk ProfileSource call the
+// engine fans out over its worker pool — so full batches hit a warm
+// cache; partial-batch sizes are priced on demand. Output is
+// byte-identical at any profiling parallelism.
+func Simulate(spec Spec, hw gpusim.Config) (*Result, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if err := hw.Validate(); err != nil {
+		return nil, err
+	}
+	src := spec.Profiles
+	if src == nil {
+		src = trainer.DefaultProfileSource()
+	}
+	maxBatch := spec.Policy.MaxBatch()
+
+	// Prefetch: every full batch's padded SL is one of the trace's SLs.
+	memo := make(map[[2]int]float64)
+	prefetched, err := src.EvalProfiles(hw, gpusim.SingleGPU(), spec.Model, maxBatch, spec.Trace.UniqueSLs())
+	if err != nil {
+		return nil, err
+	}
+	for sl, p := range prefetched {
+		memo[[2]int{maxBatch, sl}] = p.TimeUS
+	}
+	latency := func(bsize, sl int) (float64, error) {
+		key := [2]int{bsize, sl}
+		if us, ok := memo[key]; ok {
+			return us, nil
+		}
+		ps, err := src.EvalProfiles(hw, gpusim.SingleGPU(), spec.Model, bsize, []int{sl})
+		if err != nil {
+			return 0, err
+		}
+		p, ok := ps[sl]
+		if !ok {
+			return 0, fmt.Errorf("serving: profile source returned no eval profile for batch %d SL %d", bsize, sl)
+		}
+		memo[key] = p.TimeUS
+		return p.TimeUS, nil
+	}
+
+	trace := spec.Trace.Requests
+	res := &Result{
+		Config:   hw,
+		Policy:   spec.Policy.Name(),
+		Requests: make([]RequestMetric, len(trace)),
+	}
+
+	var (
+		clock float64   // server-free time
+		next  int       // next trace index to admit
+		queue []Request // admitted, unserved requests, oldest first
+		done  int       // completed requests
+	)
+	admit := func() {
+		for next < len(trace) && trace[next].ArrivalUS <= clock {
+			queue = append(queue, trace[next])
+			next++
+		}
+	}
+
+	for done < len(trace) {
+		if len(queue) == 0 {
+			// Idle server: jump to the next arrival.
+			if clock < trace[next].ArrivalUS {
+				clock = trace[next].ArrivalUS
+			}
+			admit()
+		}
+		consults := 0
+		for {
+			nextArrival := math.Inf(1)
+			if next < len(trace) {
+				nextArrival = trace[next].ArrivalUS
+			}
+			d := spec.Policy.Decide(queue, clock, nextArrival)
+			if d.Dispatch {
+				batch, err := takeBatch(&queue, d.Pick, maxBatch, spec.Policy.Name())
+				if err != nil {
+					return nil, err
+				}
+				paddedSL := 0
+				for _, r := range batch {
+					if r.SeqLen > paddedSL {
+						paddedSL = r.SeqLen
+					}
+				}
+				lat, err := latency(len(batch), paddedSL)
+				if err != nil {
+					return nil, err
+				}
+				start := clock
+				clock += lat
+				res.Batches++
+				res.BusyUS += lat
+				res.MakespanUS = clock
+				for _, r := range batch {
+					res.Requests[r.ID] = RequestMetric{
+						ID:        r.ID,
+						SeqLen:    r.SeqLen,
+						ArrivalUS: r.ArrivalUS,
+						StartUS:   start,
+						DoneUS:    clock,
+						BatchSize: len(batch),
+						PaddedSL:  paddedSL,
+					}
+					done++
+				}
+				admit()
+				break
+			}
+			// The policy wants to wait: advance to the earlier of its
+			// wake-up time and the next arrival.
+			wake := math.Min(d.WaitUntilUS, nextArrival)
+			if math.IsInf(wake, 1) || wake <= clock {
+				return nil, fmt.Errorf("serving: policy %q refused to dispatch with no future event (queue %d, clock %v)",
+					spec.Policy.Name(), len(queue), clock)
+			}
+			clock = wake
+			admit()
+			if consults++; consults > maxBatch+policyConsultSlack {
+				return nil, fmt.Errorf("serving: policy %q consulted %d times without dispatching",
+					spec.Policy.Name(), consults)
+			}
+		}
+	}
+	return res, nil
+}
+
+// takeBatch removes the picked indices from the queue and returns them
+// in queue order, validating the policy's pick.
+func takeBatch(queue *[]Request, pick []int, maxBatch int, policy string) ([]Request, error) {
+	q := *queue
+	if len(pick) == 0 {
+		return nil, fmt.Errorf("serving: policy %q dispatched an empty batch", policy)
+	}
+	if len(pick) > maxBatch {
+		return nil, fmt.Errorf("serving: policy %q dispatched %d requests, above its max batch %d",
+			policy, len(pick), maxBatch)
+	}
+	sorted := append([]int(nil), pick...)
+	sort.Ints(sorted)
+	batch := make([]Request, 0, len(sorted))
+	taken := make(map[int]bool, len(sorted))
+	for i, idx := range sorted {
+		if idx < 0 || idx >= len(q) {
+			return nil, fmt.Errorf("serving: policy %q picked queue index %d of %d", policy, idx, len(q))
+		}
+		if i > 0 && idx == sorted[i-1] {
+			return nil, fmt.Errorf("serving: policy %q picked queue index %d twice", policy, idx)
+		}
+		taken[idx] = true
+		batch = append(batch, q[idx])
+	}
+	rest := q[:0]
+	for i, r := range q {
+		if !taken[i] {
+			rest = append(rest, r)
+		}
+	}
+	*queue = rest
+	return batch, nil
+}
+
+// Summary is the deterministic, serialization-stable digest of a
+// serving run: the roll-up the HTTP endpoint returns and the golden
+// determinism tests byte-compare.
+type Summary struct {
+	Config         string  `json:"config"`
+	Policy         string  `json:"policy"`
+	Requests       int     `json:"requests"`
+	Batches        int     `json:"batches"`
+	MeanBatch      float64 `json:"mean_batch"`
+	MakespanUS     float64 `json:"makespan_us"`
+	BusyUS         float64 `json:"busy_us"`
+	UtilizationPct float64 `json:"utilization_pct"`
+	ThroughputRPS  float64 `json:"throughput_rps"`
+	MeanWaitUS     float64 `json:"mean_wait_us"`
+	MeanLatencyUS  float64 `json:"mean_latency_us"`
+	P50LatencyUS   float64 `json:"p50_latency_us"`
+	P95LatencyUS   float64 `json:"p95_latency_us"`
+	P99LatencyUS   float64 `json:"p99_latency_us"`
+}
+
+// Latencies returns every request's end-to-end latency in trace order.
+func (r *Result) Latencies() []float64 {
+	out := make([]float64, len(r.Requests))
+	for i, m := range r.Requests {
+		out[i] = m.LatencyUS()
+	}
+	return out
+}
+
+// Throughput returns served requests per second over the makespan.
+func (r *Result) Throughput() float64 {
+	if r.MakespanUS == 0 {
+		return 0
+	}
+	return float64(len(r.Requests)) / (r.MakespanUS / 1e6)
+}
+
+// Utilization returns the server's busy fraction of the makespan.
+func (r *Result) Utilization() float64 {
+	if r.MakespanUS == 0 {
+		return 0
+	}
+	return r.BusyUS / r.MakespanUS
+}
+
+// Summary digests the run. Percentiles are nearest-rank
+// (stats.Percentile) over per-request end-to-end latencies.
+func (r *Result) Summary() Summary {
+	s := Summary{
+		Config:         r.Config.Name,
+		Policy:         r.Policy,
+		Requests:       len(r.Requests),
+		Batches:        r.Batches,
+		MakespanUS:     r.MakespanUS,
+		BusyUS:         r.BusyUS,
+		UtilizationPct: r.Utilization() * 100,
+		ThroughputRPS:  r.Throughput(),
+	}
+	if r.Batches > 0 {
+		s.MeanBatch = float64(len(r.Requests)) / float64(r.Batches)
+	}
+	if len(r.Requests) == 0 {
+		return s
+	}
+	lats := r.Latencies()
+	var waitSum float64
+	for _, m := range r.Requests {
+		waitSum += m.WaitUS()
+	}
+	s.MeanWaitUS = waitSum / float64(len(r.Requests))
+	s.MeanLatencyUS = stats.Sum(lats) / float64(len(lats))
+	// Percentiles only errors on empty input or p outside [0,100];
+	// neither can happen here.
+	if ps, err := stats.Percentiles(lats, 50, 95, 99); err == nil {
+		s.P50LatencyUS, s.P95LatencyUS, s.P99LatencyUS = ps[0], ps[1], ps[2]
+	}
+	return s
+}
+
+// Serialize renders the summary as indented JSON with a trailing
+// newline; the output is deterministic and byte-comparable, matching
+// the trainer.RunSummary convention.
+func (s Summary) Serialize() ([]byte, error) {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}

@@ -21,7 +21,12 @@ type Histogram struct {
 }
 
 // NewHistogram bins the samples into k equal-width bins spanning
-// [min(samples), max(samples)]. k must be positive and samples non-empty.
+// [min(samples), max(samples)]. k must be positive and samples
+// non-empty. When the integer span of the samples is narrower than k,
+// the bin count is clamped to the span: more bins than distinct
+// representable values would force duplicate edges, and with them bin
+// assignments that disagree between the edge list and BinOf. Callers
+// therefore always get len(Counts) <= k strictly increasing edges.
 func NewHistogram(samples []int, k int) (*Histogram, error) {
 	if len(samples) == 0 {
 		return nil, ErrEmpty
@@ -38,8 +43,11 @@ func NewHistogram(samples []int, k int) (*Histogram, error) {
 			hi = s
 		}
 	}
-	h := &Histogram{Lo: lo, Hi: hi, Counts: make([]int, k), Edges: make([]int, k+1)}
 	span := hi - lo + 1
+	if k > span {
+		k = span
+	}
+	h := &Histogram{Lo: lo, Hi: hi, Counts: make([]int, k), Edges: make([]int, k+1)}
 	for i := 0; i <= k; i++ {
 		h.Edges[i] = lo + i*span/k
 	}

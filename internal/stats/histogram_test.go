@@ -117,6 +117,126 @@ func TestQuickHistogramBinOfInRange(t *testing.T) {
 	}
 }
 
+// TestHistogramDegenerateSpan is the regression test for the bin/edge
+// inconsistency: with samples {1,2} and k=4 the old construction
+// produced duplicate edges ([1,1,2,2,3]) whose binary search placed 1
+// in bin 1 while BinOf's Lo fast path returned bin 0. The bin count is
+// now clamped to the integer span, so edges stay strictly increasing
+// and both lookup paths agree.
+func TestHistogramDegenerateSpan(t *testing.T) {
+	h, err := NewHistogram([]int{1, 2}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Counts) != 2 {
+		t.Fatalf("span 2 with k=4 should clamp to 2 bins, got %d", len(h.Counts))
+	}
+	if got := h.BinOf(1); got != 0 {
+		t.Errorf("BinOf(1) = %d, want 0", got)
+	}
+	if got := h.BinOf(2); got != 1 {
+		t.Errorf("BinOf(2) = %d, want 1", got)
+	}
+	if h.Counts[0] != 1 || h.Counts[1] != 1 {
+		t.Errorf("Counts = %v, want [1 1]", h.Counts)
+	}
+	for i := 1; i < len(h.Edges); i++ {
+		if h.Edges[i] <= h.Edges[i-1] {
+			t.Errorf("Edges not strictly increasing: %v", h.Edges)
+		}
+	}
+}
+
+func TestHistogramSingleValueSpan(t *testing.T) {
+	h, err := NewHistogram([]int{7, 7, 7}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Counts) != 1 {
+		t.Fatalf("span 1 should clamp to 1 bin, got %d", len(h.Counts))
+	}
+	if h.Counts[0] != 3 {
+		t.Errorf("Counts = %v, want [3]", h.Counts)
+	}
+	if h.Edges[0] != 7 || h.Edges[1] != 8 {
+		t.Errorf("Edges = %v, want [7 8]", h.Edges)
+	}
+}
+
+// edgeBinOf assigns v to a bin purely from the edge list: the bin i
+// with Edges[i] <= v < Edges[i+1], clamped to the ends. It is the
+// reference BinOf must agree with.
+func edgeBinOf(h *Histogram, v int) int {
+	for i := 0; i < len(h.Counts); i++ {
+		if v < h.Edges[i+1] {
+			return i
+		}
+	}
+	return len(h.Counts) - 1
+}
+
+// TestQuickBinOfAgreesWithEdges property-checks that BinOf and the
+// edge list define the same binning for every sample of random inputs,
+// including degenerate spans (narrow int16 ranges with k up to 20).
+func TestQuickBinOfAgreesWithEdges(t *testing.T) {
+	f := func(raw []int16, kRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		samples := make([]int, len(raw))
+		for i, v := range raw {
+			samples[i] = int(v)
+		}
+		k := int(kRaw)%20 + 1
+		h, err := NewHistogram(samples, k)
+		if err != nil {
+			return false
+		}
+		if len(h.Counts) > k {
+			return false
+		}
+		for i := 1; i < len(h.Edges); i++ {
+			if h.Edges[i] <= h.Edges[i-1] {
+				return false
+			}
+		}
+		for _, s := range samples {
+			if h.BinOf(s) != edgeBinOf(h, s) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBinOfAgreesWithEdgesNarrow drives the same agreement over every
+// value of small dense domains, where the old construction failed.
+func TestBinOfAgreesWithEdgesNarrow(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		lo := rng.Intn(50)
+		span := 1 + rng.Intn(6)
+		k := 1 + rng.Intn(12)
+		var samples []int
+		for v := lo; v < lo+span; v++ {
+			samples = append(samples, v)
+		}
+		h, err := NewHistogram(samples, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := lo; v < lo+span; v++ {
+			if got, want := h.BinOf(v), edgeBinOf(h, v); got != want {
+				t.Fatalf("lo=%d span=%d k=%d: BinOf(%d)=%d, edges say %d (edges %v)",
+					lo, span, k, v, got, want, h.Edges)
+			}
+		}
+	}
+}
+
 func TestMode(t *testing.T) {
 	v, c, err := Mode([]int{3, 1, 3, 2, 1, 3})
 	if err != nil {

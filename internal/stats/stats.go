@@ -12,6 +12,7 @@ package stats
 
 import (
 	"errors"
+	"fmt"
 	"math"
 	"sort"
 )
@@ -102,6 +103,55 @@ func Median(xs []float64) (float64, error) {
 		return cp[n/2], nil
 	}
 	return (cp[n/2-1] + cp[n/2]) / 2, nil
+}
+
+// Percentile returns the p-th percentile of xs (0 <= p <= 100) by the
+// nearest-rank method: the smallest sample such that at least p percent
+// of the samples are less than or equal to it. p = 0 returns the
+// minimum, p = 100 the maximum, and a single sample is every
+// percentile of itself. The input is not modified. Serving-latency
+// tails (p50/p95/p99) are reported through this.
+func Percentile(xs []float64, p float64) (float64, error) {
+	out, err := Percentiles(xs, p)
+	if err != nil {
+		return 0, err
+	}
+	return out[0], nil
+}
+
+// Percentiles returns the nearest-rank percentile for each p, sorting
+// one copy of the input once — the bulk form tail roll-ups (p50, p95,
+// p99 over the same samples) should use.
+func Percentiles(xs []float64, ps ...float64) ([]float64, error) {
+	if len(xs) == 0 {
+		return nil, ErrEmpty
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	out := make([]float64, len(ps))
+	for i, p := range ps {
+		if p < 0 || p > 100 || math.IsNaN(p) {
+			return nil, fmt.Errorf("stats: percentile %v outside [0, 100]", p)
+		}
+		out[i] = cp[nearestRank(len(cp), p)-1]
+	}
+	return out, nil
+}
+
+// nearestRank maps a percentile onto a 1-based rank in a sorted
+// n-sample list. p*n is computed before dividing (p*n/100 is exact
+// whenever p*n is, unlike p/100 which already rounds — e.g. 55/100),
+// and representation noise is shaved before the ceil so a rank that is
+// an integer up to float error stays that integer.
+func nearestRank(n int, p float64) int {
+	rank := int(math.Ceil(p*float64(n)/100 - 1e-9))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return rank
 }
 
 // Variance returns the population variance of xs.

@@ -30,6 +30,99 @@ func TestSum(t *testing.T) {
 	}
 }
 
+func TestPercentile(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []float64
+		p    float64
+		want float64
+	}{
+		{"single p0", []float64{42}, 0, 42},
+		{"single p50", []float64{42}, 50, 42},
+		{"single p100", []float64{42}, 100, 42},
+		{"p0 is min", []float64{5, 1, 3}, 0, 1},
+		{"p100 is max", []float64{5, 1, 3}, 100, 5},
+		{"p50 odd", []float64{3, 1, 2}, 50, 2},
+		{"p50 even nearest-rank", []float64{4, 1, 3, 2}, 50, 2},
+		{"p99 of 100", func() []float64 {
+			xs := make([]float64, 100)
+			for i := range xs {
+				xs[i] = float64(i + 1)
+			}
+			return xs
+		}(), 99, 99},
+		// Regression: 55/100 is not exactly representable; a naive
+		// ceil(p/100*n) lands on rank 56.
+		{"p55 of 100 float-exact rank", func() []float64 {
+			xs := make([]float64, 100)
+			for i := range xs {
+				xs[i] = float64(i + 1)
+			}
+			return xs
+		}(), 55, 55},
+		{"p30 of 10", []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 30, 3},
+		{"duplicates", []float64{7, 7, 7, 7}, 95, 7},
+		{"duplicate tail", []float64{1, 1, 1, 9}, 75, 1},
+		{"unsorted input left intact", []float64{9, 2, 5}, 100, 9},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := Percentile(tc.in, tc.p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tc.want {
+				t.Errorf("Percentile(%v, %v) = %v, want %v", tc.in, tc.p, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestPercentilesAgreesWithPercentile(t *testing.T) {
+	xs := []float64{9, 1, 7, 3, 5, 5, 2}
+	ps := []float64{0, 25, 50, 55, 95, 100}
+	bulk, err := Percentiles(xs, ps...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range ps {
+		one, err := Percentile(xs, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bulk[i] != one {
+			t.Errorf("Percentiles[%v] = %v, Percentile = %v", p, bulk[i], one)
+		}
+	}
+	if _, err := Percentiles(xs, 50, 101); err == nil {
+		t.Error("out-of-range p in bulk form should error")
+	}
+	if _, err := Percentiles(nil, 50); err != ErrEmpty {
+		t.Errorf("empty error = %v, want ErrEmpty", err)
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	in := []float64{3, 1, 2}
+	if _, err := Percentile(in, 50); err != nil {
+		t.Fatal(err)
+	}
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Errorf("input mutated: %v", in)
+	}
+}
+
+func TestPercentileErrors(t *testing.T) {
+	if _, err := Percentile(nil, 50); err != ErrEmpty {
+		t.Errorf("empty error = %v, want ErrEmpty", err)
+	}
+	for _, p := range []float64{-1, 101, math.NaN()} {
+		if _, err := Percentile([]float64{1}, p); err == nil {
+			t.Errorf("Percentile(p=%v) should error", p)
+		}
+	}
+}
+
 func TestMean(t *testing.T) {
 	if _, err := Mean(nil); err != ErrEmpty {
 		t.Errorf("Mean(nil) error = %v, want ErrEmpty", err)

@@ -29,6 +29,15 @@ type (
 	SeqPointRequest = server.SeqPointRequest
 	// SeqPointResponse is the selection outcome over the wire.
 	SeqPointResponse = server.SeqPointResponse
+	// ServeRequest describes one online-serving simulation over the
+	// wire (POST /v1/serve).
+	ServeRequest = server.ServeRequest
+	// ServeResponse is the serving outcome over the wire: the arrival
+	// setup plus the throughput/latency-percentile roll-up.
+	ServeResponse = server.ServeResponse
+	// ServiceAPIError is a non-2xx service response surfaced by the
+	// typed client: HTTP status plus the server's error body.
+	ServiceAPIError = server.APIError
 	// ServiceStats is the service- and engine-level counter snapshot
 	// served by GET /v1/stats.
 	ServiceStats = server.StatsResponse

@@ -1,0 +1,65 @@
+package seqpoint
+
+import (
+	"seqpoint/internal/serving"
+	"seqpoint/internal/stats"
+)
+
+// Online serving simulation (internal/serving): a deterministic
+// discrete-event simulator of load-dependent inference serving on top
+// of the same analytical cost model. Requests arrive over time
+// (Poisson, burst, or a replayed trace), a batching policy groups
+// them, a single-queue server prices each batch through the engine's
+// profile cache, and per-request metrics roll up to throughput,
+// utilization and p50/p95/p99 latency. This is the regime where the
+// paper's sequence-length observation bites hardest: with pad-to-max
+// batching, the longest request in a batch sets the whole batch's
+// cost, so the arrival stream's SL skew shapes the latency tail.
+type (
+	// ServingRequest is one inference request of an arrival trace.
+	ServingRequest = serving.Request
+	// ServingTrace is an arrival-ordered request sequence.
+	ServingTrace = serving.Trace
+	// ServingSpec describes one online-serving simulation.
+	ServingSpec = serving.Spec
+	// ServingResult is a serving simulation's full outcome.
+	ServingResult = serving.Result
+	// ServingSummary is the deterministic serving roll-up (the unit of
+	// the serving golden tests).
+	ServingSummary = serving.Summary
+	// ServingMetric is one request's realized timeline.
+	ServingMetric = serving.RequestMetric
+	// BatchPolicy decides when the server launches a batch and which
+	// queued requests it groups.
+	BatchPolicy = serving.Policy
+	// BatchDecision is a policy's verdict at one decision instant.
+	BatchDecision = serving.Decision
+)
+
+var (
+	// SimulateServing runs an online-serving simulation.
+	SimulateServing = serving.Simulate
+	// PoissonTrace generates a seeded Poisson arrival trace with
+	// request lengths drawn from a corpus.
+	PoissonTrace = serving.PoissonTrace
+	// BurstTrace generates a fully backlogged trace (every request at
+	// time zero) — the capacity probe.
+	BurstTrace = serving.BurstTrace
+	// ReplayTrace builds a trace from explicit arrival offsets and
+	// sequence lengths.
+	ReplayTrace = serving.ReplayTrace
+	// NewFixedBatch, NewDynamicBatch and NewLengthAware build the three
+	// bundled batching policies: fixed-size FIFO, timeout-bounded
+	// dynamic batching, and greedy length-aware grouping.
+	NewFixedBatch   = serving.NewFixedBatch
+	NewDynamicBatch = serving.NewDynamicBatch
+	NewLengthAware  = serving.NewLengthAware
+	// ParseBatchPolicy maps a CLI/HTTP policy spelling ("fixed",
+	// "dynamic", "length") to a policy.
+	ParseBatchPolicy = serving.ParsePolicy
+	// Percentile is the nearest-rank percentile (p in [0,100]) the
+	// serving roll-ups report latency tails with; Percentiles is the
+	// bulk form that sorts once for several p values.
+	Percentile  = stats.Percentile
+	Percentiles = stats.Percentiles
+)

@@ -330,6 +330,41 @@ func BenchmarkServingLoadSweep(b *testing.B) {
 	b.ReportMetric(last.ThroughputRPS, "overload-throughput-rps")
 }
 
+// BenchmarkFleetSweep measures the replicas × routing grid on the
+// shared suite, reporting the routing-policy payoff (round-robin vs
+// JSQ p99 at the largest fleet) so the BENCH_ci.json artifact tracks
+// the fleet simulator's headline result per commit.
+func BenchmarkFleetSweep(b *testing.B) {
+	s := bsuite(b)
+	var res experiments.FleetSweepResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiments.FleetSweep(s.Lab, s.GNMT, s.Calib(),
+			experiments.DefaultServeRequests,
+			experiments.FleetSweepReplicaCounts(), experiments.FleetSweepRoutings(),
+			experiments.DefaultFleetLoadFactor)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.CapacityRPS, "replica-capacity-rps")
+	maxN := res.Rows[len(res.Rows)-1].Replicas
+	var rrP99, jsqP99 float64
+	for _, row := range res.Rows {
+		if row.Replicas != maxN {
+			continue
+		}
+		switch row.Routing {
+		case "rr":
+			rrP99 = row.P99US
+		case "jsq":
+			jsqP99 = row.P99US
+		}
+	}
+	b.ReportMetric(rrP99, "rr-p99-us")
+	b.ReportMetric(jsqP99, "jsq-p99-us")
+}
+
 // BenchmarkSelect measures the SeqPoint selection algorithm itself
 // (binning + auto-k) on a realistic epoch log — microseconds, which is
 // the point: selection is free compared to profiling.

@@ -69,6 +69,10 @@ func main() {
 		policy   = flag.String("policy", serving.PolicyDynamic, "(with -serve) batching policy: fixed, dynamic or length")
 		requests = flag.Int("requests", experiments.DefaultServeRequests, "(with -serve) arrival-trace length")
 		timeout  = flag.Float64("serve-timeout-us", 50000, "(with -serve) dynamic policy's batching window in µs")
+		replicas = flag.Int("replicas", 1, "(with -serve) serving replica count; > 1 simulates a fleet")
+		routing  = flag.String("routing", serving.RoutingRoundRobin, "(with -serve) fleet routing: rr, least, jsq or po2")
+		queueCap = flag.Int("queue-cap", 0, "(with -serve) per-replica admission queue bound (0 = unbounded)")
+		autoScal = flag.Bool("autoscale", false, "(with -serve) autoscale the fleet between 1 and -replicas on queue depth")
 	)
 	flag.Parse()
 	engine.Shared().SetParallelism(*par)
@@ -82,9 +86,12 @@ func main() {
 	}
 	serveOnly := map[string]bool{
 		"rate": true, "policy": true, "requests": true, "serve-timeout-us": true,
+		"replicas": true, "routing": true, "queue-cap": true, "autoscale": true,
 	}
 	var bad []string
+	routingSet := false
 	flag.Visit(func(f *flag.Flag) {
+		routingSet = routingSet || f.Name == "routing"
 		if *serve && trainOnly[f.Name] || !*serve && serveOnly[f.Name] {
 			bad = append(bad, "-"+f.Name)
 		}
@@ -101,7 +108,17 @@ func main() {
 	}
 
 	if *serve {
-		if err := runServe(*model, *cfgIdx, *batch, *seed, *rate, *policy, *requests, *timeout); err != nil {
+		var err error
+		// Any fleet-only knob — including an explicit -routing or a
+		// bounded queue on a single replica — selects the fleet
+		// simulator, so no flag is ever silently ignored.
+		if *replicas > 1 || *autoScal || *queueCap > 0 || routingSet {
+			err = runFleet(*model, *cfgIdx, *batch, *seed, *rate, *policy, *requests, *timeout,
+				*replicas, *routing, *queueCap, *autoScal)
+		} else {
+			err = runServe(*model, *cfgIdx, *batch, *seed, *rate, *policy, *requests, *timeout)
+		}
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "trainsim:", err)
 			os.Exit(1)
 		}
@@ -158,6 +175,93 @@ func runServe(model string, cfgIdx, batch int, seed int64, rate float64, policyN
 	t.AddStringRow("p95 latency", report.US(sum.P95LatencyUS))
 	t.AddStringRow("p99 latency", report.US(sum.P99LatencyUS))
 	fmt.Print(t.String())
+	return nil
+}
+
+// runFleet simulates multi-replica serving and prints the fleet
+// roll-up.
+func runFleet(model string, cfgIdx, batch int, seed int64, rate float64, policyName string,
+	requests int, timeoutUS float64, replicas int, routingName string, queueCap int, autoscale bool) error {
+	cfgs := gpusim.TableII()
+	if cfgIdx < 1 || cfgIdx > len(cfgs) {
+		return fmt.Errorf("config %d outside Table II range 1-%d", cfgIdx, len(cfgs))
+	}
+	cfg := cfgs[cfgIdx-1]
+	w, err := experiments.ServedWorkloadByName(model, seed)
+	if err != nil {
+		return err
+	}
+	pol, err := serving.ParsePolicy(policyName, batch, timeoutUS)
+	if err != nil {
+		return err
+	}
+	router, err := serving.ParseRouting(routingName, seed)
+	if err != nil {
+		return err
+	}
+	trace, err := serving.PoissonTrace(w.Train, requests, rate, seed)
+	if err != nil {
+		return err
+	}
+	spec := serving.FleetSpec{
+		Model:    w.Model,
+		Trace:    trace,
+		Policy:   pol,
+		Router:   router,
+		Replicas: replicas,
+		QueueCap: queueCap,
+	}
+	if autoscale {
+		// Scale between one replica and the flag's fleet size: up past
+		// one full batch queued per live replica, down below a quarter.
+		spec.Replicas = 1
+		spec.Autoscale = &serving.AutoscaleConfig{
+			Min:        1,
+			Max:        replicas,
+			UpDepth:    float64(batch),
+			DownDepth:  float64(batch) / 4,
+			CooldownUS: 50_000,
+		}
+	}
+	res, err := serving.SimulateFleet(spec, cfg)
+	if err != nil {
+		return err
+	}
+	sum := res.Summary()
+
+	fmt.Printf("model=%s trace=%s config=%s policy=%s routing=%s replicas=%d\n",
+		w.Name, trace.Name, cfg, sum.Policy, sum.Routing, sum.Replicas)
+	t := report.NewTable("Fleet summary", "quantity", "value").Align(1, report.AlignRight)
+	t.AddStringRow("requests", report.Count(sum.Requests))
+	t.AddStringRow("served", report.Count(sum.Served))
+	t.AddStringRow("rejected", report.Count(sum.Rejected))
+	t.AddStringRow("drop rate", report.Pct(sum.DropRatePct))
+	t.AddStringRow("batches", report.Count(sum.Batches))
+	t.AddStringRow("makespan", report.US(sum.MakespanUS))
+	t.AddStringRow("utilization", report.Pct(sum.UtilizationPct))
+	t.AddStringRow("throughput", fmt.Sprintf("%.1f req/s", sum.ThroughputRPS))
+	t.AddStringRow("mean wait", report.US(sum.MeanWaitUS))
+	t.AddStringRow("p50 latency", report.US(sum.P50LatencyUS))
+	t.AddStringRow("p95 latency", report.US(sum.P95LatencyUS))
+	t.AddStringRow("p99 latency", report.US(sum.P99LatencyUS))
+	t.AddStringRow("replica-seconds", fmt.Sprintf("%.2f", sum.ReplicaSeconds))
+	if autoscale {
+		t.AddStringRow("scale ups / downs", fmt.Sprintf("%d / %d", sum.ScaleUps, sum.ScaleDowns))
+		t.AddStringRow("peak replicas", report.Count(sum.PeakReplicas))
+	}
+	fmt.Print(t.String())
+
+	rt := report.NewTable("Per-replica", "replica", "gpus", "served", "batches", "busy", "live").AlignNumeric()
+	for _, rs := range sum.PerReplica {
+		rt.AddStringRow(
+			fmt.Sprintf("%d", rs.Replica),
+			fmt.Sprintf("%d", rs.GPUs),
+			fmt.Sprintf("%d", rs.Served),
+			fmt.Sprintf("%d", rs.Batches),
+			report.US(rs.BusyUS),
+			report.US(rs.LiveUS))
+	}
+	fmt.Print(rt.String())
 	return nil
 }
 

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"testing"
+
+	"seqpoint/internal/gpusim"
+)
+
+func TestClusterFromFlags(t *testing.T) {
+	cl, err := clusterFromFlags(1, "ring", 25, 1.5, 0.5)
+	if err != nil || cl.GPUs != 1 {
+		t.Fatalf("single GPU: %+v, %v", cl, err)
+	}
+	cl, err = clusterFromFlags(4, "mesh", 50, 1.0, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.GPUs != 4 || cl.Topology != gpusim.TopologyFullMesh || cl.LinkGBps != 50 {
+		t.Errorf("cluster = %+v", cl)
+	}
+	if _, err := clusterFromFlags(4, "torus", 25, 1.5, 0.5); err == nil {
+		t.Error("unknown topology should error")
+	}
+	if _, err := clusterFromFlags(4, "ring", -1, 1.5, 0.5); err == nil {
+		t.Error("negative bandwidth should error")
+	}
+}
+
+// TestRunServeAndFleet drives the two serving entry points end to end
+// (output goes to stdout; errors are what we assert on).
+func TestRunServeAndFleet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full serving simulations skipped in -short mode")
+	}
+	if err := runServe("gnmt", 1, 8, 1, 300, "dynamic", 48, 20000); err != nil {
+		t.Errorf("runServe: %v", err)
+	}
+	if err := runFleet("gnmt", 1, 8, 1, 600, "dynamic", 48, 20000, 3, "jsq", 64, false); err != nil {
+		t.Errorf("runFleet: %v", err)
+	}
+	if err := runFleet("gnmt", 1, 8, 1, 600, "dynamic", 48, 20000, 2, "po2", 0, true); err != nil {
+		t.Errorf("runFleet autoscale: %v", err)
+	}
+
+	// Error paths: bad config index, model, policy, routing.
+	if err := runServe("gnmt", 9, 8, 1, 300, "dynamic", 48, 20000); err == nil {
+		t.Error("config out of range should error")
+	}
+	if err := runFleet("gnmt", 0, 8, 1, 300, "dynamic", 48, 20000, 2, "rr", 0, false); err == nil {
+		t.Error("config out of range should error")
+	}
+	if err := runFleet("cnn", 1, 8, 1, 300, "dynamic", 48, 20000, 2, "rr", 0, false); err == nil {
+		t.Error("cnn is not servable")
+	}
+	if err := runFleet("gnmt", 1, 8, 1, 300, "magic", 48, 20000, 2, "rr", 0, false); err == nil {
+		t.Error("unknown policy should error")
+	}
+	if err := runFleet("gnmt", 1, 8, 1, 300, "dynamic", 48, 20000, 2, "torus", 0, false); err == nil {
+		t.Error("unknown routing should error")
+	}
+	if err := runFleet("gnmt", 1, 8, 1, -5, "dynamic", 48, 20000, 2, "rr", 0, false); err == nil {
+		t.Error("negative rate should error")
+	}
+}

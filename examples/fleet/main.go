@@ -1,0 +1,70 @@
+// Example fleet simulates a three-replica GNMT serving fleet under
+// round-robin, power-of-two-choices and join-shortest-queue routing on
+// the same seeded arrival trace, at an offered load just past the
+// fleet's saturation knee. Round-robin is oblivious to queue state, so
+// short requests pile up behind long batches on whichever replica the
+// rotation hits; the queue-aware routers keep the backlog level and
+// shave the p99 tail. Everything is seeded and the event loop is
+// deterministic, so this prints the same numbers on every run.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"seqpoint"
+)
+
+const (
+	replicas = 3
+	rate     = 200 // req/s, just past the 3-replica knee for this setup
+)
+
+func main() {
+	// Request lengths come from a small IWSLT-shaped corpus: real SL
+	// skew, which is exactly what makes batch service times uneven and
+	// routing quality visible.
+	corpus := seqpoint.Subsample(seqpoint.IWSLT15(1), 512, 1)
+	trace, err := seqpoint.PoissonTrace(corpus, 384, rate, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	policy, err := seqpoint.NewDynamicBatch(8, 10_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("serving %d GNMT requests at %d req/s on %d replicas (%s each)\n\n",
+		len(trace.Requests), rate, replicas, seqpoint.VegaFE().Name)
+	fmt.Printf("%-14s %10s %10s %12s %12s %12s\n",
+		"routing", "req/s", "mean wait", "p50", "p95", "p99")
+
+	routings := []string{"rr", "po2", "jsq"}
+	p99 := make(map[string]float64)
+	for _, name := range routings {
+		router, err := seqpoint.ParseRouting(name, 7)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := seqpoint.SimulateFleet(seqpoint.FleetSpec{
+			Model:    seqpoint.NewGNMT(),
+			Trace:    trace,
+			Policy:   policy,
+			Router:   router,
+			Replicas: replicas,
+		}, seqpoint.VegaFE())
+		if err != nil {
+			log.Fatal(err)
+		}
+		s := res.Summary()
+		p99[name] = s.P99LatencyUS
+		fmt.Printf("%-14s %10.1f %8.1fms %10.1fms %10.1fms %10.1fms\n",
+			s.Routing, s.ThroughputRPS, s.MeanWaitUS/1e3,
+			s.P50LatencyUS/1e3, s.P95LatencyUS/1e3, s.P99LatencyUS/1e3)
+	}
+
+	fmt.Printf("\njoin-shortest-queue cuts the p99 tail %.1f%% below round-robin on the same trace;\n",
+		(1-p99["jsq"]/p99["rr"])*100)
+	fmt.Println("every replica prices batches through the shared engine cache, so each unique")
+	fmt.Println("(batch, padded SL) forward pass was computed exactly once across all three runs.")
+}

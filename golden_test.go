@@ -202,6 +202,102 @@ func TestGoldenServingDeterminism(t *testing.T) {
 	}
 }
 
+const goldenFleetPath = "testdata/golden_fleet_summary.json"
+
+// goldenFleetSpec stresses every fleet-only subsystem at once: seeded
+// po2 routing, a bounded admission queue, a heterogeneous replica (2
+// GPUs), and the reactive autoscaler — so a byte drift in any of them
+// shows up in the pinned summary.
+func goldenFleetSpec(t *testing.T, eng *seqpoint.Engine) seqpoint.FleetSpec {
+	t.Helper()
+	lengths := make([]int, 192)
+	for i := range lengths {
+		lengths[i] = 4 + (i*13)%48
+	}
+	corpus, err := seqpoint.Synthetic("golden-fleet", lengths, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, err := seqpoint.PoissonTrace(corpus, 160, 700, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	policy, err := seqpoint.NewDynamicBatch(16, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return seqpoint.FleetSpec{
+		Model:    seqpoint.NewGNMT(),
+		Trace:    trace,
+		Policy:   policy,
+		Router:   seqpoint.NewPowerOfTwo(42),
+		Replicas: 1,
+		Clusters: []seqpoint.ClusterConfig{
+			seqpoint.SingleGPU(),
+			seqpoint.DefaultCluster(2),
+			seqpoint.SingleGPU(),
+		},
+		QueueCap: 24,
+		Autoscale: &seqpoint.FleetAutoscale{
+			Min: 1, Max: 3, UpDepth: 8, DownDepth: 2, CooldownUS: 10000,
+		},
+		Profiles: eng,
+	}
+}
+
+// TestGoldenFleetDeterminism holds the fleet simulator to the same
+// contract as training and single-queue serving: byte-identical
+// FleetSummary JSON at profiling parallelism 1, 4 and GOMAXPROCS,
+// pinned against a committed golden file. Regenerate with
+// -update-golden.
+func TestGoldenFleetDeterminism(t *testing.T) {
+	parallelisms := []int{1, 4, runtime.GOMAXPROCS(0)}
+
+	var reference []byte
+	for _, par := range parallelisms {
+		// A fresh private engine per run: a cold cache is the harder
+		// determinism test.
+		eng := seqpoint.NewEngine()
+		eng.SetParallelism(par)
+		res, err := seqpoint.SimulateFleet(goldenFleetSpec(t, eng), seqpoint.VegaFE())
+		if err != nil {
+			t.Fatalf("parallelism=%d: %v", par, err)
+		}
+		buf, err := res.Summary().Serialize()
+		if err != nil {
+			t.Fatalf("parallelism=%d: serialize: %v", par, err)
+		}
+		if reference == nil {
+			reference = buf
+			continue
+		}
+		if !bytes.Equal(buf, reference) {
+			t.Fatalf("FleetSummary at parallelism %d differs from parallelism %d:\n%s\nvs\n%s",
+				par, parallelisms[0], buf, reference)
+		}
+	}
+
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenFleetPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenFleetPath, reference, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", goldenFleetPath, len(reference))
+		return
+	}
+
+	want, err := os.ReadFile(goldenFleetPath)
+	if err != nil {
+		t.Fatalf("reading golden file (regenerate with -update-golden): %v", err)
+	}
+	if !bytes.Equal(reference, want) {
+		t.Errorf("fleet summary drifted from %s — if the cost model changed intentionally, regenerate with -update-golden.\ngot:\n%s\nwant:\n%s",
+			goldenFleetPath, reference, want)
+	}
+}
+
 // TestGoldenSummaryScalesSanely spot-checks the committed scenario's
 // physics rather than its bytes: more GPUs must not slow training down,
 // and communication only exists on clusters.

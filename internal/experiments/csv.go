@@ -157,6 +157,13 @@ func (s *Suite) CSVBundle() (map[string]string, error) {
 			return nil, err
 		}
 		out[fmt.Sprintf("loadsweep_%s.csv", w.Name)] = ls.CSV()
+
+		fs, err := FleetSweep(s.Lab, w, calib, DefaultServeRequests,
+			FleetSweepReplicaCounts(), FleetSweepRoutings(), DefaultFleetLoadFactor)
+		if err != nil {
+			return nil, err
+		}
+		out[fmt.Sprintf("fleetsweep_%s.csv", w.Name)] = fs.CSV()
 	}
 	return out, nil
 }

@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"seqpoint/internal/engine"
+	"seqpoint/internal/gpusim"
+	"seqpoint/internal/serving"
+)
+
+// TestScaledRatesGrid is the table test for the shared arrival-rate
+// grid construction, covering the edges LoadSweep and FleetSweep both
+// lean on.
+func TestScaledRatesGrid(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		capacity float64
+		factors  []float64
+		want     []float64
+		wantErr  bool
+	}{
+		{name: "single factor", capacity: 100, factors: []float64{1.1}, want: []float64{110.00000000000001}},
+		{name: "sorts unsorted input", capacity: 10, factors: []float64{2, 0.5, 1}, want: []float64{5, 10, 20}},
+		{name: "preserves duplicates", capacity: 10, factors: []float64{1, 1}, want: []float64{10, 10}},
+		{name: "empty factors", capacity: 100, factors: nil, wantErr: true},
+		{name: "zero factor", capacity: 100, factors: []float64{0, 1}, wantErr: true},
+		{name: "negative factor", capacity: 100, factors: []float64{-0.5}, wantErr: true},
+		{name: "NaN factor", capacity: 100, factors: []float64{math.NaN()}, wantErr: true},
+		// Regression: NaN must be caught wherever sort places it, not
+		// just when it lands last.
+		{name: "NaN among factors", capacity: 100, factors: []float64{math.NaN(), 2}, wantErr: true},
+		{name: "infinite factor", capacity: 100, factors: []float64{1, math.Inf(1)}, wantErr: true},
+		{name: "zero capacity", capacity: 0, factors: []float64{1}, wantErr: true},
+		{name: "negative capacity", capacity: -5, factors: []float64{1}, wantErr: true},
+		{name: "NaN capacity", capacity: math.NaN(), factors: []float64{1}, wantErr: true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			fs, rates, err := ScaledRates(tc.capacity, tc.factors)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("ScaledRates(%v, %v) succeeded, want error", tc.capacity, tc.factors)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(fs) != len(rates) {
+				t.Fatalf("%d factors vs %d rates", len(fs), len(rates))
+			}
+			for i := range rates {
+				if rates[i] != tc.want[i] {
+					t.Errorf("rate[%d] = %v, want %v", i, rates[i], tc.want[i])
+				}
+				if i > 0 && fs[i] < fs[i-1] {
+					t.Errorf("factors not sorted: %v", fs)
+				}
+			}
+			// The input slice must not be reordered in place.
+			if tc.name == "sorts unsorted input" && (tc.factors[0] != 2 || tc.factors[1] != 0.5) {
+				t.Errorf("ScaledRates mutated its input: %v", tc.factors)
+			}
+		})
+	}
+}
+
+// TestFleetSweepGrid runs the full grid on a small workload and checks
+// its shape plus the physics that make it worth running: more replicas
+// serve more, and the same trace is offered to every routing policy in
+// a row group.
+func TestFleetSweepGrid(t *testing.T) {
+	lab := NewLabWith(engine.New())
+	w := sweepWorkload()
+	replicaCounts := []int{1, 2}
+	routings := []string{serving.RoutingRoundRobin, serving.RoutingJSQ}
+	res, err := FleetSweep(lab, w, gpusim.VegaFE(), 192, replicaCounts, routings, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(replicaCounts)*len(routings) {
+		t.Fatalf("rows = %d, want %d", len(res.Rows), len(replicaCounts)*len(routings))
+	}
+	if res.CapacityRPS <= 0 {
+		t.Fatalf("capacity = %v, want > 0", res.CapacityRPS)
+	}
+	byKey := make(map[[2]string]FleetSweepRow)
+	for _, row := range res.Rows {
+		byKey[[2]string{string(rune('0' + row.Replicas)), row.Routing}] = row
+		if row.ThroughputRPS <= 0 {
+			t.Errorf("x%d %s: non-positive throughput %v", row.Replicas, row.Routing, row.ThroughputRPS)
+		}
+		if row.ReplicaSeconds <= 0 {
+			t.Errorf("x%d %s: non-positive replica-seconds %v", row.Replicas, row.Routing, row.ReplicaSeconds)
+		}
+	}
+	// Offered rate scales with the fleet: the 2-replica rows offer
+	// twice the 1-replica rate.
+	one := byKey[[2]string{"1", serving.RoutingRoundRobin}]
+	two := byKey[[2]string{"2", serving.RoutingRoundRobin}]
+	if got := two.RatePerSec / one.RatePerSec; math.Abs(got-2) > 1e-9 {
+		t.Errorf("2-replica rate is %.3fx the 1-replica rate, want 2x", got)
+	}
+	// At 1.2x aggregate load, the overloaded single replica must not
+	// out-serve the 2-replica fleet.
+	if two.ThroughputRPS <= one.ThroughputRPS {
+		t.Errorf("2 replicas served %.0f rps <= 1 replica's %.0f", two.ThroughputRPS, one.ThroughputRPS)
+	}
+	// Routing policies within a row group see the same trace, so the
+	// offered rate is identical.
+	jsq := byKey[[2]string{"2", serving.RoutingJSQ}]
+	if jsq.RatePerSec != two.RatePerSec {
+		t.Errorf("routing changed the offered rate: %v vs %v", jsq.RatePerSec, two.RatePerSec)
+	}
+
+	out := res.Render()
+	for _, want := range []string{"Fleet sweep", "routing", serving.RoutingJSQ, "replica-s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render() missing %q:\n%s", want, out)
+		}
+	}
+	csv := res.CSV()
+	if !strings.Contains(csv, "replicas,routing,rate_rps") {
+		t.Errorf("CSV missing header:\n%s", csv)
+	}
+	if got := strings.Count(csv, "\n"); got != len(res.Rows)+1 {
+		t.Errorf("CSV has %d lines, want %d", got, len(res.Rows)+1)
+	}
+}
+
+func TestFleetSweepErrors(t *testing.T) {
+	lab := NewLabWith(engine.New())
+	w := sweepWorkload()
+	if _, err := FleetSweep(lab, w, gpusim.VegaFE(), 64, nil, []string{"rr"}, 1); err == nil {
+		t.Error("empty replica counts should error")
+	}
+	if _, err := FleetSweep(lab, w, gpusim.VegaFE(), 64, []int{1}, nil, 1); err == nil {
+		t.Error("empty routings should error")
+	}
+	if _, err := FleetSweep(lab, w, gpusim.VegaFE(), 64, []int{0}, []string{"rr"}, 1); err == nil {
+		t.Error("zero replica count should error")
+	}
+	if _, err := FleetSweep(lab, w, gpusim.VegaFE(), 64, []int{1}, []string{"nope"}, 1); err == nil {
+		t.Error("unknown routing should error")
+	}
+	if _, err := FleetSweep(lab, w, gpusim.VegaFE(), 64, []int{1}, []string{"rr"}, -1); err == nil {
+		t.Error("negative load factor should error")
+	}
+}

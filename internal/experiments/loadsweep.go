@@ -2,12 +2,10 @@ package experiments
 
 import (
 	"fmt"
-	"sort"
 
 	"seqpoint/internal/gpusim"
 	"seqpoint/internal/report"
 	"seqpoint/internal/serving"
-	"seqpoint/internal/stats"
 )
 
 // LoadSweepRow is one arrival rate's serving outcome.
@@ -71,35 +69,16 @@ const DefaultServeRequests = 512
 // across rates, so each row serves the same request mix at a
 // different pace.
 func LoadSweep(lab *Lab, w Workload, cfg gpusim.Config, requests int, factors []float64) (LoadSweepResult, error) {
-	if len(factors) == 0 {
-		return LoadSweepResult{}, fmt.Errorf("experiments: load sweep needs at least one rate factor")
-	}
 	if requests <= 0 {
 		requests = DefaultServeRequests
 	}
-	fs := append([]float64(nil), factors...)
-	sort.Float64s(fs)
-	if fs[0] <= 0 {
-		return LoadSweepResult{}, fmt.Errorf("experiments: rate factors must be positive, got %g", fs[0])
-	}
-
-	// The dynamic policy's timeout: one full-batch service time at the
-	// corpus's median SL, so low-load queueing delay stays on the order
-	// of a single batch.
-	medSL, err := stats.MedianInt(w.Train.Lengths)
-	if err != nil {
+	// Validate the grid before the capacity probe: bad factors must
+	// fail before any simulation work.
+	if err := ValidateLoadFactors(factors); err != nil {
 		return LoadSweepResult{}, err
 	}
 	eng := lab.Engine()
-	profiles, err := eng.EvalProfiles(cfg, gpusim.SingleGPU(), w.Model, w.Batch, []int{medSL})
-	if err != nil {
-		return LoadSweepResult{}, err
-	}
-	serviceUS := profiles[medSL].TimeUS
-	if serviceUS <= 0 {
-		return LoadSweepResult{}, fmt.Errorf("experiments: zero service time for %s at SL %d", w.Name, medSL)
-	}
-	policy, err := serving.NewDynamicBatch(w.Batch, serviceUS)
+	policy, err := servingPolicy(eng, w, cfg)
 	if err != nil {
 		return LoadSweepResult{}, err
 	}
@@ -107,22 +86,13 @@ func LoadSweep(lab *Lab, w Workload, cfg gpusim.Config, requests int, factors []
 	// Measure capacity: a backlogged burst through the same policy
 	// always launches full batches, so its throughput is the server's
 	// saturation rate on this request mix.
-	burst, err := serving.BurstTrace(w.Train, requests, w.Seed)
+	capacity, err := measureCapacity(eng, w, cfg, policy, requests)
 	if err != nil {
 		return LoadSweepResult{}, err
 	}
-	burstRun, err := serving.Simulate(serving.Spec{
-		Model:    w.Model,
-		Trace:    burst,
-		Policy:   policy,
-		Profiles: eng,
-	}, cfg)
+	fs, rates, err := ScaledRates(capacity, factors)
 	if err != nil {
-		return LoadSweepResult{}, fmt.Errorf("experiments: load sweep %s capacity probe: %w", w.Name, err)
-	}
-	capacity := burstRun.Throughput()
-	if capacity <= 0 {
-		return LoadSweepResult{}, fmt.Errorf("experiments: zero measured capacity for %s", w.Name)
+		return LoadSweepResult{}, err
 	}
 	res := LoadSweepResult{
 		Network:     w.Name,
@@ -131,8 +101,8 @@ func LoadSweep(lab *Lab, w Workload, cfg gpusim.Config, requests int, factors []
 		Requests:    requests,
 		CapacityRPS: capacity,
 	}
-	for _, f := range fs {
-		rate := f * capacity
+	for i, f := range fs {
+		rate := rates[i]
 		trace, err := serving.PoissonTrace(w.Train, requests, rate, w.Seed)
 		if err != nil {
 			return LoadSweepResult{}, err

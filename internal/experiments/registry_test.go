@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWorkloadRegistry pins the shared model registry the CLI and the
+// HTTP service both resolve names through: every trainable model
+// resolves, every servable model resolves, and cnn is trainable but
+// explicitly not servable.
+func TestWorkloadRegistry(t *testing.T) {
+	trainable := []string{"ds2", "gnmt", "transformer", "seq2seq", "cnn"}
+	for _, name := range trainable {
+		w, err := WorkloadByName(name, DefaultSeed)
+		if err != nil {
+			t.Fatalf("WorkloadByName(%q): %v", name, err)
+		}
+		if w.Name != name || w.Model == nil || w.Train == nil {
+			t.Errorf("WorkloadByName(%q) returned incomplete workload %+v", name, w)
+		}
+	}
+	if _, err := WorkloadByName("bert", DefaultSeed); err == nil {
+		t.Error("unknown model should error")
+	}
+
+	for _, name := range trainable[:4] {
+		if _, err := ServedWorkloadByName(name, DefaultSeed); err != nil {
+			t.Errorf("ServedWorkloadByName(%q): %v", name, err)
+		}
+	}
+	_, err := ServedWorkloadByName("cnn", DefaultSeed)
+	if err == nil || !strings.Contains(err.Error(), "training/characterization only") {
+		t.Errorf("cnn must be rejected for serving with an explanation, got %v", err)
+	}
+	if _, err := ServedWorkloadByName("bert", DefaultSeed); err == nil {
+		t.Error("unknown served model should error")
+	}
+}

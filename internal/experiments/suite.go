@@ -385,6 +385,21 @@ func (s *Suite) RunAll(w io.Writer) error {
 		return err
 	}
 
+	if err := emit("Fleet serving (replicas × routing)", func() (string, error) {
+		var out string
+		for _, w := range s.Workloads() {
+			r, err := FleetSweep(s.Lab, w, calib, DefaultServeRequests,
+				FleetSweepReplicaCounts(), FleetSweepRoutings(), DefaultFleetLoadFactor)
+			if err != nil {
+				return "", err
+			}
+			out += r.Render()
+		}
+		return out, nil
+	}); err != nil {
+		return err
+	}
+
 	if err := emit("Section VI-F (dataset scaling)", func() (string, error) {
 		var out string
 		for _, tc := range []struct {

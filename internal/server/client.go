@@ -60,6 +60,14 @@ func (c *Client) Serve(ctx context.Context, req ServeRequest) (ServeResponse, er
 	return out, err
 }
 
+// Fleet runs a multi-replica serving simulation and returns its
+// routing, admission and autoscaling roll-up.
+func (c *Client) Fleet(ctx context.Context, req FleetRequest) (FleetResponse, error) {
+	var out FleetResponse
+	err := c.post(ctx, "/v1/fleet", req, &out)
+	return out, err
+}
+
 // Stats fetches the engine cache and service counters.
 func (c *Client) Stats(ctx context.Context) (StatsResponse, error) {
 	var out StatsResponse

@@ -7,6 +7,7 @@ import (
 
 	"seqpoint/internal/dataset"
 	"seqpoint/internal/experiments"
+	"seqpoint/internal/gpusim"
 	"seqpoint/internal/serving"
 )
 
@@ -113,6 +114,53 @@ type ServeResponse struct {
 	Summary serving.Summary `json:"summary"`
 }
 
+// buildServeSetup resolves a normalized serve request into its
+// workload, hardware, batching policy and arrival trace. Every failure
+// is a client error (HTTP 400).
+func buildServeSetup(req ServeRequest) (experiments.Workload, gpusim.Config, serving.Policy, serving.Trace, error) {
+	var (
+		zeroW  experiments.Workload
+		zeroHW gpusim.Config
+		zeroT  serving.Trace
+	)
+	workload, err := experiments.ServedWorkloadByName(req.Model, req.Seed)
+	if err != nil {
+		// Keep the registry's explanatory message for cnn (a model that
+		// exists but is not servable); everything else gets the
+		// wire-facing model list.
+		if req.Model != "cnn" {
+			err = fmt.Errorf("unknown model %q (want ds2, gnmt, transformer or seq2seq)", req.Model)
+		}
+		return zeroW, zeroHW, nil, zeroT, err
+	}
+	hw, err := configByName(req.Config)
+	if err != nil {
+		return zeroW, zeroHW, nil, zeroT, err
+	}
+	policy, err := serving.ParsePolicy(req.Policy, req.Batch, *req.TimeoutUS)
+	if err != nil {
+		return zeroW, zeroHW, nil, zeroT, err
+	}
+	corpus := workload.Train
+	if len(req.SeqLens) > 0 {
+		corpus, err = dataset.Synthetic(fmt.Sprintf("custom-%s", req.Model), req.SeqLens, corpus.Vocab)
+		if err != nil {
+			return zeroW, zeroHW, nil, zeroT, fmt.Errorf("invalid seqlens: %w", err)
+		}
+	}
+	trace, err := serving.PoissonTrace(corpus, req.Requests, req.Rate, req.Seed)
+	if err != nil {
+		return zeroW, zeroHW, nil, zeroT, err
+	}
+	// A degenerate rate (e.g. denormal-small) can overflow arrival
+	// times to +Inf; that is the client's input, so catch it here as a
+	// 400 rather than letting the simulation fail with a 500.
+	if err := trace.Validate(); err != nil {
+		return zeroW, zeroHW, nil, zeroT, err
+	}
+	return workload, hw, policy, trace, nil
+}
+
 func (s *Server) handleServe(w http.ResponseWriter, r *http.Request) {
 	var req ServeRequest
 	if !s.decodePost(w, r, &req) {
@@ -123,44 +171,8 @@ func (s *Server) handleServe(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	workload, err := experiments.ServedWorkloadByName(req.Model, req.Seed)
+	workload, hw, policy, trace, err := buildServeSetup(req)
 	if err != nil {
-		// Keep the registry's explanatory message for cnn (a model that
-		// exists but is not servable); everything else gets the
-		// wire-facing model list.
-		if req.Model != "cnn" {
-			err = fmt.Errorf("unknown model %q (want ds2, gnmt, transformer or seq2seq)", req.Model)
-		}
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	hw, err := configByName(req.Config)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	policy, err := serving.ParsePolicy(req.Policy, req.Batch, *req.TimeoutUS)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	corpus := workload.Train
-	if len(req.SeqLens) > 0 {
-		corpus, err = dataset.Synthetic(fmt.Sprintf("custom-%s", req.Model), req.SeqLens, corpus.Vocab)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("invalid seqlens: %w", err))
-			return
-		}
-	}
-	trace, err := serving.PoissonTrace(corpus, req.Requests, req.Rate, req.Seed)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	// A degenerate rate (e.g. denormal-small) can overflow arrival
-	// times to +Inf; that is the client's input, so catch it here as a
-	// 400 rather than letting Simulate fail with a 500.
-	if err := trace.Validate(); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}

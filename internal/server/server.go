@@ -12,6 +12,7 @@
 //	POST /v1/sweep     — a (workload × config) grid → per-task results
 //	POST /v1/seqpoint  — representative-iteration selection
 //	POST /v1/serve     — online-serving simulation → latency percentiles
+//	POST /v1/fleet     — multi-replica fleet simulation → routing/drop/scaling roll-up
 //	GET  /healthz      — liveness probe
 //	GET  /v1/stats     — engine cache + service counters
 //
@@ -148,6 +149,7 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("/v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("/v1/seqpoint", s.handleSeqPoint)
 	s.mux.HandleFunc("/v1/serve", s.handleServe)
+	s.mux.HandleFunc("/v1/fleet", s.handleFleet)
 	return s
 }
 

@@ -1,0 +1,674 @@
+package serving
+
+import (
+	"fmt"
+	"math"
+
+	"seqpoint/internal/gpusim"
+	"seqpoint/internal/models"
+	"seqpoint/internal/trainer"
+)
+
+// This file generalizes the single-queue serving simulator (sim.go) to
+// a fleet: N replicas, each running the PR-4 event loop's semantics,
+// fronted by a routing policy, a bounded admission queue per replica,
+// and an optional reactive autoscaler. A 1-replica fleet with
+// round-robin routing and an unbounded queue reproduces Simulate
+// byte-for-byte (see FleetResult.AsServing and the property test) —
+// the fleet layer is a strict generalization, not a parallel
+// implementation drifting on its own.
+
+// MaxFleetReplicas bounds the modeled fleet size; beyond it the O(N)
+// per-arrival routing scan stops being the simulation's cheap part.
+const MaxFleetReplicas = 1024
+
+// AutoscaleConfig is the reactive autoscaler: scale up when the mean
+// queue depth per live replica exceeds UpDepth, down when it falls
+// below DownDepth, at most one action per CooldownUS of simulated
+// time. Scale-down only ever retires an idle replica with an empty
+// queue, so no admitted request is abandoned.
+type AutoscaleConfig struct {
+	// Min and Max bound the live replica count.
+	Min, Max int
+	// UpDepth and DownDepth are mean-queued-per-live-replica
+	// thresholds; UpDepth must exceed DownDepth so the scaler cannot
+	// oscillate within one evaluation.
+	UpDepth, DownDepth float64
+	// CooldownUS is the minimum simulated time between scale actions.
+	CooldownUS float64
+}
+
+// Validate reports whether the autoscaler configuration is usable.
+func (a AutoscaleConfig) Validate() error {
+	switch {
+	case a.Min < 1:
+		return fmt.Errorf("serving: autoscale min %d, want >= 1", a.Min)
+	case a.Max < a.Min:
+		return fmt.Errorf("serving: autoscale max %d below min %d", a.Max, a.Min)
+	case a.Max > MaxFleetReplicas:
+		return fmt.Errorf("serving: autoscale max %d exceeds the %d-replica limit", a.Max, MaxFleetReplicas)
+	case math.IsNaN(a.UpDepth) || math.IsInf(a.UpDepth, 0) || a.UpDepth <= 0:
+		return fmt.Errorf("serving: autoscale up-depth must be a positive finite depth, got %v", a.UpDepth)
+	case math.IsNaN(a.DownDepth) || a.DownDepth < 0 || a.DownDepth >= a.UpDepth:
+		return fmt.Errorf("serving: autoscale down-depth must be in [0, up-depth), got %v", a.DownDepth)
+	case math.IsNaN(a.CooldownUS) || math.IsInf(a.CooldownUS, 0) || a.CooldownUS < 0:
+		return fmt.Errorf("serving: autoscale cooldown must be a finite non-negative duration, got %v", a.CooldownUS)
+	}
+	return nil
+}
+
+// FleetSpec describes one multi-replica serving simulation.
+type FleetSpec struct {
+	// Model is the network every replica serves.
+	Model models.Model
+	// Trace is the arrival process offered to the fleet.
+	Trace Trace
+	// Policy is the per-replica batching policy (shared).
+	Policy Policy
+	// Router assigns each arrival to a replica.
+	Router Router
+	// Replicas is the replica count — with autoscaling, the initial
+	// live count (within [Autoscale.Min, Autoscale.Max]).
+	Replicas int
+	// Clusters optionally makes the fleet heterogeneous: one
+	// data-parallel gpusim.ClusterConfig per allocated replica (length
+	// Replicas, or Autoscale.Max when autoscaling). Empty means every
+	// replica is a single GPU.
+	Clusters []gpusim.ClusterConfig
+	// QueueCap bounds each replica's admission queue; arrivals finding
+	// every live replica full are rejected. 0 means unbounded.
+	QueueCap int
+	// Autoscale enables the reactive autoscaler; nil keeps the fleet
+	// size fixed at Replicas.
+	Autoscale *AutoscaleConfig
+	// Profiles overrides the profile source; nil uses the process
+	// default (the shared engine when internal/engine is linked).
+	Profiles trainer.ProfileSource
+}
+
+// allocated is the number of replica slots the simulation provisions:
+// the autoscaler's Max when autoscaling, Replicas otherwise.
+func (s FleetSpec) allocated() int {
+	if s.Autoscale != nil {
+		return s.Autoscale.Max
+	}
+	return s.Replicas
+}
+
+// Validate reports whether the spec is complete and consistent.
+func (s FleetSpec) Validate() error {
+	switch {
+	case s.Model == nil:
+		return fmt.Errorf("serving: fleet spec needs a model")
+	case s.Policy == nil:
+		return fmt.Errorf("serving: fleet spec needs a batching policy")
+	case s.Policy.MaxBatch() <= 0:
+		return fmt.Errorf("serving: policy %q has non-positive max batch", s.Policy.Name())
+	case s.Router == nil:
+		return fmt.Errorf("serving: fleet spec needs a router")
+	case s.Replicas < 1:
+		return fmt.Errorf("serving: fleet needs at least one replica, got %d", s.Replicas)
+	case s.Replicas > MaxFleetReplicas:
+		return fmt.Errorf("serving: %d replicas exceeds the %d-replica limit", s.Replicas, MaxFleetReplicas)
+	case s.QueueCap < 0:
+		return fmt.Errorf("serving: queue capacity must be non-negative, got %d", s.QueueCap)
+	}
+	if s.Autoscale != nil {
+		if err := s.Autoscale.Validate(); err != nil {
+			return err
+		}
+		if s.Replicas < s.Autoscale.Min || s.Replicas > s.Autoscale.Max {
+			return fmt.Errorf("serving: initial replicas %d outside autoscale bounds [%d, %d]",
+				s.Replicas, s.Autoscale.Min, s.Autoscale.Max)
+		}
+	}
+	if len(s.Clusters) > 0 {
+		if len(s.Clusters) != s.allocated() {
+			return fmt.Errorf("serving: %d per-replica clusters for %d allocated replicas",
+				len(s.Clusters), s.allocated())
+		}
+		for i, cl := range s.Clusters {
+			if err := cl.Validate(); err != nil {
+				return fmt.Errorf("serving: replica %d cluster: %w", i, err)
+			}
+		}
+	}
+	return s.Trace.Validate()
+}
+
+// RejectReasonQueueFull is the only rejection the bundled admission
+// controller produces: every live replica's bounded queue was full.
+const RejectReasonQueueFull = "queue_full"
+
+// Rejection records one request the fleet refused to admit.
+type Rejection struct {
+	// ID is the request's trace index.
+	ID int `json:"id"`
+	// ArrivalUS is when the request arrived.
+	ArrivalUS float64 `json:"arrival_us"`
+	// SeqLen is the request's sequence length.
+	SeqLen int `json:"seqlen"`
+	// Reason is the typed rejection cause (RejectReasonQueueFull).
+	Reason string `json:"reason"`
+}
+
+// ReplicaStats is one replica's share of a fleet run.
+type ReplicaStats struct {
+	// Replica is the replica's fleet index.
+	Replica int `json:"replica"`
+	// GPUs is the replica's data-parallel width.
+	GPUs int `json:"gpus"`
+	// Served and Batches count the requests and batches the replica
+	// completed.
+	Served  int `json:"served"`
+	Batches int `json:"batches"`
+	// BusyUS is the replica's summed batch execution time; LiveUS the
+	// simulated time it spent active (equal to the run length on fixed
+	// fleets).
+	BusyUS float64 `json:"busy_us"`
+	LiveUS float64 `json:"live_us"`
+}
+
+// FleetResult is one fleet simulation's full outcome.
+type FleetResult struct {
+	// Config is the per-GPU hardware configuration.
+	Config gpusim.Config
+	// Routing and Policy name the router and batching policy.
+	Routing string
+	Policy  string
+	// Replicas is the allocated replica count; QueueCap the admission
+	// bound (0 = unbounded).
+	Replicas int
+	QueueCap int
+	// Requests holds every served request's metric, ordered by trace
+	// ID; rejected requests appear in Rejections instead.
+	Requests []RequestMetric
+	// Rejections lists refused requests in arrival order.
+	Rejections []Rejection
+	// ReplicaStats holds per-replica roll-ups, indexed by replica.
+	ReplicaStats []ReplicaStats
+	// Batches and BusyUS aggregate over replicas; MakespanUS is the
+	// last batch completion.
+	Batches    int
+	BusyUS     float64
+	MakespanUS float64
+	// ReplicaSeconds integrates live replicas over simulated time: the
+	// fleet's cost proxy (a fixed N-replica fleet accrues N × run
+	// length / 1e6).
+	ReplicaSeconds float64
+	// ScaleUps, ScaleDowns and PeakReplicas summarize autoscaler
+	// activity (0/0/Replicas on fixed fleets... PeakReplicas is the
+	// maximum simultaneously live count).
+	ScaleUps     int
+	ScaleDowns   int
+	PeakReplicas int
+}
+
+// fleetReplica is one replica's mutable event-loop state.
+type fleetReplica struct {
+	id      int
+	cluster gpusim.ClusterConfig
+	live    bool
+
+	queue     []Request
+	busy      bool
+	startedAt float64
+	doneAt    float64
+	inflight  []Request
+	paddedSL  int
+
+	// wakeAt is the policy's requested re-consult deadline (+Inf when
+	// it only wants arrival/completion wake-ups); needConsult forces a
+	// consult at the next dispatch pass regardless of the deadline.
+	wakeAt      float64
+	needConsult bool
+	// consults counts policy consultations since the replica last
+	// dispatched or grew its queue, bounding runaway wait loops.
+	consults int
+
+	served, batches int
+	busyUS          float64
+	liveUS          float64
+	liveSince       float64
+}
+
+// fleetPricer memoizes per-(cluster, batch, padded-SL) batch latencies
+// over the spec's profile source, mirroring sim.go's memo with the
+// replica cluster as an extra key dimension.
+type fleetPricer struct {
+	src   trainer.ProfileSource
+	hw    gpusim.Config
+	model models.Model
+	memo  map[fleetPriceKey]float64
+}
+
+type fleetPriceKey struct {
+	cluster gpusim.ClusterConfig
+	batch   int
+	seqLen  int
+}
+
+func (p *fleetPricer) prefetch(cl gpusim.ClusterConfig, batch int, seqLens []int) error {
+	profiles, err := p.src.EvalProfiles(p.hw, cl, p.model, batch, seqLens)
+	if err != nil {
+		return err
+	}
+	for sl, prof := range profiles {
+		p.memo[fleetPriceKey{cluster: cl, batch: batch, seqLen: sl}] = prof.TimeUS
+	}
+	return nil
+}
+
+func (p *fleetPricer) latency(cl gpusim.ClusterConfig, batch, seqLen int) (float64, error) {
+	key := fleetPriceKey{cluster: cl, batch: batch, seqLen: seqLen}
+	if us, ok := p.memo[key]; ok {
+		return us, nil
+	}
+	profiles, err := p.src.EvalProfiles(p.hw, cl, p.model, batch, []int{seqLen})
+	if err != nil {
+		return 0, err
+	}
+	prof, ok := profiles[seqLen]
+	if !ok {
+		return 0, fmt.Errorf("serving: profile source returned no eval profile for batch %d SL %d", batch, seqLen)
+	}
+	p.memo[key] = prof.TimeUS
+	return prof.TimeUS, nil
+}
+
+// SimulateFleet runs the arrival trace against a fleet of replicas.
+// The event loop is strictly sequential and fully deterministic: event
+// times are scanned in replica-index order, arrivals are routed in
+// trace order, and the only randomness (po2 routing) is seeded.
+// Profiling parallelism changes how fast profiles are computed, never
+// an output byte. Each distinct replica cluster prefetches the trace's
+// unique SLs at the policy's max batch in one bulk ProfileSource call.
+func SimulateFleet(spec FleetSpec, hw gpusim.Config) (*FleetResult, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if err := hw.Validate(); err != nil {
+		return nil, err
+	}
+	src := spec.Profiles
+	if src == nil {
+		src = trainer.DefaultProfileSource()
+	}
+	maxBatch := spec.Policy.MaxBatch()
+	allocated := spec.allocated()
+
+	replicas := make([]*fleetReplica, allocated)
+	for i := range replicas {
+		cl := gpusim.SingleGPU()
+		if len(spec.Clusters) > 0 {
+			cl = spec.Clusters[i].Normalized()
+		}
+		replicas[i] = &fleetReplica{id: i, cluster: cl, live: i < spec.Replicas, wakeAt: math.Inf(1)}
+	}
+
+	pricer := &fleetPricer{src: src, hw: hw, model: spec.Model, memo: make(map[fleetPriceKey]float64)}
+	prefetched := make(map[gpusim.ClusterConfig]bool)
+	uniqueSLs := spec.Trace.UniqueSLs()
+	for _, r := range replicas {
+		if !prefetched[r.cluster] {
+			prefetched[r.cluster] = true
+			if err := pricer.prefetch(r.cluster, maxBatch, uniqueSLs); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	f := &fleetRun{
+		spec:     spec,
+		replicas: replicas,
+		pricer:   pricer,
+		maxBatch: maxBatch,
+		res: &FleetResult{
+			Config:       hw,
+			Routing:      spec.Router.Name(),
+			Policy:       spec.Policy.Name(),
+			Replicas:     allocated,
+			QueueCap:     spec.QueueCap,
+			PeakReplicas: spec.Replicas,
+		},
+		served:      make([]RequestMetric, len(spec.Trace.Requests)),
+		isServed:    make([]bool, len(spec.Trace.Requests)),
+		lastScaleAt: math.Inf(-1),
+	}
+	if err := f.run(); err != nil {
+		return nil, err
+	}
+	return f.res, nil
+}
+
+// fleetRun is the in-progress event loop state.
+type fleetRun struct {
+	spec     FleetSpec
+	replicas []*fleetReplica
+	pricer   *fleetPricer
+	maxBatch int
+	res      *FleetResult
+
+	clock float64
+	next  int // next trace index to route
+	done  int // served + rejected
+
+	served      []RequestMetric
+	isServed    []bool
+	lastScaleAt float64
+}
+
+func (f *fleetRun) run() error {
+	trace := f.spec.Trace.Requests
+	for f.done < len(trace) {
+		if err := f.dispatchIdle(); err != nil {
+			return err
+		}
+		t := f.nextEventTime()
+		if math.IsInf(t, 1) {
+			// Unreachable for contract-abiding policies: queued work
+			// always has a dispatch or wake path, and un-routed arrivals
+			// are themselves events.
+			return fmt.Errorf("serving: fleet stalled at %v with %d of %d requests unresolved",
+				f.clock, len(trace)-f.done, len(trace))
+		}
+		f.clock = t
+		f.completeBatches()
+		f.routeArrivals()
+		f.autoscale()
+	}
+	// Retire live-time integrals at the end of the run.
+	end := f.endTime()
+	for _, r := range f.replicas {
+		if r.live {
+			r.liveUS += end - r.liveSince
+		}
+	}
+	f.finalize()
+	return nil
+}
+
+// endTime is the instant the run stops accruing replica-seconds: the
+// later of the last batch completion and the last processed event.
+func (f *fleetRun) endTime() float64 {
+	if f.res.MakespanUS > f.clock {
+		return f.res.MakespanUS
+	}
+	return f.clock
+}
+
+// nextArrivalUS is the next un-routed arrival's time (+Inf when the
+// trace is drained) — the same horizon the single-queue loop hands its
+// policy.
+func (f *fleetRun) nextArrivalUS() float64 {
+	if f.next < len(f.spec.Trace.Requests) {
+		return f.spec.Trace.Requests[f.next].ArrivalUS
+	}
+	return math.Inf(1)
+}
+
+// dispatchIdle consults the batching policy for every idle live
+// replica with queued work that has a consult due (queue changed,
+// deadline reached, or the trace just drained), in replica order.
+func (f *fleetRun) dispatchIdle() error {
+	nextArrival := f.nextArrivalUS()
+	for _, r := range f.replicas {
+		if !r.live || r.busy || len(r.queue) == 0 {
+			continue
+		}
+		for r.needConsult || f.clock >= r.wakeAt {
+			d := f.spec.Policy.Decide(r.queue, f.clock, nextArrival)
+			if d.Dispatch {
+				if err := f.launch(r, d.Pick); err != nil {
+					return err
+				}
+				break
+			}
+			r.needConsult = false
+			wake := math.Min(d.WaitUntilUS, nextArrival)
+			if math.IsInf(wake, 1) && !f.anyBusy() {
+				return fmt.Errorf("serving: policy %q refused to dispatch with no future event (replica %d, queue %d, clock %v)",
+					f.spec.Policy.Name(), r.id, len(r.queue), f.clock)
+			}
+			if !math.IsInf(d.WaitUntilUS, 1) && d.WaitUntilUS <= f.clock {
+				return fmt.Errorf("serving: policy %q asked to wait until the past (%v at clock %v)",
+					f.spec.Policy.Name(), d.WaitUntilUS, f.clock)
+			}
+			r.wakeAt = d.WaitUntilUS
+			if r.consults++; r.consults > f.maxBatch+policyConsultSlack {
+				return fmt.Errorf("serving: policy %q consulted %d times on replica %d without dispatching",
+					f.spec.Policy.Name(), r.consults, r.id)
+			}
+			if f.clock < r.wakeAt {
+				break // deadline armed; re-consult when it arrives
+			}
+		}
+	}
+	return nil
+}
+
+// anyBusy reports whether any live replica is executing a batch — the
+// one event source besides arrivals and wake deadlines.
+func (f *fleetRun) anyBusy() bool {
+	for _, r := range f.replicas {
+		if r.live && r.busy {
+			return true
+		}
+	}
+	return false
+}
+
+// launch prices and starts one batch on r at the current clock.
+func (f *fleetRun) launch(r *fleetReplica, pick []int) error {
+	batch, err := takeBatch(&r.queue, pick, f.maxBatch, f.spec.Policy.Name())
+	if err != nil {
+		return err
+	}
+	paddedSL := 0
+	for _, q := range batch {
+		if q.SeqLen > paddedSL {
+			paddedSL = q.SeqLen
+		}
+	}
+	lat, err := f.pricer.latency(r.cluster, len(batch), paddedSL)
+	if err != nil {
+		return err
+	}
+	r.busy = true
+	r.inflight = batch
+	r.paddedSL = paddedSL
+	r.startedAt = f.clock
+	r.doneAt = f.clock + lat
+	// Accumulate the priced latency itself, in dispatch order — not
+	// doneAt-startedAt, whose float rounding would break the byte-exact
+	// equivalence with the single-queue loop.
+	r.busyUS += lat
+	f.res.BusyUS += lat
+	r.wakeAt = math.Inf(1)
+	r.needConsult = false
+	r.consults = 0
+	return nil
+}
+
+// nextEventTime scans for the earliest pending event: an un-routed
+// arrival, a batch completion, or an armed policy wake deadline.
+func (f *fleetRun) nextEventTime() float64 {
+	t := f.nextArrivalUS()
+	for _, r := range f.replicas {
+		if !r.live {
+			continue
+		}
+		if r.busy {
+			t = math.Min(t, r.doneAt)
+		} else if len(r.queue) > 0 {
+			t = math.Min(t, r.wakeAt)
+		}
+	}
+	return t
+}
+
+// completeBatches retires every batch finishing at or before the
+// clock, in replica order, recording per-request metrics.
+func (f *fleetRun) completeBatches() {
+	for _, r := range f.replicas {
+		if !r.live || !r.busy || r.doneAt > f.clock {
+			continue
+		}
+		for _, q := range r.inflight {
+			f.served[q.ID] = RequestMetric{
+				ID:        q.ID,
+				SeqLen:    q.SeqLen,
+				ArrivalUS: q.ArrivalUS,
+				StartUS:   r.startedAt,
+				DoneUS:    r.doneAt,
+				BatchSize: len(r.inflight),
+				PaddedSL:  r.paddedSL,
+				Replica:   r.id,
+			}
+			f.isServed[q.ID] = true
+			f.done++
+		}
+		r.served += len(r.inflight)
+		r.batches++
+		f.res.Batches++
+		if r.doneAt > f.res.MakespanUS {
+			f.res.MakespanUS = r.doneAt
+		}
+		r.busy = false
+		r.inflight = nil
+		r.needConsult = len(r.queue) > 0
+	}
+}
+
+// routeArrivals admits every arrival at or before the clock, in trace
+// order: the router picks among live replicas with queue room; when
+// none has room the request is rejected.
+func (f *fleetRun) routeArrivals() {
+	trace := f.spec.Trace.Requests
+	for f.next < len(trace) && trace[f.next].ArrivalUS <= f.clock {
+		req := trace[f.next]
+		f.next++
+		views, eligible := f.views()
+		if eligible == 0 {
+			f.res.Rejections = append(f.res.Rejections, Rejection{
+				ID: req.ID, ArrivalUS: req.ArrivalUS, SeqLen: req.SeqLen, Reason: RejectReasonQueueFull,
+			})
+			f.done++
+			continue
+		}
+		id := f.spec.Router.Route(req, views)
+		if id < 0 || id >= len(f.replicas) || !views[id].eligible() {
+			// A router returning an ineligible replica is a bug; fall
+			// back to the lowest-ID eligible one so the run stays valid.
+			for _, v := range views {
+				if v.eligible() {
+					id = v.ID
+					break
+				}
+			}
+		}
+		r := f.replicas[id]
+		r.queue = append(r.queue, req)
+		r.needConsult = true
+		r.consults = 0
+	}
+	if f.next == len(trace) {
+		// Trace drained: policies waiting for more arrivals must be
+		// re-consulted so partial batches flush.
+		for _, r := range f.replicas {
+			if r.live && !r.busy && len(r.queue) > 0 {
+				r.needConsult = true
+			}
+		}
+	}
+}
+
+// views snapshots the fleet for the router and counts eligible
+// replicas.
+func (f *fleetRun) views() ([]ReplicaView, int) {
+	views := make([]ReplicaView, len(f.replicas))
+	eligible := 0
+	for i, r := range f.replicas {
+		views[i] = ReplicaView{
+			ID:       i,
+			Live:     r.live,
+			Queued:   len(r.queue),
+			InFlight: len(r.inflight),
+			HasRoom:  f.spec.QueueCap == 0 || len(r.queue) < f.spec.QueueCap,
+		}
+		if views[i].eligible() {
+			eligible++
+		}
+	}
+	return views, eligible
+}
+
+// autoscale evaluates the reactive scaler at the current event: at
+// most one action per evaluation, gated by the cooldown.
+func (f *fleetRun) autoscale() {
+	cfg := f.spec.Autoscale
+	if cfg == nil || f.clock-f.lastScaleAt < cfg.CooldownUS {
+		return
+	}
+	live, queued := 0, 0
+	for _, r := range f.replicas {
+		if r.live {
+			live++
+			queued += len(r.queue)
+		}
+	}
+	depth := float64(queued) / float64(live)
+	switch {
+	case depth > cfg.UpDepth && live < cfg.Max:
+		// Activate the lowest-index dormant replica.
+		for _, r := range f.replicas {
+			if !r.live {
+				r.live = true
+				r.liveSince = f.clock
+				f.res.ScaleUps++
+				f.lastScaleAt = f.clock
+				if live+1 > f.res.PeakReplicas {
+					f.res.PeakReplicas = live + 1
+				}
+				return
+			}
+		}
+	case depth < cfg.DownDepth && live > cfg.Min:
+		// Retire the highest-index live replica that is idle with an
+		// empty queue; if none qualifies, skip this evaluation.
+		for i := len(f.replicas) - 1; i >= 0; i-- {
+			r := f.replicas[i]
+			if r.live && !r.busy && len(r.queue) == 0 {
+				r.live = false
+				r.liveUS += f.clock - r.liveSince
+				f.res.ScaleDowns++
+				f.lastScaleAt = f.clock
+				return
+			}
+		}
+	}
+}
+
+// finalize compacts per-request metrics and per-replica stats into the
+// result.
+func (f *fleetRun) finalize() {
+	for id, ok := range f.isServed {
+		if ok {
+			f.res.Requests = append(f.res.Requests, f.served[id])
+		}
+	}
+	f.res.ReplicaStats = make([]ReplicaStats, len(f.replicas))
+	var replicaUS float64
+	for i, r := range f.replicas {
+		f.res.ReplicaStats[i] = ReplicaStats{
+			Replica: i,
+			GPUs:    r.cluster.GPUs,
+			Served:  r.served,
+			Batches: r.batches,
+			BusyUS:  r.busyUS,
+			LiveUS:  r.liveUS,
+		}
+		replicaUS += r.liveUS
+	}
+	f.res.ReplicaSeconds = replicaUS / 1e6
+}

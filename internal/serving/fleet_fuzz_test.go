@@ -1,0 +1,187 @@
+package serving
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"seqpoint/internal/dataset"
+	"seqpoint/internal/gpusim"
+	"seqpoint/internal/models"
+)
+
+// FuzzFleetInvariants drives randomized fleets — arbitrary seeds,
+// rates, replica counts, queue bounds, routers, policies, and
+// autoscaler settings — through the structural invariants every run
+// must satisfy:
+//
+//   - conservation: served + rejected == arrived, and the served and
+//     rejected ID sets partition the trace;
+//   - causality: every served request has arrival <= start <= done,
+//     so waits and latencies are non-negative;
+//   - attribution: per-replica served/batch counts sum to the fleet
+//     totals, and rejections only occur under a bounded queue;
+//   - generalization: a 1-replica round-robin unbounded fleet matches
+//     the single-queue simulator byte-for-byte.
+func FuzzFleetInvariants(f *testing.F) {
+	f.Add(int64(1), 200.0, uint8(40), uint8(1), uint8(0), uint8(0), uint8(0), false)
+	f.Add(int64(7), 900.0, uint8(120), uint8(3), uint8(4), uint8(1), uint8(1), false)
+	f.Add(int64(42), 5000.0, uint8(200), uint8(5), uint8(2), uint8(2), uint8(2), true)
+	f.Add(int64(-3), 50.0, uint8(10), uint8(2), uint8(1), uint8(3), uint8(1), true)
+	f.Add(int64(99), 1e6, uint8(255), uint8(8), uint8(8), uint8(2), uint8(0), false)
+
+	f.Fuzz(func(t *testing.T, seed int64, rate float64, n, replicas, queueCap, routing, policyKind uint8, autoscale bool) {
+		if rate <= 0 || math.IsNaN(rate) || math.IsInf(rate, 0) || rate > 1e8 {
+			t.Skip()
+		}
+		requests := int(n)%256 + 1
+		nReplicas := int(replicas)%8 + 1
+		cap := int(queueCap) % 16 // 0 = unbounded
+
+		corpus, err := dataset.Synthetic("fuzz", fuzzLengths(seed), 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trace, err := PoissonTrace(corpus, requests, rate, seed)
+		if err != nil || trace.Validate() != nil {
+			t.Skip() // degenerate rates can overflow arrivals
+		}
+
+		var policy Policy
+		switch policyKind % 3 {
+		case 0:
+			policy, err = NewFixedBatch(int(policyKind)%7 + 1)
+		case 1:
+			policy, err = NewDynamicBatch(int(policyKind)%5+1, float64(int(policyKind))*250)
+		default:
+			policy, err = NewLengthAware(int(policyKind)%6 + 1)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		routerNames := []string{RoutingRoundRobin, RoutingLeastOutstanding, RoutingJSQ, RoutingPowerOfTwo}
+		router, err := ParseRouting(routerNames[int(routing)%len(routerNames)], seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec := FleetSpec{
+			Model:    models.NewGNMT(),
+			Trace:    trace,
+			Policy:   policy,
+			Router:   router,
+			Replicas: nReplicas,
+			QueueCap: cap,
+			Profiles: &stubSource{},
+		}
+		if autoscale {
+			spec.Autoscale = &AutoscaleConfig{
+				Min: 1, Max: nReplicas, UpDepth: float64(int(queueCap)%4 + 1),
+				DownDepth: 0.5, CooldownUS: float64(int(routing)) * 100,
+			}
+			spec.Replicas = 1
+		}
+		res, err := SimulateFleet(spec, gpusim.VegaFE())
+		if err != nil {
+			t.Fatalf("SimulateFleet: %v", err)
+		}
+
+		// Conservation: served + rejected partition the trace.
+		if got := len(res.Requests) + len(res.Rejections); got != requests {
+			t.Fatalf("served %d + rejected %d != arrived %d", len(res.Requests), len(res.Rejections), requests)
+		}
+		seen := make(map[int]bool, requests)
+		for _, m := range res.Requests {
+			if m.ID < 0 || m.ID >= requests || seen[m.ID] {
+				t.Fatalf("served ID %d out of range or duplicated", m.ID)
+			}
+			seen[m.ID] = true
+		}
+		for _, rej := range res.Rejections {
+			if rej.ID < 0 || rej.ID >= requests || seen[rej.ID] {
+				t.Fatalf("rejected ID %d out of range or duplicated", rej.ID)
+			}
+			seen[rej.ID] = true
+			if rej.Reason != RejectReasonQueueFull {
+				t.Fatalf("rejection reason %q, want %q", rej.Reason, RejectReasonQueueFull)
+			}
+		}
+		if cap == 0 && len(res.Rejections) > 0 {
+			t.Fatalf("%d rejections under an unbounded queue", len(res.Rejections))
+		}
+
+		// Causality: arrival <= start <= done for every served request,
+		// and the makespan is the last completion.
+		var lastDone float64
+		for _, m := range res.Requests {
+			if m.WaitUS() < 0 {
+				t.Fatalf("request %d has negative wait %v", m.ID, m.WaitUS())
+			}
+			if m.DoneUS < m.StartUS {
+				t.Fatalf("request %d done %v before start %v", m.ID, m.DoneUS, m.StartUS)
+			}
+			if m.Replica < 0 || m.Replica >= res.Replicas {
+				t.Fatalf("request %d served by out-of-range replica %d", m.ID, m.Replica)
+			}
+			if m.DoneUS > lastDone {
+				lastDone = m.DoneUS
+			}
+		}
+		if lastDone != res.MakespanUS {
+			t.Fatalf("makespan %v != last completion %v", res.MakespanUS, lastDone)
+		}
+
+		// Attribution: per-replica counts sum to the fleet totals.
+		var served, batches int
+		var busy float64
+		for _, rs := range res.ReplicaStats {
+			served += rs.Served
+			batches += rs.Batches
+			busy += rs.BusyUS
+		}
+		if served != len(res.Requests) {
+			t.Fatalf("replica served sum %d != fleet served %d", served, len(res.Requests))
+		}
+		if batches != res.Batches {
+			t.Fatalf("replica batch sum %d != fleet batches %d", batches, res.Batches)
+		}
+		if diff := math.Abs(busy - res.BusyUS); diff > 1e-6*(1+res.BusyUS) {
+			t.Fatalf("replica busy sum %v != fleet busy %v", busy, res.BusyUS)
+		}
+		if res.ReplicaSeconds < 0 {
+			t.Fatalf("negative replica-seconds %v", res.ReplicaSeconds)
+		}
+
+		// Generalization: the 1-replica unbounded round-robin fleet is
+		// the single-queue simulator.
+		if nReplicas == 1 && cap == 0 && spec.Autoscale == nil && router.Name() == RoutingRoundRobin {
+			single, err := Simulate(Spec{
+				Model: spec.Model, Trace: trace, Policy: policy, Profiles: &stubSource{},
+			}, gpusim.VegaFE())
+			if err != nil {
+				t.Fatalf("Simulate: %v", err)
+			}
+			asServing, err := res.AsServing()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, _ := single.Summary().Serialize()
+			got, _ := asServing.Summary().Serialize()
+			if !bytes.Equal(got, want) {
+				t.Fatalf("1-replica fleet diverged from Simulate:\n%s\nvs\n%s", got, want)
+			}
+		}
+	})
+}
+
+// fuzzLengths derives a small deterministic SL pool from the fuzz seed
+// so traces vary without unseeded randomness.
+func fuzzLengths(seed int64) []int {
+	if seed < 0 {
+		seed = -seed
+	}
+	lengths := make([]int, 32)
+	for i := range lengths {
+		lengths[i] = 1 + int((seed+int64(i)*7)%61)
+	}
+	return lengths
+}

@@ -1,0 +1,143 @@
+package serving
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"seqpoint/internal/stats"
+)
+
+// FleetSummary is the deterministic, serialization-stable digest of a
+// fleet run: the roll-up POST /v1/fleet returns and the golden
+// determinism tests byte-compare. It extends the single-queue Summary
+// with admission (drop rate), per-replica shares, and the autoscaler's
+// cost proxy (replica-seconds).
+type FleetSummary struct {
+	Config   string `json:"config"`
+	Routing  string `json:"routing"`
+	Policy   string `json:"policy"`
+	Replicas int    `json:"replicas"`
+	QueueCap int    `json:"queue_cap"`
+
+	Requests    int     `json:"requests"`
+	Served      int     `json:"served"`
+	Rejected    int     `json:"rejected"`
+	DropRatePct float64 `json:"drop_rate_pct"`
+
+	Batches        int     `json:"batches"`
+	MeanBatch      float64 `json:"mean_batch"`
+	MakespanUS     float64 `json:"makespan_us"`
+	BusyUS         float64 `json:"busy_us"`
+	UtilizationPct float64 `json:"utilization_pct"`
+	ThroughputRPS  float64 `json:"throughput_rps"`
+
+	MeanWaitUS    float64 `json:"mean_wait_us"`
+	MeanLatencyUS float64 `json:"mean_latency_us"`
+	P50LatencyUS  float64 `json:"p50_latency_us"`
+	P95LatencyUS  float64 `json:"p95_latency_us"`
+	P99LatencyUS  float64 `json:"p99_latency_us"`
+
+	ReplicaSeconds float64 `json:"replica_seconds"`
+	ScaleUps       int     `json:"scale_ups"`
+	ScaleDowns     int     `json:"scale_downs"`
+	PeakReplicas   int     `json:"peak_replicas"`
+
+	PerReplica []ReplicaStats `json:"per_replica"`
+}
+
+// Throughput returns served requests per second over the makespan.
+func (r *FleetResult) Throughput() float64 {
+	if r.MakespanUS == 0 {
+		return 0
+	}
+	return float64(len(r.Requests)) / (r.MakespanUS / 1e6)
+}
+
+// Summary digests the run. Latency percentiles are nearest-rank over
+// served requests only; rejected requests contribute to the drop rate,
+// not the tail. Utilization is busy time over live time summed across
+// replicas, so an autoscaled fleet is judged on the capacity it
+// actually kept on.
+func (r *FleetResult) Summary() FleetSummary {
+	s := FleetSummary{
+		Config:         r.Config.Name,
+		Routing:        r.Routing,
+		Policy:         r.Policy,
+		Replicas:       r.Replicas,
+		QueueCap:       r.QueueCap,
+		Requests:       len(r.Requests) + len(r.Rejections),
+		Served:         len(r.Requests),
+		Rejected:       len(r.Rejections),
+		Batches:        r.Batches,
+		MakespanUS:     r.MakespanUS,
+		BusyUS:         r.BusyUS,
+		ThroughputRPS:  r.Throughput(),
+		ReplicaSeconds: r.ReplicaSeconds,
+		ScaleUps:       r.ScaleUps,
+		ScaleDowns:     r.ScaleDowns,
+		PeakReplicas:   r.PeakReplicas,
+		PerReplica:     append([]ReplicaStats(nil), r.ReplicaStats...),
+	}
+	if s.Requests > 0 {
+		s.DropRatePct = float64(s.Rejected) / float64(s.Requests) * 100
+	}
+	if r.Batches > 0 {
+		s.MeanBatch = float64(s.Served) / float64(r.Batches)
+	}
+	var liveUS float64
+	for _, rs := range r.ReplicaStats {
+		liveUS += rs.LiveUS
+	}
+	if liveUS > 0 {
+		s.UtilizationPct = r.BusyUS / liveUS * 100
+	}
+	if s.Served == 0 {
+		return s
+	}
+	lats := make([]float64, len(r.Requests))
+	var waitSum float64
+	for i, m := range r.Requests {
+		lats[i] = m.LatencyUS()
+		waitSum += m.WaitUS()
+	}
+	s.MeanWaitUS = waitSum / float64(len(r.Requests))
+	s.MeanLatencyUS = stats.Sum(lats) / float64(len(lats))
+	// Percentiles only errors on empty input or p outside [0,100];
+	// neither can happen here.
+	if ps, err := stats.Percentiles(lats, 50, 95, 99); err == nil {
+		s.P50LatencyUS, s.P95LatencyUS, s.P99LatencyUS = ps[0], ps[1], ps[2]
+	}
+	return s
+}
+
+// Serialize renders the summary as indented JSON with a trailing
+// newline; the output is deterministic and byte-comparable, matching
+// the Summary and trainer.RunSummary conventions.
+func (s FleetSummary) Serialize() ([]byte, error) {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// AsServing converts a 1-replica, zero-rejection fleet run into the
+// equivalent single-queue Result: the witness that the fleet layer is
+// a strict generalization of Simulate. The returned Result's Summary
+// serializes byte-identically to running Simulate on the same spec.
+func (r *FleetResult) AsServing() (*Result, error) {
+	if r.Replicas != 1 {
+		return nil, fmt.Errorf("serving: AsServing needs a 1-replica fleet, got %d replicas", r.Replicas)
+	}
+	if len(r.Rejections) > 0 {
+		return nil, fmt.Errorf("serving: AsServing needs a rejection-free run, got %d rejections", len(r.Rejections))
+	}
+	return &Result{
+		Config:     r.Config,
+		Policy:     r.Policy,
+		Requests:   append([]RequestMetric(nil), r.Requests...),
+		Batches:    r.Batches,
+		BusyUS:     r.BusyUS,
+		MakespanUS: r.MakespanUS,
+	}, nil
+}

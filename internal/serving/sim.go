@@ -53,6 +53,9 @@ type RequestMetric struct {
 	// PaddedSL the batch's padded sequence length (its longest member).
 	BatchSize int `json:"batch"`
 	PaddedSL  int `json:"padded_sl"`
+	// Replica is the fleet replica that served the request; always 0 in
+	// single-queue (Simulate) runs.
+	Replica int `json:"replica"`
 }
 
 // WaitUS is the request's queueing delay.

@@ -35,6 +35,14 @@ type (
 	// ServeResponse is the serving outcome over the wire: the arrival
 	// setup plus the throughput/latency-percentile roll-up.
 	ServeResponse = server.ServeResponse
+	// FleetRequest describes one multi-replica serving simulation over
+	// the wire (POST /v1/fleet).
+	FleetRequest = server.FleetRequest
+	// FleetResponse is the fleet outcome over the wire: routing,
+	// admission drops, latency tail and autoscaler activity.
+	FleetResponse = server.FleetResponse
+	// FleetAutoscaleSpec configures the fleet autoscaler over the wire.
+	FleetAutoscaleSpec = server.AutoscaleSpec
 	// ServiceAPIError is a non-2xx service response surfaced by the
 	// typed client: HTTP status plus the server's error body.
 	ServiceAPIError = server.APIError

@@ -36,6 +36,49 @@ type (
 	BatchDecision = serving.Decision
 )
 
+// Fleet simulation (internal/serving): the multi-replica
+// generalization of the single-queue serving simulator. N replicas —
+// optionally heterogeneous via per-replica ClusterConfig — sit behind
+// a routing policy (round-robin, least-outstanding,
+// join-shortest-queue, power-of-two-choices), bounded per-replica
+// queues reject overload as typed drops, and an optional reactive
+// autoscaler grows and shrinks the live fleet on queue depth, with
+// replica-seconds as the cost proxy. A 1-replica round-robin fleet
+// reproduces SimulateServing byte-for-byte (FleetResult.AsServing).
+type (
+	// FleetSpec describes one multi-replica serving simulation.
+	FleetSpec = serving.FleetSpec
+	// FleetResult is a fleet simulation's full outcome.
+	FleetResult = serving.FleetResult
+	// FleetSummary is the deterministic fleet roll-up (the unit of the
+	// fleet golden tests).
+	FleetSummary = serving.FleetSummary
+	// FleetReplicaStats is one replica's share of a fleet run.
+	FleetReplicaStats = serving.ReplicaStats
+	// FleetRejection records one request refused by admission control.
+	FleetRejection = serving.Rejection
+	// FleetAutoscale configures the reactive queue-depth autoscaler.
+	FleetAutoscale = serving.AutoscaleConfig
+	// FleetRouter assigns each arriving request to a replica.
+	FleetRouter = serving.Router
+	// FleetReplicaView is the router-visible state of one replica.
+	FleetReplicaView = serving.ReplicaView
+)
+
+var (
+	// SimulateFleet runs a multi-replica serving simulation.
+	SimulateFleet = serving.SimulateFleet
+	// NewRoundRobin, NewLeastOutstanding, NewJSQ and NewPowerOfTwo
+	// build the four bundled routing policies.
+	NewRoundRobin       = serving.NewRoundRobin
+	NewLeastOutstanding = serving.NewLeastOutstanding
+	NewJSQ              = serving.NewJSQ
+	NewPowerOfTwo       = serving.NewPowerOfTwo
+	// ParseRouting maps a CLI/HTTP routing spelling ("rr", "least",
+	// "jsq", "po2") to a router.
+	ParseRouting = serving.ParseRouting
+)
+
 var (
 	// SimulateServing runs an online-serving simulation.
 	SimulateServing = serving.Simulate

@@ -80,3 +80,103 @@ func TestServingFacadeHTTP(t *testing.T) {
 		t.Fatalf("want 400 *ServiceAPIError, got %v", err)
 	}
 }
+
+// TestFleetFacadeEndToEnd runs the full fleet story through the public
+// facade: routers, admission, autoscaling, the generalization witness,
+// and the HTTP endpoint.
+func TestFleetFacadeEndToEnd(t *testing.T) {
+	corpus, err := seqpoint.Synthetic("facade-fleet", []int{4, 7, 9, 12, 15, 21, 9, 7}, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, err := seqpoint.PoissonTrace(corpus, 64, 900, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	policy, err := seqpoint.ParseBatchPolicy("dynamic", 8, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	router, err := seqpoint.ParseRouting("jsq", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := seqpoint.NewEngine()
+	res, err := seqpoint.SimulateFleet(seqpoint.FleetSpec{
+		Model:    seqpoint.NewGNMT(),
+		Trace:    trace,
+		Policy:   policy,
+		Router:   router,
+		Replicas: 2,
+		QueueCap: 16,
+		Autoscale: &seqpoint.FleetAutoscale{
+			Min: 1, Max: 3, UpDepth: 4, DownDepth: 1, CooldownUS: 1000,
+		},
+		Profiles: eng,
+	}, seqpoint.VegaFE())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := res.Summary()
+	if sum.Served+sum.Rejected != 64 || sum.ThroughputRPS <= 0 {
+		t.Fatalf("degenerate fleet summary: %+v", sum)
+	}
+	if len(sum.PerReplica) != 3 {
+		t.Fatalf("per-replica rows = %d, want 3 (autoscale max)", len(sum.PerReplica))
+	}
+
+	// The 1-replica round-robin fleet is the single-queue simulator.
+	single, err := seqpoint.SimulateFleet(seqpoint.FleetSpec{
+		Model:    seqpoint.NewGNMT(),
+		Trace:    trace,
+		Policy:   policy,
+		Router:   seqpoint.NewRoundRobin(),
+		Replicas: 1,
+		Profiles: eng,
+	}, seqpoint.VegaFE())
+	if err != nil {
+		t.Fatal(err)
+	}
+	asServing, err := single.AsServing()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asServing.Summary().Requests != 64 {
+		t.Errorf("AsServing lost requests: %+v", asServing.Summary())
+	}
+}
+
+func TestFleetFacadeHTTP(t *testing.T) {
+	srv := seqpoint.NewServer(seqpoint.ServerOptions{Engine: seqpoint.NewEngine()})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	client := seqpoint.NewServiceClient(ts.URL, nil)
+	resp, err := client.Fleet(context.Background(), seqpoint.FleetRequest{
+		ServeRequest: seqpoint.ServeRequest{
+			Model:    "gnmt",
+			Rate:     500,
+			Batch:    8,
+			Requests: 32,
+			SeqLens:  []int{4, 7, 9, 12},
+		},
+		Replicas:  2,
+		Routing:   "least",
+		Autoscale: &seqpoint.FleetAutoscaleSpec{Max: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Routing != "least" || resp.Summary.Served+resp.Summary.Rejected != 32 {
+		t.Fatalf("degenerate fleet response: %+v", resp)
+	}
+
+	_, err = client.Fleet(context.Background(), seqpoint.FleetRequest{
+		ServeRequest: seqpoint.ServeRequest{Model: "gnmt", Rate: 100},
+		Routing:      "random",
+	})
+	var apiErr *seqpoint.ServiceAPIError
+	if !errors.As(err, &apiErr) || apiErr.Status != 400 {
+		t.Fatalf("want 400 *ServiceAPIError, got %v", err)
+	}
+}

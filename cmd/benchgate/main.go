@@ -1,0 +1,177 @@
+// Command benchgate compares a freshly-measured benchmark document
+// (cmd/benchjson output) against a committed baseline and fails when
+// any shared benchmark's ns/op regressed beyond a threshold. CI runs
+// it after the bench step, so a hot-path regression fails the PR that
+// introduced it instead of silently eroding the perf trajectory.
+//
+// Benchmarks present only in the current run are reported and skipped:
+// a new benchmark has no baseline to regress against, and gating on it
+// would force every benchmark PR to land in two commits. Benchmarks
+// present only in the baseline fail the gate — a vanished benchmark
+// usually means a deleted or broken bench, which is exactly the kind
+// of silent trajectory gap the gate exists to catch.
+//
+// Usage:
+//
+//	benchgate -baseline BENCH_pr6.json -current BENCH_ci.json -threshold-pct 25
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Result mirrors cmd/benchjson's Result. The two commands are both
+// package main, so the shape is duplicated here; TestMirrorsBenchjson
+// pins the fields against drift by round-tripping benchjson output.
+type Result struct {
+	Package    string             `json:"package,omitempty"`
+	Name       string             `json:"name"`
+	Procs      int                `json:"procs"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op,omitempty"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Document mirrors cmd/benchjson's Document.
+type Document struct {
+	Goos    string   `json:"goos,omitempty"`
+	Goarch  string   `json:"goarch,omitempty"`
+	Results []Result `json:"results"`
+}
+
+// delta is one benchmark's baseline-to-current comparison.
+type delta struct {
+	key      string
+	baseline float64
+	current  float64
+}
+
+// pct is the signed percentage change from baseline to current.
+func (d delta) pct() float64 {
+	return (d.current - d.baseline) / d.baseline * 100
+}
+
+func main() {
+	var (
+		basePath  = flag.String("baseline", "", "committed benchmark baseline JSON (required)")
+		currPath  = flag.String("current", "", "freshly measured benchmark JSON (required)")
+		threshold = flag.Float64("threshold-pct", 25, "maximum allowed ns/op regression in percent")
+	)
+	flag.Parse()
+	if *basePath == "" || *currPath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -baseline and -current are both required")
+		os.Exit(2)
+	}
+	report, ok, err := Gate(*basePath, *currPath, *threshold)
+	fmt.Print(report)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+// Gate loads both documents and evaluates the regression threshold,
+// returning a human-readable report and whether the gate passed.
+func Gate(basePath, currPath string, thresholdPct float64) (string, bool, error) {
+	base, err := load(basePath)
+	if err != nil {
+		return "", false, err
+	}
+	curr, err := load(currPath)
+	if err != nil {
+		return "", false, err
+	}
+	return Compare(base, curr, thresholdPct)
+}
+
+// Compare evaluates current against baseline. The gate fails when a
+// shared benchmark regressed past the threshold or a baseline
+// benchmark vanished; new benchmarks are listed and skipped.
+func Compare(base, curr Document, thresholdPct float64) (string, bool, error) {
+	baseNs := index(base)
+	currNs := index(curr)
+
+	var deltas []delta
+	var newOnes, vanished []string
+	for key, ns := range currNs {
+		b, ok := baseNs[key]
+		if !ok {
+			newOnes = append(newOnes, key)
+			continue
+		}
+		deltas = append(deltas, delta{key: key, baseline: b, current: ns})
+	}
+	for key := range baseNs {
+		if _, ok := currNs[key]; !ok {
+			vanished = append(vanished, key)
+		}
+	}
+	sort.Slice(deltas, func(i, j int) bool { return deltas[i].key < deltas[j].key })
+	sort.Strings(newOnes)
+	sort.Strings(vanished)
+
+	var out []byte
+	ok := true
+	for _, d := range deltas {
+		verdict := "ok"
+		if d.pct() > thresholdPct {
+			verdict = fmt.Sprintf("REGRESSED past %.0f%%", thresholdPct)
+			ok = false
+		}
+		out = fmt.Appendf(out, "%s: %.0f -> %.0f ns/op (%+.1f%%) %s\n",
+			d.key, d.baseline, d.current, d.pct(), verdict)
+	}
+	for _, key := range newOnes {
+		out = fmt.Appendf(out, "%s: new benchmark, no baseline — skipped\n", key)
+	}
+	for _, key := range vanished {
+		out = fmt.Appendf(out, "%s: present in baseline but missing from current run\n", key)
+		ok = false
+	}
+	if len(deltas)+len(newOnes)+len(vanished) == 0 {
+		return "", false, fmt.Errorf("no benchmarks in either document")
+	}
+	if ok {
+		out = fmt.Appendf(out, "benchgate: pass (%d compared, %d new)\n", len(deltas), len(newOnes))
+	} else {
+		out = fmt.Appendf(out, "benchgate: FAIL\n")
+	}
+	return string(out), ok, nil
+}
+
+// index keys every result carrying an ns/op measurement by
+// package/name-procs.
+func index(doc Document) map[string]float64 {
+	m := make(map[string]float64, len(doc.Results))
+	for _, r := range doc.Results {
+		ns := r.NsPerOp
+		if ns == 0 {
+			ns = r.Metrics["ns/op"]
+		}
+		if ns <= 0 {
+			continue
+		}
+		m[fmt.Sprintf("%s/%s-%d", r.Package, r.Name, r.Procs)] = ns
+	}
+	return m
+}
+
+// load reads one benchjson document from disk.
+func load(path string) (Document, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return Document{}, err
+	}
+	var doc Document
+	if err := json.Unmarshal(buf, &doc); err != nil {
+		return Document{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return doc, nil
+}

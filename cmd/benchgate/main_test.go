@@ -1,0 +1,138 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func doc(results ...Result) Document {
+	return Document{Goos: "linux", Goarch: "amd64", Results: results}
+}
+
+func res(pkg, name string, ns float64) Result {
+	return Result{
+		Package: pkg, Name: name, Procs: 1, Iterations: 1, NsPerOp: ns,
+		Metrics: map[string]float64{"ns/op": ns},
+	}
+}
+
+func TestCompareWithinThresholdPasses(t *testing.T) {
+	base := doc(res("seqpoint/internal/serving", "BenchmarkFleetMillionEvents", 1000))
+	curr := doc(res("seqpoint/internal/serving", "BenchmarkFleetMillionEvents", 1200))
+	report, ok, err := Compare(base, curr, 25)
+	if err != nil || !ok {
+		t.Fatalf("20%% regression under a 25%% threshold should pass; ok=%v err=%v\n%s", ok, err, report)
+	}
+	if !strings.Contains(report, "+20.0%") {
+		t.Fatalf("report missing the delta:\n%s", report)
+	}
+}
+
+func TestCompareRegressionFails(t *testing.T) {
+	base := doc(res("p", "BenchmarkA", 1000))
+	curr := doc(res("p", "BenchmarkA", 1300))
+	report, ok, err := Compare(base, curr, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatalf("30%% regression passed a 25%% gate:\n%s", report)
+	}
+	if !strings.Contains(report, "REGRESSED") {
+		t.Fatalf("report does not name the regression:\n%s", report)
+	}
+}
+
+func TestCompareImprovementPasses(t *testing.T) {
+	base := doc(res("p", "BenchmarkA", 1000))
+	curr := doc(res("p", "BenchmarkA", 400))
+	if report, ok, err := Compare(base, curr, 25); err != nil || !ok {
+		t.Fatalf("improvement failed the gate; ok=%v err=%v\n%s", ok, err, report)
+	}
+}
+
+func TestCompareNewBenchmarkSkipped(t *testing.T) {
+	base := doc(res("p", "BenchmarkA", 1000))
+	curr := doc(res("p", "BenchmarkA", 1000), res("p", "BenchmarkBrandNew", 9e9))
+	report, ok, err := Compare(base, curr, 25)
+	if err != nil || !ok {
+		t.Fatalf("a new benchmark must not fail the gate; ok=%v err=%v\n%s", ok, err, report)
+	}
+	if !strings.Contains(report, "BenchmarkBrandNew") || !strings.Contains(report, "skipped") {
+		t.Fatalf("new benchmark not reported as skipped:\n%s", report)
+	}
+}
+
+func TestCompareVanishedBenchmarkFails(t *testing.T) {
+	base := doc(res("p", "BenchmarkA", 1000), res("p", "BenchmarkGone", 500))
+	curr := doc(res("p", "BenchmarkA", 1000))
+	report, ok, err := Compare(base, curr, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatalf("vanished benchmark passed the gate:\n%s", report)
+	}
+	if !strings.Contains(report, "BenchmarkGone") {
+		t.Fatalf("report does not name the vanished benchmark:\n%s", report)
+	}
+}
+
+func TestCompareEmptyDocumentsError(t *testing.T) {
+	if _, _, err := Compare(doc(), doc(), 25); err == nil {
+		t.Fatal("two empty documents should be an error, not a pass")
+	}
+}
+
+// TestGateCommittedBaseline runs the gate over the repo's committed
+// artifacts: BENCH_pr6.json against itself must pass (guards that the
+// committed files stay parseable in benchjson's format), and against
+// the seed baseline must also pass — the PR 6 numbers are faster.
+func TestGateCommittedBaseline(t *testing.T) {
+	pr6, err := filepath.Abs("../../BENCH_pr6.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(pr6); err != nil {
+		t.Skipf("committed baseline not found: %v", err)
+	}
+	report, ok, err := Gate(pr6, pr6, 25)
+	if err != nil || !ok {
+		t.Fatalf("self-comparison failed; ok=%v err=%v\n%s", ok, err, report)
+	}
+	seed := filepath.Join(filepath.Dir(pr6), "BENCH_seed.json")
+	report, ok, err = Gate(seed, pr6, 25)
+	if err != nil || !ok {
+		t.Fatalf("PR 6 numbers regressed against the seed; ok=%v err=%v\n%s", ok, err, report)
+	}
+}
+
+// TestMirrorsBenchjson pins this command's duplicated Result/Document
+// shape against cmd/benchjson's JSON output format.
+func TestMirrorsBenchjson(t *testing.T) {
+	sample := `{
+  "goos": "linux",
+  "goarch": "amd64",
+  "results": [
+    {
+      "package": "seqpoint/internal/serving",
+      "name": "BenchmarkServingHotPath",
+      "procs": 1,
+      "iterations": 1,
+      "ns_per_op": 40639250,
+      "metrics": {"B/op": 15053728, "allocs/op": 27355, "ns/op": 40639250}
+    }
+  ]
+}`
+	var d Document
+	if err := json.Unmarshal([]byte(sample), &d); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Results) != 1 || d.Results[0].Name != "BenchmarkServingHotPath" ||
+		d.Results[0].NsPerOp != 40639250 || d.Results[0].Metrics["allocs/op"] != 27355 {
+		t.Fatalf("benchjson document did not round-trip: %+v", d)
+	}
+}

@@ -12,6 +12,7 @@
 //	trainsim -model ds2 -config 3 -epochs 2 -parallelism 8 -o profile.csv
 //	trainsim -model gnmt -gpus 8 -topology ring -linkgbps 25
 //	trainsim -model gnmt -serve -rate 120 -policy dynamic -requests 512
+//	trainsim -model gnmt -serve -replicas 32 -rate 5000 -cpuprofile cpu.pprof
 package main
 
 import (
@@ -19,6 +20,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"seqpoint/internal/engine"
@@ -49,6 +52,13 @@ func writeTrace(w experiments.Workload, cfg gpusim.Config, traceSL int, path str
 }
 
 func main() {
+	// The body lives in mainExit so deferred teardown — flushing pprof
+	// profiles, above all — runs before the process exits; a bare
+	// os.Exit in main would discard a partially-written CPU profile.
+	os.Exit(mainExit())
+}
+
+func mainExit() int {
 	var (
 		model    = flag.String("model", "ds2", "model to train: ds2, gnmt, transformer, seq2seq or cnn")
 		cfgIdx   = flag.Int("config", 1, "Table II configuration number (1-5)")
@@ -73,9 +83,38 @@ func main() {
 		routing  = flag.String("routing", serving.RoutingRoundRobin, "(with -serve) fleet routing: rr, least, jsq or po2")
 		queueCap = flag.Int("queue-cap", 0, "(with -serve) per-replica admission queue bound (0 = unbounded)")
 		autoScal = flag.Bool("autoscale", false, "(with -serve) autoscale the fleet between 1 and -replicas on queue depth")
+		simPar   = flag.Int("sim-parallelism", 0, "(with -serve) advance independent replicas on this many goroutines between routing barriers (0/1 = serial; output is byte-identical)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
 	engine.Shared().SetParallelism(*par)
+
+	// The profiling flags are valid in both modes: the hot paths they
+	// exist to inspect span training and serving alike.
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "trainsim:", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "trainsim:", err)
+			f.Close()
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			if err := writeHeapProfile(*memProf); err != nil {
+				fmt.Fprintln(os.Stderr, "trainsim:", err)
+			}
+		}()
+	}
 
 	// The two modes accept disjoint knobs; reject mismatched flags
 	// instead of silently ignoring them (forgetting -serve while
@@ -87,11 +126,13 @@ func main() {
 	serveOnly := map[string]bool{
 		"rate": true, "policy": true, "requests": true, "serve-timeout-us": true,
 		"replicas": true, "routing": true, "queue-cap": true, "autoscale": true,
+		"sim-parallelism": true,
 	}
 	var bad []string
-	routingSet := false
+	routingSet, simParSet := false, false
 	flag.Visit(func(f *flag.Flag) {
 		routingSet = routingSet || f.Name == "routing"
+		simParSet = simParSet || f.Name == "sim-parallelism"
 		if *serve && trainOnly[f.Name] || !*serve && serveOnly[f.Name] {
 			bad = append(bad, "-"+f.Name)
 		}
@@ -104,36 +145,50 @@ func main() {
 			fmt.Fprintf(os.Stderr, "trainsim: %s apply to -serve only; add -serve to simulate serving\n",
 				strings.Join(bad, ", "))
 		}
-		os.Exit(1)
+		return 1
 	}
 
 	if *serve {
 		var err error
-		// Any fleet-only knob — including an explicit -routing or a
-		// bounded queue on a single replica — selects the fleet
-		// simulator, so no flag is ever silently ignored.
-		if *replicas > 1 || *autoScal || *queueCap > 0 || routingSet {
+		// Any fleet-only knob — including an explicit -routing, a
+		// bounded queue, or replica-advancement parallelism on a single
+		// replica — selects the fleet simulator, so no flag is ever
+		// silently ignored.
+		if *replicas > 1 || *autoScal || *queueCap > 0 || routingSet || simParSet {
 			err = runFleet(*model, *cfgIdx, *batch, *seed, *rate, *policy, *requests, *timeout,
-				*replicas, *routing, *queueCap, *autoScal)
+				*replicas, *routing, *queueCap, *autoScal, *simPar)
 		} else {
 			err = runServe(*model, *cfgIdx, *batch, *seed, *rate, *policy, *requests, *timeout)
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "trainsim:", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	cl, err := clusterFromFlags(*gpus, *topology, *linkGBps, *linkLat, *overlap)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "trainsim:", err)
-		os.Exit(1)
+		return 1
 	}
 	if err := run(*model, *cfgIdx, *epochs, *batch, *seed, *outCSV, *traceSL, *traceTo, cl); err != nil {
 		fmt.Fprintln(os.Stderr, "trainsim:", err)
-		os.Exit(1)
+		return 1
 	}
+	return 0
+}
+
+// writeHeapProfile snapshots the heap into path after a final GC, so
+// the profile reflects live allocations rather than garbage.
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC()
+	return pprof.WriteHeapProfile(f)
 }
 
 // runServe simulates online serving and prints the roll-up.
@@ -181,7 +236,8 @@ func runServe(model string, cfgIdx, batch int, seed int64, rate float64, policyN
 // runFleet simulates multi-replica serving and prints the fleet
 // roll-up.
 func runFleet(model string, cfgIdx, batch int, seed int64, rate float64, policyName string,
-	requests int, timeoutUS float64, replicas int, routingName string, queueCap int, autoscale bool) error {
+	requests int, timeoutUS float64, replicas int, routingName string, queueCap int,
+	autoscale bool, simParallelism int) error {
 	cfgs := gpusim.TableII()
 	if cfgIdx < 1 || cfgIdx > len(cfgs) {
 		return fmt.Errorf("config %d outside Table II range 1-%d", cfgIdx, len(cfgs))
@@ -204,12 +260,13 @@ func runFleet(model string, cfgIdx, batch int, seed int64, rate float64, policyN
 		return err
 	}
 	spec := serving.FleetSpec{
-		Model:    w.Model,
-		Trace:    trace,
-		Policy:   pol,
-		Router:   router,
-		Replicas: replicas,
-		QueueCap: queueCap,
+		Model:       w.Model,
+		Trace:       trace,
+		Policy:      pol,
+		Router:      router,
+		Replicas:    replicas,
+		QueueCap:    queueCap,
+		Parallelism: simParallelism,
 	}
 	if autoscale {
 		// Scale between one replica and the flag's fleet size: up past

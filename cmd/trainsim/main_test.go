@@ -35,10 +35,10 @@ func TestRunServeAndFleet(t *testing.T) {
 	if err := runServe("gnmt", 1, 8, 1, 300, "dynamic", 48, 20000); err != nil {
 		t.Errorf("runServe: %v", err)
 	}
-	if err := runFleet("gnmt", 1, 8, 1, 600, "dynamic", 48, 20000, 3, "jsq", 64, false); err != nil {
+	if err := runFleet("gnmt", 1, 8, 1, 600, "dynamic", 48, 20000, 3, "jsq", 64, false, 0); err != nil {
 		t.Errorf("runFleet: %v", err)
 	}
-	if err := runFleet("gnmt", 1, 8, 1, 600, "dynamic", 48, 20000, 2, "po2", 0, true); err != nil {
+	if err := runFleet("gnmt", 1, 8, 1, 600, "dynamic", 48, 20000, 2, "po2", 0, true, 0); err != nil {
 		t.Errorf("runFleet autoscale: %v", err)
 	}
 
@@ -46,19 +46,19 @@ func TestRunServeAndFleet(t *testing.T) {
 	if err := runServe("gnmt", 9, 8, 1, 300, "dynamic", 48, 20000); err == nil {
 		t.Error("config out of range should error")
 	}
-	if err := runFleet("gnmt", 0, 8, 1, 300, "dynamic", 48, 20000, 2, "rr", 0, false); err == nil {
+	if err := runFleet("gnmt", 0, 8, 1, 300, "dynamic", 48, 20000, 2, "rr", 0, false, 0); err == nil {
 		t.Error("config out of range should error")
 	}
-	if err := runFleet("cnn", 1, 8, 1, 300, "dynamic", 48, 20000, 2, "rr", 0, false); err == nil {
+	if err := runFleet("cnn", 1, 8, 1, 300, "dynamic", 48, 20000, 2, "rr", 0, false, 0); err == nil {
 		t.Error("cnn is not servable")
 	}
-	if err := runFleet("gnmt", 1, 8, 1, 300, "magic", 48, 20000, 2, "rr", 0, false); err == nil {
+	if err := runFleet("gnmt", 1, 8, 1, 300, "magic", 48, 20000, 2, "rr", 0, false, 0); err == nil {
 		t.Error("unknown policy should error")
 	}
-	if err := runFleet("gnmt", 1, 8, 1, 300, "dynamic", 48, 20000, 2, "torus", 0, false); err == nil {
+	if err := runFleet("gnmt", 1, 8, 1, 300, "dynamic", 48, 20000, 2, "torus", 0, false, 0); err == nil {
 		t.Error("unknown routing should error")
 	}
-	if err := runFleet("gnmt", 1, 8, 1, -5, "dynamic", 48, 20000, 2, "rr", 0, false); err == nil {
+	if err := runFleet("gnmt", 1, 8, 1, -5, "dynamic", 48, 20000, 2, "rr", 0, false, 0); err == nil {
 		t.Error("negative rate should error")
 	}
 }

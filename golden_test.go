@@ -247,33 +247,43 @@ func goldenFleetSpec(t *testing.T, eng *seqpoint.Engine) seqpoint.FleetSpec {
 
 // TestGoldenFleetDeterminism holds the fleet simulator to the same
 // contract as training and single-queue serving: byte-identical
-// FleetSummary JSON at profiling parallelism 1, 4 and GOMAXPROCS,
-// pinned against a committed golden file. Regenerate with
-// -update-golden.
+// FleetSummary JSON at profiling parallelism 1, 4 and GOMAXPROCS —
+// and, since PR 6, at every FleetSpec.Parallelism (the
+// replica-advancement knob) — pinned against a committed golden file.
+// Regenerate with -update-golden.
 func TestGoldenFleetDeterminism(t *testing.T) {
 	parallelisms := []int{1, 4, runtime.GOMAXPROCS(0)}
 
 	var reference []byte
 	for _, par := range parallelisms {
-		// A fresh private engine per run: a cold cache is the harder
-		// determinism test.
-		eng := seqpoint.NewEngine()
-		eng.SetParallelism(par)
-		res, err := seqpoint.SimulateFleet(goldenFleetSpec(t, eng), seqpoint.VegaFE())
-		if err != nil {
-			t.Fatalf("parallelism=%d: %v", par, err)
-		}
-		buf, err := res.Summary().Serialize()
-		if err != nil {
-			t.Fatalf("parallelism=%d: serialize: %v", par, err)
-		}
-		if reference == nil {
-			reference = buf
-			continue
-		}
-		if !bytes.Equal(buf, reference) {
-			t.Fatalf("FleetSummary at parallelism %d differs from parallelism %d:\n%s\nvs\n%s",
-				par, parallelisms[0], buf, reference)
+		// Each profiling parallelism is paired with a different
+		// replica-advancement parallelism, so both knobs are swept
+		// without quadratic runtime. (This golden spec autoscales, so
+		// SimulateFleet falls back to serial advancement — the knob
+		// must still not change a byte.)
+		for _, simPar := range []int{0, par + 1} {
+			// A fresh private engine per run: a cold cache is the harder
+			// determinism test.
+			eng := seqpoint.NewEngine()
+			eng.SetParallelism(par)
+			spec := goldenFleetSpec(t, eng)
+			spec.Parallelism = simPar
+			res, err := seqpoint.SimulateFleet(spec, seqpoint.VegaFE())
+			if err != nil {
+				t.Fatalf("parallelism=%d sim-parallelism=%d: %v", par, simPar, err)
+			}
+			buf, err := res.Summary().Serialize()
+			if err != nil {
+				t.Fatalf("parallelism=%d sim-parallelism=%d: serialize: %v", par, simPar, err)
+			}
+			if reference == nil {
+				reference = buf
+				continue
+			}
+			if !bytes.Equal(buf, reference) {
+				t.Fatalf("FleetSummary at parallelism %d/%d differs from the reference run:\n%s\nvs\n%s",
+					par, simPar, buf, reference)
+			}
 		}
 	}
 

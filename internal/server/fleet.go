@@ -67,6 +67,10 @@ type FleetRequest struct {
 	QueueCap int `json:"queue_cap,omitempty"`
 	// Autoscale enables the reactive autoscaler.
 	Autoscale *AutoscaleSpec `json:"autoscale,omitempty"`
+	// Parallelism > 1 advances independent replicas concurrently
+	// between routing barriers; the response is byte-identical to the
+	// serial default (0 or 1). Purely a speed knob for large fleets.
+	Parallelism int `json:"parallelism,omitempty"`
 }
 
 // normalize fills defaults in place; the normalized form doubles as
@@ -130,6 +134,8 @@ func (s *Server) validateFleet(r FleetRequest) error {
 		return fmt.Errorf("replicas %d exceeds the %d-replica limit", r.Replicas, maxFleetReplicas)
 	case r.QueueCap < 0:
 		return fmt.Errorf("queue_cap must be non-negative, got %d", r.QueueCap)
+	case r.Parallelism < 0:
+		return fmt.Errorf("parallelism must be non-negative, got %d", r.Parallelism)
 	}
 	if a := r.autoscaleConfig(); a != nil {
 		if a.Max > maxFleetReplicas {
@@ -184,14 +190,15 @@ func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
 
 	status, body := s.execute(r.Context(), coalesceKey("fleet", req), func() (int, []byte) {
 		res, err := serving.SimulateFleet(serving.FleetSpec{
-			Model:     workload.Model,
-			Trace:     trace,
-			Policy:    policy,
-			Router:    router,
-			Replicas:  req.Replicas,
-			QueueCap:  req.QueueCap,
-			Autoscale: req.autoscaleConfig(),
-			Profiles:  s.eng,
+			Model:       workload.Model,
+			Trace:       trace,
+			Policy:      policy,
+			Router:      router,
+			Replicas:    req.Replicas,
+			QueueCap:    req.QueueCap,
+			Autoscale:   req.autoscaleConfig(),
+			Parallelism: req.Parallelism,
+			Profiles:    s.eng,
 		}, hw)
 		if err != nil {
 			return http.StatusInternalServerError, errorBody(err)

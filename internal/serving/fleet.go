@@ -3,6 +3,7 @@ package serving
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"seqpoint/internal/gpusim"
 	"seqpoint/internal/models"
@@ -17,6 +18,14 @@ import (
 // byte-for-byte (see FleetResult.AsServing and the property test) —
 // the fleet layer is a strict generalization, not a parallel
 // implementation drifting on its own.
+//
+// The event loop is indexed, not scanned: replica wake/finish times
+// live in a min-heap (fleetheap.go) and policy re-consults in a dirty
+// set, so one event costs O(log R) instead of O(R). Batch latencies
+// come from a flat price table (pricetable.go). Replicas can also be
+// advanced concurrently between routing barriers (fleetparallel.go)
+// when FleetSpec.Parallelism asks for it; every path produces the
+// same bytes.
 
 // MaxFleetReplicas bounds the modeled fleet size; beyond it the O(N)
 // per-arrival routing scan stops being the simulation's cheap part.
@@ -81,6 +90,12 @@ type FleetSpec struct {
 	// Autoscale enables the reactive autoscaler; nil keeps the fleet
 	// size fixed at Replicas.
 	Autoscale *AutoscaleConfig
+	// Parallelism > 1 advances independent replicas concurrently
+	// between routing barriers, producing byte-identical results to
+	// the serial loop (0 and 1 mean serial). Autoscaled fleets always
+	// run serially: the scaler reads every replica's queue at every
+	// event, so there is no independent stretch to parallelize.
+	Parallelism int
 	// Profiles overrides the profile source; nil uses the process
 	// default (the shared engine when internal/engine is linked).
 	Profiles trainer.ProfileSource
@@ -112,6 +127,8 @@ func (s FleetSpec) Validate() error {
 		return fmt.Errorf("serving: %d replicas exceeds the %d-replica limit", s.Replicas, MaxFleetReplicas)
 	case s.QueueCap < 0:
 		return fmt.Errorf("serving: queue capacity must be non-negative, got %d", s.QueueCap)
+	case s.Parallelism < 0:
+		return fmt.Errorf("serving: parallelism must be non-negative, got %d", s.Parallelism)
 	}
 	if s.Autoscale != nil {
 		if err := s.Autoscale.Validate(); err != nil {
@@ -206,15 +223,16 @@ type FleetResult struct {
 
 // fleetReplica is one replica's mutable event-loop state.
 type fleetReplica struct {
-	id      int
-	cluster gpusim.ClusterConfig
-	live    bool
+	id         int
+	cluster    gpusim.ClusterConfig
+	clusterIdx int // index into the price table's distinct clusters
+	live       bool
 
 	queue     []Request
 	busy      bool
 	startedAt float64
 	doneAt    float64
-	inflight  []Request
+	inflight  []Request // reused batch buffer; len 0 when idle
 	paddedSL  int
 
 	// wakeAt is the policy's requested re-consult deadline (+Inf when
@@ -226,63 +244,25 @@ type fleetReplica struct {
 	// dispatched or grew its queue, bounding runaway wait loops.
 	consults int
 
+	// pickScratch is the replica-owned takeBatch index scratch, so
+	// concurrent replica advancement never shares sort buffers.
+	pickScratch []int
+
 	served, batches int
 	busyUS          float64
 	liveUS          float64
 	liveSince       float64
 }
 
-// fleetPricer memoizes per-(cluster, batch, padded-SL) batch latencies
-// over the spec's profile source, mirroring sim.go's memo with the
-// replica cluster as an extra key dimension.
-type fleetPricer struct {
-	src   trainer.ProfileSource
-	hw    gpusim.Config
-	model models.Model
-	memo  map[fleetPriceKey]float64
-}
-
-type fleetPriceKey struct {
-	cluster gpusim.ClusterConfig
-	batch   int
-	seqLen  int
-}
-
-func (p *fleetPricer) prefetch(cl gpusim.ClusterConfig, batch int, seqLens []int) error {
-	profiles, err := p.src.EvalProfiles(p.hw, cl, p.model, batch, seqLens)
-	if err != nil {
-		return err
-	}
-	for sl, prof := range profiles {
-		p.memo[fleetPriceKey{cluster: cl, batch: batch, seqLen: sl}] = prof.TimeUS
-	}
-	return nil
-}
-
-func (p *fleetPricer) latency(cl gpusim.ClusterConfig, batch, seqLen int) (float64, error) {
-	key := fleetPriceKey{cluster: cl, batch: batch, seqLen: seqLen}
-	if us, ok := p.memo[key]; ok {
-		return us, nil
-	}
-	profiles, err := p.src.EvalProfiles(p.hw, cl, p.model, batch, []int{seqLen})
-	if err != nil {
-		return 0, err
-	}
-	prof, ok := profiles[seqLen]
-	if !ok {
-		return 0, fmt.Errorf("serving: profile source returned no eval profile for batch %d SL %d", batch, seqLen)
-	}
-	p.memo[key] = prof.TimeUS
-	return prof.TimeUS, nil
-}
-
 // SimulateFleet runs the arrival trace against a fleet of replicas.
-// The event loop is strictly sequential and fully deterministic: event
-// times are scanned in replica-index order, arrivals are routed in
-// trace order, and the only randomness (po2 routing) is seeded.
-// Profiling parallelism changes how fast profiles are computed, never
-// an output byte. Each distinct replica cluster prefetches the trace's
-// unique SLs at the policy's max batch in one bulk ProfileSource call.
+// The event loop is fully deterministic: replica events pop from the
+// heap in (time, replica ID) order, arrivals are routed in trace
+// order, and the only randomness (po2 routing) is seeded. Profiling
+// parallelism — and replica-advancement parallelism
+// (FleetSpec.Parallelism) — changes how fast the answer is computed,
+// never an output byte. Each distinct replica cluster prefetches the
+// trace's unique SLs at the policy's max batch in one bulk
+// ProfileSource call.
 func SimulateFleet(spec FleetSpec, hw gpusim.Config) (*FleetResult, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
@@ -297,31 +277,35 @@ func SimulateFleet(spec FleetSpec, hw gpusim.Config) (*FleetResult, error) {
 	maxBatch := spec.Policy.MaxBatch()
 	allocated := spec.allocated()
 
+	// Distinct clusters in first-occurrence order index the price
+	// table (and fix the prefetch call order, which engine caching can
+	// observe).
+	var clusters []gpusim.ClusterConfig
+	clusterIdx := make(map[gpusim.ClusterConfig]int)
 	replicas := make([]*fleetReplica, allocated)
 	for i := range replicas {
 		cl := gpusim.SingleGPU()
 		if len(spec.Clusters) > 0 {
 			cl = spec.Clusters[i].Normalized()
 		}
-		replicas[i] = &fleetReplica{id: i, cluster: cl, live: i < spec.Replicas, wakeAt: math.Inf(1)}
+		ci, ok := clusterIdx[cl]
+		if !ok {
+			ci = len(clusters)
+			clusters = append(clusters, cl)
+			clusterIdx[cl] = ci
+		}
+		replicas[i] = &fleetReplica{id: i, cluster: cl, clusterIdx: ci, live: i < spec.Replicas, wakeAt: math.Inf(1)}
 	}
 
-	pricer := &fleetPricer{src: src, hw: hw, model: spec.Model, memo: make(map[fleetPriceKey]float64)}
-	prefetched := make(map[gpusim.ClusterConfig]bool)
-	uniqueSLs := spec.Trace.UniqueSLs()
-	for _, r := range replicas {
-		if !prefetched[r.cluster] {
-			prefetched[r.cluster] = true
-			if err := pricer.prefetch(r.cluster, maxBatch, uniqueSLs); err != nil {
-				return nil, err
-			}
-		}
+	prices, err := newPriceTable(src, hw, spec.Model, maxBatch, clusters, spec.Trace.UniqueSLs())
+	if err != nil {
+		return nil, err
 	}
 
 	f := &fleetRun{
 		spec:     spec,
 		replicas: replicas,
-		pricer:   pricer,
+		prices:   prices,
 		maxBatch: maxBatch,
 		res: &FleetResult{
 			Config:       hw,
@@ -331,6 +315,9 @@ func SimulateFleet(spec FleetSpec, hw gpusim.Config) (*FleetResult, error) {
 			QueueCap:     spec.QueueCap,
 			PeakReplicas: spec.Replicas,
 		},
+		heap:        newReplicaHeap(allocated),
+		inDirty:     make([]bool, allocated),
+		viewScratch: make([]ReplicaView, allocated),
 		served:      make([]RequestMetric, len(spec.Trace.Requests)),
 		isServed:    make([]bool, len(spec.Trace.Requests)),
 		lastScaleAt: math.Inf(-1),
@@ -345,13 +332,26 @@ func SimulateFleet(spec FleetSpec, hw gpusim.Config) (*FleetResult, error) {
 type fleetRun struct {
 	spec     FleetSpec
 	replicas []*fleetReplica
-	pricer   *fleetPricer
+	prices   *priceTable
 	maxBatch int
 	res      *FleetResult
 
 	clock float64
 	next  int // next trace index to route
 	done  int // served + rejected
+
+	// heap indexes each replica's next self-generated event (batch
+	// completion or armed wake deadline); dirty lists replicas owing a
+	// policy consult, deduped by inDirty.
+	heap      *replicaHeap
+	dirty     []int
+	inDirty   []bool
+	busyCount int
+
+	// viewScratch is the reused router-snapshot buffer; dlogScratch
+	// the reused barrier-merge dispatch log (parallel rounds only).
+	viewScratch []ReplicaView
+	dlogScratch []dispatchRec
 
 	served      []RequestMetric
 	isServed    []bool
@@ -360,11 +360,19 @@ type fleetRun struct {
 
 func (f *fleetRun) run() error {
 	trace := f.spec.Trace.Requests
-	for f.done < len(trace) {
-		if err := f.dispatchIdle(); err != nil {
+	if f.roundWorkers() > 1 {
+		if err := f.runRounds(); err != nil {
 			return err
 		}
-		t := f.nextEventTime()
+	}
+	for f.done < len(trace) {
+		if err := f.dispatchDirty(); err != nil {
+			return err
+		}
+		t := f.nextArrivalUS()
+		if m := f.heap.min(); m < t {
+			t = m
+		}
 		if math.IsInf(t, 1) {
 			// Unreachable for contract-abiding policies: queued work
 			// always has a dispatch or wake path, and un-routed arrivals
@@ -373,7 +381,7 @@ func (f *fleetRun) run() error {
 				f.clock, len(trace)-f.done, len(trace))
 		}
 		f.clock = t
-		f.completeBatches()
+		f.drainDue()
 		f.routeArrivals()
 		f.autoscale()
 	}
@@ -407,12 +415,42 @@ func (f *fleetRun) nextArrivalUS() float64 {
 	return math.Inf(1)
 }
 
-// dispatchIdle consults the batching policy for every idle live
-// replica with queued work that has a consult due (queue changed,
-// deadline reached, or the trace just drained), in replica order.
-func (f *fleetRun) dispatchIdle() error {
+// markDirty queues replica id for a policy consult at the next
+// dispatch pass.
+func (f *fleetRun) markDirty(id int) {
+	if !f.inDirty[id] {
+		f.inDirty[id] = true
+		f.dirty = append(f.dirty, id)
+	}
+}
+
+// refreshKey re-indexes replica r's next self-generated event in the
+// heap: its batch completion when busy, its armed wake deadline when
+// idle with queued work, nothing otherwise.
+func (f *fleetRun) refreshKey(r *fleetReplica) {
+	key := math.Inf(1)
+	if r.live {
+		if r.busy {
+			key = r.doneAt
+		} else if len(r.queue) > 0 {
+			key = r.wakeAt
+		}
+	}
+	f.heap.update(r.id, key)
+}
+
+// dispatchDirty consults the batching policy for every dirty idle live
+// replica with queued work, in replica-ID order — the indexed
+// equivalent of scanning the whole fleet for due consults.
+func (f *fleetRun) dispatchDirty() error {
+	if len(f.dirty) == 0 {
+		return nil
+	}
+	sort.Ints(f.dirty)
 	nextArrival := f.nextArrivalUS()
-	for _, r := range f.replicas {
+	for _, id := range f.dirty {
+		f.inDirty[id] = false
+		r := f.replicas[id]
 		if !r.live || r.busy || len(r.queue) == 0 {
 			continue
 		}
@@ -426,7 +464,7 @@ func (f *fleetRun) dispatchIdle() error {
 			}
 			r.needConsult = false
 			wake := math.Min(d.WaitUntilUS, nextArrival)
-			if math.IsInf(wake, 1) && !f.anyBusy() {
+			if math.IsInf(wake, 1) && f.busyCount == 0 {
 				return fmt.Errorf("serving: policy %q refused to dispatch with no future event (replica %d, queue %d, clock %v)",
 					f.spec.Policy.Name(), r.id, len(r.queue), f.clock)
 			}
@@ -443,39 +481,31 @@ func (f *fleetRun) dispatchIdle() error {
 				break // deadline armed; re-consult when it arrives
 			}
 		}
+		f.refreshKey(r)
 	}
+	f.dirty = f.dirty[:0]
 	return nil
-}
-
-// anyBusy reports whether any live replica is executing a batch — the
-// one event source besides arrivals and wake deadlines.
-func (f *fleetRun) anyBusy() bool {
-	for _, r := range f.replicas {
-		if r.live && r.busy {
-			return true
-		}
-	}
-	return false
 }
 
 // launch prices and starts one batch on r at the current clock.
 func (f *fleetRun) launch(r *fleetReplica, pick []int) error {
-	batch, err := takeBatch(&r.queue, pick, f.maxBatch, f.spec.Policy.Name())
+	batch, scratch, err := takeBatch(r.inflight, &r.queue, pick, r.pickScratch, f.maxBatch, f.spec.Policy.Name())
+	r.pickScratch = scratch
 	if err != nil {
 		return err
 	}
+	r.inflight = batch
 	paddedSL := 0
 	for _, q := range batch {
 		if q.SeqLen > paddedSL {
 			paddedSL = q.SeqLen
 		}
 	}
-	lat, err := f.pricer.latency(r.cluster, len(batch), paddedSL)
+	lat, err := f.prices.latency(r.clusterIdx, len(batch), paddedSL)
 	if err != nil {
 		return err
 	}
 	r.busy = true
-	r.inflight = batch
 	r.paddedSL = paddedSL
 	r.startedAt = f.clock
 	r.doneAt = f.clock + lat
@@ -484,71 +514,88 @@ func (f *fleetRun) launch(r *fleetReplica, pick []int) error {
 	// equivalence with the single-queue loop.
 	r.busyUS += lat
 	f.res.BusyUS += lat
+	f.busyCount++
 	r.wakeAt = math.Inf(1)
 	r.needConsult = false
 	r.consults = 0
 	return nil
 }
 
-// nextEventTime scans for the earliest pending event: an un-routed
-// arrival, a batch completion, or an armed policy wake deadline.
-func (f *fleetRun) nextEventTime() float64 {
-	t := f.nextArrivalUS()
-	for _, r := range f.replicas {
-		if !r.live {
-			continue
+// drainDue pops every replica event at or before the clock: batch
+// completions retire immediately, reached wake deadlines become dirty
+// consults. Equal-time events pop in replica-ID order.
+func (f *fleetRun) drainDue() {
+	for len(f.heap.heap) > 0 {
+		id := f.heap.heap[0]
+		if f.heap.keys[id] > f.clock {
+			break
 		}
+		r := f.replicas[id]
 		if r.busy {
-			t = math.Min(t, r.doneAt)
-		} else if len(r.queue) > 0 {
-			t = math.Min(t, r.wakeAt)
+			f.completeReplica(r)
+			f.refreshKey(r)
+		} else {
+			// A reached wake deadline becomes a dirty consult; the
+			// replica keeps its (now past) deadline until the consult
+			// re-arms it, so drop the heap slot rather than re-keying.
+			r.needConsult = true
+			f.markDirty(id)
+			f.heap.update(id, math.Inf(1))
 		}
 	}
-	return t
 }
 
-// completeBatches retires every batch finishing at or before the
-// clock, in replica order, recording per-request metrics.
-func (f *fleetRun) completeBatches() {
-	for _, r := range f.replicas {
-		if !r.live || !r.busy || r.doneAt > f.clock {
-			continue
+// completeReplica retires r's in-flight batch at the clock, recording
+// per-request metrics.
+func (f *fleetRun) completeReplica(r *fleetReplica) {
+	for _, q := range r.inflight {
+		f.served[q.ID] = RequestMetric{
+			ID:        q.ID,
+			SeqLen:    q.SeqLen,
+			ArrivalUS: q.ArrivalUS,
+			StartUS:   r.startedAt,
+			DoneUS:    r.doneAt,
+			BatchSize: len(r.inflight),
+			PaddedSL:  r.paddedSL,
+			Replica:   r.id,
 		}
-		for _, q := range r.inflight {
-			f.served[q.ID] = RequestMetric{
-				ID:        q.ID,
-				SeqLen:    q.SeqLen,
-				ArrivalUS: q.ArrivalUS,
-				StartUS:   r.startedAt,
-				DoneUS:    r.doneAt,
-				BatchSize: len(r.inflight),
-				PaddedSL:  r.paddedSL,
-				Replica:   r.id,
-			}
-			f.isServed[q.ID] = true
-			f.done++
-		}
-		r.served += len(r.inflight)
-		r.batches++
-		f.res.Batches++
-		if r.doneAt > f.res.MakespanUS {
-			f.res.MakespanUS = r.doneAt
-		}
-		r.busy = false
-		r.inflight = nil
-		r.needConsult = len(r.queue) > 0
+		f.isServed[q.ID] = true
+		f.done++
+	}
+	r.served += len(r.inflight)
+	r.batches++
+	f.res.Batches++
+	if r.doneAt > f.res.MakespanUS {
+		f.res.MakespanUS = r.doneAt
+	}
+	r.busy = false
+	r.inflight = r.inflight[:0]
+	f.busyCount--
+	if len(r.queue) > 0 {
+		r.needConsult = true
+		f.markDirty(r.id)
+	} else {
+		r.needConsult = false
 	}
 }
 
 // routeArrivals admits every arrival at or before the clock, in trace
 // order: the router picks among live replicas with queue room; when
-// none has room the request is rejected.
+// none has room the request is rejected. The fleet snapshot is built
+// once per pass in the reused scratch buffer and updated in place as
+// arrivals land.
 func (f *fleetRun) routeArrivals() {
 	trace := f.spec.Trace.Requests
+	var (
+		views    []ReplicaView
+		eligible int
+	)
 	for f.next < len(trace) && trace[f.next].ArrivalUS <= f.clock {
 		req := trace[f.next]
 		f.next++
-		views, eligible := f.views()
+		if views == nil {
+			views, eligible = f.views()
+		}
 		if eligible == 0 {
 			f.res.Rejections = append(f.res.Rejections, Rejection{
 				ID: req.ID, ArrivalUS: req.ArrivalUS, SeqLen: req.SeqLen, Reason: RejectReasonQueueFull,
@@ -571,6 +618,15 @@ func (f *fleetRun) routeArrivals() {
 		r.queue = append(r.queue, req)
 		r.needConsult = true
 		r.consults = 0
+		f.markDirty(id)
+		// Only the routed replica's view changed; update it in place.
+		views[id].Queued++
+		if f.spec.QueueCap != 0 && len(r.queue) >= f.spec.QueueCap {
+			if views[id].eligible() {
+				eligible--
+			}
+			views[id].HasRoom = false
+		}
 	}
 	if f.next == len(trace) {
 		// Trace drained: policies waiting for more arrivals must be
@@ -578,15 +634,17 @@ func (f *fleetRun) routeArrivals() {
 		for _, r := range f.replicas {
 			if r.live && !r.busy && len(r.queue) > 0 {
 				r.needConsult = true
+				f.markDirty(r.id)
 			}
 		}
 	}
 }
 
-// views snapshots the fleet for the router and counts eligible
-// replicas.
+// views snapshots the fleet for the router into the reused scratch
+// buffer and counts eligible replicas. The returned slice is only
+// valid until the next call.
 func (f *fleetRun) views() ([]ReplicaView, int) {
-	views := make([]ReplicaView, len(f.replicas))
+	views := f.viewScratch
 	eligible := 0
 	for i, r := range f.replicas {
 		views[i] = ReplicaView{
@@ -650,13 +708,18 @@ func (f *fleetRun) autoscale() {
 }
 
 // finalize compacts per-request metrics and per-replica stats into the
-// result.
+// result. The served buffer is compacted in place — metrics are
+// already in trace-ID order — so the result borrows it instead of
+// copying a second multi-million-entry slice.
 func (f *fleetRun) finalize() {
+	k := 0
 	for id, ok := range f.isServed {
 		if ok {
-			f.res.Requests = append(f.res.Requests, f.served[id])
+			f.served[k] = f.served[id]
+			k++
 		}
 	}
+	f.res.Requests = f.served[:k]
 	f.res.ReplicaStats = make([]ReplicaStats, len(f.replicas))
 	var replicaUS float64
 	for i, r := range f.replicas {

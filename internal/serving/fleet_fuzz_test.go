@@ -3,6 +3,7 @@ package serving
 import (
 	"bytes"
 	"math"
+	"reflect"
 	"testing"
 
 	"seqpoint/internal/dataset"
@@ -149,6 +150,36 @@ func FuzzFleetInvariants(f *testing.F) {
 		}
 		if res.ReplicaSeconds < 0 {
 			t.Fatalf("negative replica-seconds %v", res.ReplicaSeconds)
+		}
+
+		// Parallel advancement (Parallelism > 1) must reproduce the
+		// serial loop byte-for-byte on non-autoscaled fleets — same
+		// summary and same per-request metrics. A fresh router is built
+		// for the re-run because routers carry deterministic state (the
+		// round-robin cursor, po2's seeded RNG).
+		if spec.Autoscale == nil {
+			prouter, err := ParseRouting(routerNames[int(routing)%len(routerNames)], seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pspec := spec
+			pspec.Router = prouter
+			pspec.Parallelism = int(n)%3 + 2
+			pres, err := SimulateFleet(pspec, gpusim.VegaFE())
+			if err != nil {
+				t.Fatalf("parallel SimulateFleet: %v", err)
+			}
+			want, _ := res.Summary().Serialize()
+			got, _ := pres.Summary().Serialize()
+			if !bytes.Equal(got, want) {
+				t.Fatalf("parallelism %d diverged from serial:\n%s\nvs\n%s", pspec.Parallelism, got, want)
+			}
+			if !reflect.DeepEqual(res.Requests, pres.Requests) {
+				t.Fatalf("parallelism %d produced different per-request metrics", pspec.Parallelism)
+			}
+			if !reflect.DeepEqual(res.Rejections, pres.Rejections) {
+				t.Fatalf("parallelism %d produced different rejections", pspec.Parallelism)
+			}
 		}
 
 		// Generalization: the 1-replica unbounded round-robin fleet is

@@ -1,0 +1,130 @@
+package serving
+
+import "math"
+
+// replicaHeap is an indexed binary min-heap over per-replica event
+// times, replacing the event loop's O(R)-per-event linear scans. Each
+// replica owns one slot keyed by its next self-generated event: its
+// batch completion when busy, its armed policy wake deadline when idle
+// with queued work, and +Inf (absent from the heap) otherwise. The
+// event loop updates a replica's key whenever that state changes and
+// reads the minimum in O(1).
+//
+// Ties break toward the lower replica ID so the heap's minimum is
+// bit-for-bit the value the old replica-order scan produced — the
+// determinism contract makes tie order observable through float
+// accumulation downstream.
+type replicaHeap struct {
+	// keys[id] is replica id's event time (+Inf = not in the heap).
+	keys []float64
+	// heap holds the IDs with finite keys in heap order; pos[id] is
+	// id's index in heap, -1 when absent.
+	heap []int
+	pos  []int
+}
+
+func newReplicaHeap(n int) *replicaHeap {
+	h := &replicaHeap{
+		keys: make([]float64, n),
+		heap: make([]int, 0, n),
+		pos:  make([]int, n),
+	}
+	for i := range h.keys {
+		h.keys[i] = math.Inf(1)
+		h.pos[i] = -1
+	}
+	return h
+}
+
+// update sets replica id's event time, inserting, moving or removing
+// its heap slot as needed. +Inf removes.
+func (h *replicaHeap) update(id int, t float64) {
+	old := h.keys[id]
+	if old == t {
+		return
+	}
+	h.keys[id] = t
+	at := h.pos[id]
+	switch {
+	case math.IsInf(t, 1): // remove
+		if at >= 0 {
+			h.removeAt(at)
+		}
+	case at < 0: // insert
+		h.heap = append(h.heap, id)
+		h.pos[id] = len(h.heap) - 1
+		h.up(len(h.heap) - 1)
+	case t < old:
+		h.up(at)
+	default:
+		h.down(at)
+	}
+}
+
+// min returns the earliest replica event time, +Inf when no replica
+// has one pending.
+func (h *replicaHeap) min() float64 {
+	if len(h.heap) == 0 {
+		return math.Inf(1)
+	}
+	return h.keys[h.heap[0]]
+}
+
+// less orders heap slots by (time, replica ID).
+func (h *replicaHeap) less(a, b int) bool {
+	ka, kb := h.keys[h.heap[a]], h.keys[h.heap[b]]
+	if ka != kb {
+		return ka < kb
+	}
+	return h.heap[a] < h.heap[b]
+}
+
+func (h *replicaHeap) swap(a, b int) {
+	h.heap[a], h.heap[b] = h.heap[b], h.heap[a]
+	h.pos[h.heap[a]] = a
+	h.pos[h.heap[b]] = b
+}
+
+func (h *replicaHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *replicaHeap) down(i int) {
+	n := len(h.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+}
+
+func (h *replicaHeap) removeAt(i int) {
+	id := h.heap[i]
+	last := len(h.heap) - 1
+	if i != last {
+		h.swap(i, last)
+	}
+	h.heap = h.heap[:last]
+	h.pos[id] = -1
+	if i < last {
+		h.down(i)
+		h.up(i)
+	}
+}

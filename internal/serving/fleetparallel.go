@@ -1,0 +1,305 @@
+package serving
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// Parallel replica advancement. Between two routing barriers (the
+// arrival timestamps of the trace) replicas evolve independently: a
+// replica's completions, wake-deadline consults and dispatches read
+// and write only its own state, the shared stateless policy, and the
+// mutex-guarded price table. FleetSpec.Parallelism > 1 exploits that:
+// each round advances every replica with pending work to the next
+// arrival time concurrently, then a serial barrier routes the
+// arrivals and merges the round's result deltas in a fixed order.
+//
+// Byte-identity with the serial loop holds because
+//   - per-replica trajectories are identical (same consult times, same
+//     policy inputs, same prices);
+//   - the one order-sensitive global accumulation — res.BusyUS, a
+//     float sum in dispatch order — is replayed at the barrier from
+//     per-replica dispatch logs merged by (time, replica ID), exactly
+//     the order the serial loop dispatches in;
+//   - everything else merged at the barrier is order-free (counts,
+//     maxima, disjoint per-request metric writes).
+// Autoscaled fleets never take this path: the scaler inspects every
+// replica at every event, so no independent stretch exists.
+
+// roundWorkers is the number of concurrent replica-advancement workers
+// the run uses; <= 1 means the serial loop handles everything.
+func (f *fleetRun) roundWorkers() int {
+	w := f.spec.Parallelism
+	if f.spec.Autoscale != nil {
+		return 1
+	}
+	if w > len(f.replicas) {
+		w = len(f.replicas)
+	}
+	return w
+}
+
+// dispatchRec logs one batch launch for deterministic BusyUS replay.
+type dispatchRec struct {
+	at      float64
+	latency float64
+	replica int
+}
+
+// roundDelta is one replica's order-free contribution to a round,
+// merged serially at the barrier.
+type roundDelta struct {
+	done     int
+	batches  int
+	makespan float64
+	dlog     []dispatchRec
+	err      error
+}
+
+// runRounds advances the fleet to the end of the arrival trace using
+// parallel rounds; the caller's serial loop finishes the drain. On
+// return every replica's heap key and dirty flag reflect its state,
+// so the serial loop continues seamlessly.
+func (f *fleetRun) runRounds() error {
+	trace := f.spec.Trace.Requests
+	workers := f.roundWorkers()
+	deltas := make([]roundDelta, len(f.replicas))
+	due := make([]int, 0, len(f.replicas))
+	var wg sync.WaitGroup
+
+	for f.next < len(trace) {
+		tA := trace[f.next].ArrivalUS
+		tPrev := f.clock
+
+		// Due set: replicas owing a consult at tPrev (the dirty set,
+		// whose inDirty flags double as the dedupe marker here) plus
+		// replicas whose next self event lands at or before the
+		// barrier. Events created mid-round stay replica-local, so
+		// nothing else can need advancing.
+		due = append(due[:0], f.dirty...)
+		f.dirty = f.dirty[:0]
+		for len(f.heap.heap) > 0 {
+			id := f.heap.heap[0]
+			if f.heap.keys[id] > tA {
+				break
+			}
+			f.heap.update(id, math.Inf(1))
+			if !f.inDirty[id] {
+				f.inDirty[id] = true
+				due = append(due, id)
+			}
+		}
+		sort.Ints(due)
+		for _, id := range due {
+			f.inDirty[id] = false
+		}
+
+		if n := len(due); n > 0 {
+			if workers > 1 && n > 1 {
+				w := workers
+				if w > n {
+					w = n
+				}
+				wg.Add(w)
+				for k := 0; k < w; k++ {
+					go func(k int) {
+						defer wg.Done()
+						for i := k; i < n; i += w {
+							id := due[i]
+							deltas[id] = roundDelta{dlog: deltas[id].dlog[:0]}
+							f.advanceReplica(f.replicas[id], tPrev, tA, &deltas[id])
+						}
+					}(k)
+				}
+				wg.Wait()
+			} else {
+				for _, id := range due {
+					deltas[id] = roundDelta{dlog: deltas[id].dlog[:0]}
+					f.advanceReplica(f.replicas[id], tPrev, tA, &deltas[id])
+				}
+			}
+			if err := f.mergeRound(due, deltas); err != nil {
+				return err
+			}
+		}
+
+		f.clock = tA
+		f.routeArrivals()
+	}
+	return nil
+}
+
+// mergeRound folds the round's per-replica deltas into the global
+// result in replica-ID order, replaying dispatches chronologically so
+// the BusyUS float accumulation matches the serial loop bit-for-bit.
+// due must be sorted ascending.
+func (f *fleetRun) mergeRound(due []int, deltas []roundDelta) error {
+	f.dlogScratch = f.dlogScratch[:0]
+	for _, id := range due {
+		d := &deltas[id]
+		if d.err != nil {
+			// With a contract-violating policy the serial loop would
+			// stop at the chronologically first failure; concurrent
+			// advancement reports the lowest failing replica instead —
+			// deterministic, though possibly a different instance of
+			// the same bug.
+			return d.err
+		}
+		f.done += d.done
+		f.res.Batches += d.batches
+		f.busyCount += len(d.dlog) - d.batches
+		if d.makespan > f.res.MakespanUS {
+			f.res.MakespanUS = d.makespan
+		}
+		f.dlogScratch = append(f.dlogScratch, d.dlog...)
+		r := f.replicas[id]
+		f.refreshKey(r)
+		if !r.busy && r.needConsult {
+			f.markDirty(id)
+		}
+	}
+	// Insertion sort by (time, replica): round logs are tiny and
+	// mostly ordered, and this avoids a per-round sort.Slice closure.
+	log := f.dlogScratch
+	for i := 1; i < len(log); i++ {
+		rec := log[i]
+		j := i - 1
+		for j >= 0 && (log[j].at > rec.at || (log[j].at == rec.at && log[j].replica > rec.replica)) {
+			log[j+1] = log[j]
+			j--
+		}
+		log[j+1] = rec
+	}
+	for _, rec := range log {
+		f.res.BusyUS += rec.latency
+	}
+	return nil
+}
+
+// advanceReplica runs replica r's event loop from the last barrier at
+// tPrev up to (and at, for completions) the next barrier tA. All
+// mutations are r-local or recorded in d; consults landing exactly on
+// tA are deferred past the barrier's routing, matching the serial
+// loop's dispatch-after-route order.
+func (f *fleetRun) advanceReplica(r *fleetReplica, tPrev, tA float64, d *roundDelta) {
+	now := tPrev
+	for {
+		if !r.busy && len(r.queue) > 0 {
+			for r.needConsult || now >= r.wakeAt {
+				dec := f.spec.Policy.Decide(r.queue, now, tA)
+				if dec.Dispatch {
+					if err := f.launchLocal(r, dec.Pick, now, d); err != nil {
+						d.err = err
+						return
+					}
+					break
+				}
+				r.needConsult = false
+				// tA is finite, so the "no future event" stall of the
+				// serial loop cannot arise inside a round.
+				if !math.IsInf(dec.WaitUntilUS, 1) && dec.WaitUntilUS <= now {
+					d.err = fmt.Errorf("serving: policy %q asked to wait until the past (%v at clock %v)",
+						f.spec.Policy.Name(), dec.WaitUntilUS, now)
+					return
+				}
+				r.wakeAt = dec.WaitUntilUS
+				if r.consults++; r.consults > f.maxBatch+policyConsultSlack {
+					d.err = fmt.Errorf("serving: policy %q consulted %d times on replica %d without dispatching",
+						f.spec.Policy.Name(), r.consults, r.id)
+					return
+				}
+				if now < r.wakeAt {
+					break
+				}
+			}
+		}
+		var e float64
+		switch {
+		case r.busy:
+			e = r.doneAt
+		case len(r.queue) > 0:
+			e = r.wakeAt
+		default:
+			return
+		}
+		if e > tA || (!r.busy && e >= tA) {
+			// Beyond the barrier — or a wake landing exactly on it,
+			// which the serial loop consults only after routing.
+			return
+		}
+		now = e
+		if r.busy {
+			f.completeLocal(r, d)
+			if now >= tA {
+				// Completion exactly on the barrier: its follow-up
+				// consult happens after routing, like the serial loop's
+				// dispatch pass.
+				return
+			}
+		} else {
+			r.needConsult = true
+		}
+	}
+}
+
+// completeLocal retires r's in-flight batch into r-local state and the
+// round delta (plus the disjoint per-request metric slots).
+func (f *fleetRun) completeLocal(r *fleetReplica, d *roundDelta) {
+	for _, q := range r.inflight {
+		f.served[q.ID] = RequestMetric{
+			ID:        q.ID,
+			SeqLen:    q.SeqLen,
+			ArrivalUS: q.ArrivalUS,
+			StartUS:   r.startedAt,
+			DoneUS:    r.doneAt,
+			BatchSize: len(r.inflight),
+			PaddedSL:  r.paddedSL,
+			Replica:   r.id,
+		}
+		f.isServed[q.ID] = true
+		d.done++
+	}
+	r.served += len(r.inflight)
+	r.batches++
+	d.batches++
+	if r.doneAt > d.makespan {
+		d.makespan = r.doneAt
+	}
+	r.busy = false
+	r.inflight = r.inflight[:0]
+	r.needConsult = len(r.queue) > 0
+}
+
+// launchLocal is launch for the parallel path: identical replica-local
+// effects, with the global accumulations (BusyUS order, busy count,
+// batch count) deferred to the barrier merge via the dispatch log.
+func (f *fleetRun) launchLocal(r *fleetReplica, pick []int, now float64, d *roundDelta) error {
+	batch, scratch, err := takeBatch(r.inflight, &r.queue, pick, r.pickScratch, f.maxBatch, f.spec.Policy.Name())
+	r.pickScratch = scratch
+	if err != nil {
+		return err
+	}
+	r.inflight = batch
+	paddedSL := 0
+	for _, q := range batch {
+		if q.SeqLen > paddedSL {
+			paddedSL = q.SeqLen
+		}
+	}
+	lat, err := f.prices.latency(r.clusterIdx, len(batch), paddedSL)
+	if err != nil {
+		return err
+	}
+	r.busy = true
+	r.paddedSL = paddedSL
+	r.startedAt = now
+	r.doneAt = now + lat
+	r.busyUS += lat
+	d.dlog = append(d.dlog, dispatchRec{at: now, latency: lat, replica: r.id})
+	r.wakeAt = math.Inf(1)
+	r.needConsult = false
+	r.consults = 0
+	return nil
+}

@@ -1,0 +1,245 @@
+package serving
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"seqpoint/internal/dataset"
+	"seqpoint/internal/gpusim"
+	"seqpoint/internal/models"
+)
+
+// parallelCase is one serial-vs-parallel equivalence scenario. Router
+// and profile source are built fresh per run (both carry deterministic
+// internal state).
+type parallelCase struct {
+	name     string
+	requests int
+	rate     float64
+	burst    bool
+	policy   func() (Policy, error)
+	router   func() (Router, error)
+	replicas int
+	clusters []gpusim.ClusterConfig
+	queueCap int
+}
+
+func parallelCases() []parallelCase {
+	return []parallelCase{
+		{
+			name: "dynamic_least_unbounded", requests: 600, rate: 2500,
+			policy:   func() (Policy, error) { return NewDynamicBatch(8, 1500) },
+			router:   func() (Router, error) { return NewLeastOutstanding(), nil },
+			replicas: 6,
+		},
+		{
+			name: "fixed_rr_bounded", requests: 500, rate: 6000,
+			policy:   func() (Policy, error) { return NewFixedBatch(4) },
+			router:   func() (Router, error) { return NewRoundRobin(), nil },
+			replicas: 3, queueCap: 5,
+		},
+		{
+			name: "length_po2_hetero", requests: 400, rate: 1800,
+			policy: func() (Policy, error) { return NewLengthAware(6) },
+			router: func() (Router, error) { return NewPowerOfTwo(11), nil },
+			clusters: []gpusim.ClusterConfig{
+				gpusim.DefaultCluster(1), gpusim.DefaultCluster(2),
+				gpusim.DefaultCluster(1), gpusim.DefaultCluster(4),
+			},
+			replicas: 4,
+		},
+		{
+			name: "dynamic_jsq_burst", requests: 300, rate: 0, burst: true,
+			policy:   func() (Policy, error) { return NewDynamicBatch(16, 800) },
+			router:   func() (Router, error) { return NewJSQ(), nil },
+			replicas: 5, queueCap: 80,
+		},
+	}
+}
+
+func (c parallelCase) run(t *testing.T, parallelism int) *FleetResult {
+	t.Helper()
+	lengths := make([]int, 96)
+	for i := range lengths {
+		lengths[i] = 2 + (i*17)%40
+	}
+	corpus, err := dataset.Synthetic("par", lengths, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace Trace
+	if c.burst {
+		trace, err = BurstTrace(corpus, c.requests, 33)
+	} else {
+		trace, err = PoissonTrace(corpus, c.requests, c.rate, 33)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	policy, err := c.policy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	router, err := c.router()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SimulateFleet(FleetSpec{
+		Model:       models.NewGNMT(),
+		Trace:       trace,
+		Policy:      policy,
+		Router:      router,
+		Replicas:    c.replicas,
+		Clusters:    c.clusters,
+		QueueCap:    c.queueCap,
+		Parallelism: parallelism,
+		Profiles:    &stubSource{},
+	}, gpusim.VegaFE())
+	if err != nil {
+		t.Fatalf("SimulateFleet(parallelism=%d): %v", parallelism, err)
+	}
+	return res
+}
+
+// TestParallelFleetEquivalence pins the tentpole contract: replica
+// advancement at any FleetSpec.Parallelism produces byte-identical
+// summaries and identical per-request metrics to the serial loop,
+// across routers, policies, admission bounds, heterogeneous clusters,
+// and same-instant burst arrivals.
+func TestParallelFleetEquivalence(t *testing.T) {
+	parallelisms := []int{2, 4, runtime.GOMAXPROCS(0) + 1}
+	for _, c := range parallelCases() {
+		t.Run(c.name, func(t *testing.T) {
+			serial := c.run(t, 1)
+			wantSummary, err := serial.Summary().Serialize()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range parallelisms {
+				got := c.run(t, p)
+				gotSummary, err := got.Summary().Serialize()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(gotSummary, wantSummary) {
+					t.Fatalf("parallelism %d summary diverged from serial:\n%s\nvs\n%s", p, gotSummary, wantSummary)
+				}
+				if !reflect.DeepEqual(serial.Requests, got.Requests) {
+					t.Fatalf("parallelism %d per-request metrics diverged from serial", p)
+				}
+				if !reflect.DeepEqual(serial.Rejections, got.Rejections) {
+					t.Fatalf("parallelism %d rejections diverged from serial", p)
+				}
+				if !reflect.DeepEqual(serial.ReplicaStats, got.ReplicaStats) {
+					t.Fatalf("parallelism %d replica stats diverged from serial", p)
+				}
+				if serial.BusyUS != got.BusyUS {
+					t.Fatalf("parallelism %d BusyUS %v != serial %v (float accumulation order leaked)",
+						p, got.BusyUS, serial.BusyUS)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelismValidation pins the spec-level contract for the knob.
+func TestParallelismValidation(t *testing.T) {
+	policy, err := NewFixedBatch(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lengths := []int{3, 5, 7}
+	corpus, err := dataset.Synthetic("pv", lengths, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, err := BurstTrace(corpus, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := FleetSpec{
+		Model:       models.NewGNMT(),
+		Trace:       trace,
+		Policy:      policy,
+		Router:      NewRoundRobin(),
+		Replicas:    2,
+		Parallelism: -1,
+		Profiles:    &stubSource{},
+	}
+	if _, err := SimulateFleet(spec, gpusim.VegaFE()); err == nil {
+		t.Fatal("negative parallelism accepted")
+	}
+
+	// An autoscaled fleet silently takes the serial path: the scaler
+	// couples every replica at every event. The knob must not change a
+	// byte.
+	auto := spec
+	auto.Parallelism = 4
+	auto.Autoscale = &AutoscaleConfig{Min: 1, Max: 2, UpDepth: 2, DownDepth: 0.5, CooldownUS: 100}
+	auto.Replicas = 1
+	autoRes, err := SimulateFleet(auto, gpusim.VegaFE())
+	if err != nil {
+		t.Fatalf("autoscaled parallel spec: %v", err)
+	}
+	serial := auto
+	serial.Parallelism = 0
+	serial.Router = NewRoundRobin()
+	serialRes, err := SimulateFleet(serial, gpusim.VegaFE())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantB, _ := serialRes.Summary().Serialize()
+	gotB, _ := autoRes.Summary().Serialize()
+	if !bytes.Equal(gotB, wantB) {
+		t.Fatalf("autoscaled fleet changed bytes under Parallelism:\n%s\nvs\n%s", gotB, wantB)
+	}
+}
+
+// TestTakeBatchScratch pins the scratch-based takeBatch against the
+// validation contract: out-of-range, duplicate, oversized and empty
+// picks fail; valid picks extract in queue order and preserve the
+// remaining queue's order.
+func TestTakeBatchScratch(t *testing.T) {
+	mkQueue := func() []Request {
+		q := make([]Request, 6)
+		for i := range q {
+			q[i] = Request{ID: i, SeqLen: 10 + i}
+		}
+		return q
+	}
+	var scratch []int
+	var dst []Request
+
+	queue := mkQueue()
+	batch, scratch, err := takeBatch(dst[:0], &queue, []int{4, 0, 2}, scratch, 8, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(batch[0].ID, batch[1].ID, batch[2].ID) != "0 2 4" {
+		t.Fatalf("batch order %v, want IDs 0 2 4", batch)
+	}
+	if fmt.Sprint(queue[0].ID, queue[1].ID, queue[2].ID) != "1 3 5" || len(queue) != 3 {
+		t.Fatalf("remaining queue %v, want IDs 1 3 5", queue)
+	}
+
+	for name, pick := range map[string][]int{
+		"empty":      {},
+		"dup":        {1, 1},
+		"oob":        {0, 9},
+		"neg":        {-1},
+		"oversized":  {0, 1, 2},
+		"dup_spread": {2, 0, 2},
+	} {
+		queue := mkQueue()
+		max := 8
+		if name == "oversized" {
+			max = 2
+		}
+		if _, _, err := takeBatch(batch[:0], &queue, pick, scratch, max, "test"); err == nil {
+			t.Fatalf("%s pick accepted", name)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 )
 
 // Decision is a batching policy's verdict at one decision instant.
@@ -36,8 +37,25 @@ type Policy interface {
 	Decide(queue []Request, nowUS, nextArrivalUS float64) Decision
 }
 
+// fifoPrefix is the shared immutable 0..n-1 index table behind
+// firstN. Callers treat a Decision's Pick as read-only (takeBatch
+// sorts a private copy), so every FIFO dispatch can alias one table
+// instead of allocating — the fixed and dynamic policies pick a
+// prefix on every single batch.
+var fifoPrefix = func() []int {
+	out := make([]int, 4096)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}()
+
 // firstN returns the indices 0..n-1: the FIFO prefix of the queue.
+// The result aliases a shared table and must not be mutated.
 func firstN(n int) []int {
+	if n <= len(fifoPrefix) {
+		return fifoPrefix[:n]
+	}
 	out := make([]int, n)
 	for i := range out {
 		out[i] = i
@@ -145,6 +163,30 @@ func (p lengthAware) candidateWindow() int {
 	return w
 }
 
+// laSorter orders candidate queue indices by SL distance from the
+// anchor, ties toward earlier arrival. It lives in a sync.Pool so a
+// length-aware dispatch costs no sort scratch or comparison-closure
+// allocation; the policy value itself stays stateless, which keeps
+// Decide safe to call from concurrently advancing replicas.
+type laSorter struct {
+	idx    []int
+	queue  []Request
+	anchor int
+}
+
+func (s *laSorter) Len() int      { return len(s.idx) }
+func (s *laSorter) Swap(a, b int) { s.idx[a], s.idx[b] = s.idx[b], s.idx[a] }
+func (s *laSorter) Less(a, b int) bool {
+	da := absInt(s.queue[s.idx[a]].SeqLen - s.anchor)
+	db := absInt(s.queue[s.idx[b]].SeqLen - s.anchor)
+	if da != db {
+		return da < db
+	}
+	return s.idx[a] < s.idx[b]
+}
+
+var laSorterPool = sync.Pool{New: func() any { return new(laSorter) }}
+
 func (p lengthAware) Decide(queue []Request, nowUS, nextArrivalUS float64) Decision {
 	if len(queue) < p.size && !math.IsInf(nextArrivalUS, 1) {
 		return Decision{WaitUntilUS: math.Inf(1)}
@@ -162,19 +204,18 @@ func (p lengthAware) Decide(queue []Request, nowUS, nextArrivalUS float64) Decis
 	if w := p.candidateWindow(); limit > w {
 		limit = w
 	}
-	rest := make([]int, 0, limit-1)
+	s := laSorterPool.Get().(*laSorter)
+	s.idx = s.idx[:0]
 	for i := 1; i < limit; i++ {
-		rest = append(rest, i)
+		s.idx = append(s.idx, i)
 	}
-	sort.Slice(rest, func(a, b int) bool {
-		da := absInt(queue[rest[a]].SeqLen - anchor)
-		db := absInt(queue[rest[b]].SeqLen - anchor)
-		if da != db {
-			return da < db
-		}
-		return rest[a] < rest[b]
-	})
-	pick := append([]int{0}, rest[:n-1]...)
+	s.queue, s.anchor = queue, anchor
+	sort.Sort(s)
+	pick := make([]int, 0, n)
+	pick = append(pick, 0)
+	pick = append(pick, s.idx[:n-1]...)
+	s.queue = nil
+	laSorterPool.Put(s)
 	sort.Ints(pick)
 	return Decision{Dispatch: true, Pick: pick}
 }

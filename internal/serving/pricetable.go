@@ -1,0 +1,160 @@
+package serving
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"seqpoint/internal/gpusim"
+	"seqpoint/internal/models"
+	"seqpoint/internal/trainer"
+)
+
+// priceTable is the flat per-(cluster, batch, SL) batch-latency table
+// both event loops price against. It replaces the map-keyed memo the
+// simulators were built with: the memo hashed a composite key on every
+// launch, where the table is one integer offset into a dense float64
+// slice. The maxBatch row of every distinct cluster is prefetched in
+// one bulk ProfileSource call (full batches are the hot case, and the
+// padded SL of any batch is one of the trace's SLs); partial-batch
+// sizes fill their slots on first use.
+//
+// Unfilled slots hold NaN — a value no profile source can legitimately
+// produce, so presence needs no side bitmap. On-demand fills are
+// guarded by a mutex so parallel replica simulation (see
+// FleetSpec.Parallelism) can price concurrently.
+type priceTable struct {
+	src      trainer.ProfileSource
+	hw       gpusim.Config
+	model    models.Model
+	maxBatch int
+
+	// clusters are the distinct replica clusters in first-occurrence
+	// order; replicas address them by index.
+	clusters []gpusim.ClusterConfig
+
+	// slDense maps a sequence length to its 1-based table index (0 =
+	// unknown SL) when the trace's max SL is small enough for a dense
+	// array; slSparse is the fallback for pathological SLs.
+	slDense  []int32
+	slSparse map[int]int
+	numSL    int
+
+	mu     sync.RWMutex
+	prices []float64 // [cluster][batch-1][slIdx], NaN = unfilled
+}
+
+// maxDenseSL bounds the dense SL-index array: traces with longer
+// sequences fall back to a map index without losing correctness.
+const maxDenseSL = 1 << 16
+
+// newPriceTable builds the table over the distinct clusters and the
+// trace's unique SLs, prefetching every cluster's maxBatch row.
+func newPriceTable(src trainer.ProfileSource, hw gpusim.Config, model models.Model,
+	maxBatch int, clusters []gpusim.ClusterConfig, uniqueSLs []int) (*priceTable, error) {
+	t := &priceTable{
+		src:      src,
+		hw:       hw,
+		model:    model,
+		maxBatch: maxBatch,
+		clusters: clusters,
+		numSL:    len(uniqueSLs),
+	}
+	maxSL := 0
+	for _, sl := range uniqueSLs {
+		if sl > maxSL {
+			maxSL = sl
+		}
+	}
+	if maxSL < maxDenseSL {
+		t.slDense = make([]int32, maxSL+1)
+		for i, sl := range uniqueSLs {
+			t.slDense[sl] = int32(i) + 1
+		}
+	} else {
+		t.slSparse = make(map[int]int, len(uniqueSLs))
+		for i, sl := range uniqueSLs {
+			t.slSparse[sl] = i + 1
+		}
+	}
+	t.prices = make([]float64, len(clusters)*maxBatch*t.numSL)
+	for i := range t.prices {
+		t.prices[i] = math.NaN()
+	}
+	for ci, cl := range clusters {
+		profiles, err := src.EvalProfiles(hw, cl, model, maxBatch, uniqueSLs)
+		if err != nil {
+			return nil, err
+		}
+		base := (ci*maxBatch + maxBatch - 1) * t.numSL
+		for sl, prof := range profiles {
+			if si := t.slIndex(sl); si > 0 {
+				t.prices[base+si-1] = prof.TimeUS
+			}
+		}
+	}
+	return t, nil
+}
+
+// slIndex returns the 1-based table index for sl, or 0 when the SL is
+// not one of the trace's.
+func (t *priceTable) slIndex(sl int) int {
+	if t.slDense != nil {
+		if sl < len(t.slDense) {
+			return int(t.slDense[sl])
+		}
+		return 0
+	}
+	return t.slSparse[sl]
+}
+
+// latency prices one batch of the given size padded to sl on cluster
+// clusterIdx. The fast path is a single indexed load; misses (partial
+// batch sizes, first use) fall through to the profile source and fill
+// the slot.
+func (t *priceTable) latency(clusterIdx, batch, sl int) (float64, error) {
+	si := t.slIndex(sl)
+	if si == 0 {
+		// A padded SL outside the trace's SL set cannot arise from the
+		// bundled event loops (the padded SL is some request's SL), but a
+		// direct uncached price keeps hypothetical callers correct.
+		t.mu.Lock()
+		us, err := t.fetch(clusterIdx, batch, sl)
+		t.mu.Unlock()
+		return us, err
+	}
+	off := (clusterIdx*t.maxBatch+batch-1)*t.numSL + si - 1
+	t.mu.RLock()
+	us := t.prices[off]
+	t.mu.RUnlock()
+	if !math.IsNaN(us) {
+		return us, nil
+	}
+	// Fill misses under the write lock: besides guarding the slot, this
+	// serializes all on-demand ProfileSource calls, so sources need not
+	// be thread-safe even when replicas advance concurrently.
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if us = t.prices[off]; !math.IsNaN(us) {
+		return us, nil
+	}
+	us, err := t.fetch(clusterIdx, batch, sl)
+	if err != nil {
+		return 0, err
+	}
+	t.prices[off] = us
+	return us, nil
+}
+
+// fetch prices one (cluster, batch, SL) through the profile source.
+func (t *priceTable) fetch(clusterIdx, batch, sl int) (float64, error) {
+	profiles, err := t.src.EvalProfiles(t.hw, t.clusters[clusterIdx], t.model, batch, []int{sl})
+	if err != nil {
+		return 0, err
+	}
+	prof, ok := profiles[sl]
+	if !ok {
+		return 0, fmt.Errorf("serving: profile source returned no eval profile for batch %d SL %d", batch, sl)
+	}
+	return prof.TimeUS, nil
+}

@@ -142,6 +142,7 @@ func (leastOutstanding) Route(req Request, replicas []ReplicaView) int {
 type powerOfTwo struct {
 	seed int64
 	rng  *rand.Rand
+	ids  []int // reused eligible-ID scratch; Route is serial by contract
 }
 
 // NewPowerOfTwo returns the power-of-two-choices router; seed fixes
@@ -153,12 +154,13 @@ func NewPowerOfTwo(seed int64) Router {
 func (p *powerOfTwo) Name() string { return fmt.Sprintf("po2(seed=%d)", p.seed) }
 
 func (p *powerOfTwo) Route(req Request, replicas []ReplicaView) int {
-	var ids []int
+	ids := p.ids[:0]
 	for _, v := range replicas {
 		if v.eligible() {
 			ids = append(ids, v.ID)
 		}
 	}
+	p.ids = ids
 	switch len(ids) {
 	case 0:
 		return -1

@@ -107,30 +107,14 @@ func Simulate(spec Spec, hw gpusim.Config) (*Result, error) {
 	}
 	maxBatch := spec.Policy.MaxBatch()
 
-	// Prefetch: every full batch's padded SL is one of the trace's SLs.
-	memo := make(map[[2]int]float64)
-	prefetched, err := src.EvalProfiles(hw, gpusim.SingleGPU(), spec.Model, maxBatch, spec.Trace.UniqueSLs())
+	// The price table prefetches the trace's unique SLs at the max
+	// batch size (every full batch's padded SL is one of the trace's
+	// SLs) and prices each dispatch by integer offset; partial-batch
+	// sizes fill their slots on first use.
+	prices, err := newPriceTable(src, hw, spec.Model, maxBatch,
+		[]gpusim.ClusterConfig{gpusim.SingleGPU()}, spec.Trace.UniqueSLs())
 	if err != nil {
 		return nil, err
-	}
-	for sl, p := range prefetched {
-		memo[[2]int{maxBatch, sl}] = p.TimeUS
-	}
-	latency := func(bsize, sl int) (float64, error) {
-		key := [2]int{bsize, sl}
-		if us, ok := memo[key]; ok {
-			return us, nil
-		}
-		ps, err := src.EvalProfiles(hw, gpusim.SingleGPU(), spec.Model, bsize, []int{sl})
-		if err != nil {
-			return 0, err
-		}
-		p, ok := ps[sl]
-		if !ok {
-			return 0, fmt.Errorf("serving: profile source returned no eval profile for batch %d SL %d", bsize, sl)
-		}
-		memo[key] = p.TimeUS
-		return p.TimeUS, nil
 	}
 
 	trace := spec.Trace.Requests
@@ -145,6 +129,9 @@ func Simulate(spec Spec, hw gpusim.Config) (*Result, error) {
 		next  int       // next trace index to admit
 		queue []Request // admitted, unserved requests, oldest first
 		done  int       // completed requests
+
+		batchBuf    []Request // reused takeBatch destination
+		pickScratch []int     // reused takeBatch index scratch
 	)
 	admit := func() {
 		for next < len(trace) && trace[next].ArrivalUS <= clock {
@@ -169,7 +156,8 @@ func Simulate(spec Spec, hw gpusim.Config) (*Result, error) {
 			}
 			d := spec.Policy.Decide(queue, clock, nextArrival)
 			if d.Dispatch {
-				batch, err := takeBatch(&queue, d.Pick, maxBatch, spec.Policy.Name())
+				batch, scratch, err := takeBatch(batchBuf[:0], &queue, d.Pick, pickScratch, maxBatch, spec.Policy.Name())
+				batchBuf, pickScratch = batch, scratch
 				if err != nil {
 					return nil, err
 				}
@@ -179,7 +167,7 @@ func Simulate(spec Spec, hw gpusim.Config) (*Result, error) {
 						paddedSL = r.SeqLen
 					}
 				}
-				lat, err := latency(len(batch), paddedSL)
+				lat, err := prices.latency(0, len(batch), paddedSL)
 				if err != nil {
 					return nil, err
 				}
@@ -221,39 +209,46 @@ func Simulate(spec Spec, hw gpusim.Config) (*Result, error) {
 	return res, nil
 }
 
-// takeBatch removes the picked indices from the queue and returns them
-// in queue order, validating the policy's pick.
-func takeBatch(queue *[]Request, pick []int, maxBatch int, policy string) ([]Request, error) {
+// takeBatch removes the picked indices from the queue and appends the
+// picked requests to dst in queue order, validating the policy's pick.
+// scratch is a reusable index buffer (the sorted copy of pick); both
+// dst and the possibly-grown scratch are returned so callers can
+// recycle them across dispatches — this runs once per batch on the
+// hot path, and the old per-call copy + map allocation dominated its
+// cost.
+func takeBatch(dst []Request, queue *[]Request, pick []int, scratch []int, maxBatch int, policy string) ([]Request, []int, error) {
 	q := *queue
 	if len(pick) == 0 {
-		return nil, fmt.Errorf("serving: policy %q dispatched an empty batch", policy)
+		return dst, scratch, fmt.Errorf("serving: policy %q dispatched an empty batch", policy)
 	}
 	if len(pick) > maxBatch {
-		return nil, fmt.Errorf("serving: policy %q dispatched %d requests, above its max batch %d",
+		return dst, scratch, fmt.Errorf("serving: policy %q dispatched %d requests, above its max batch %d",
 			policy, len(pick), maxBatch)
 	}
-	sorted := append([]int(nil), pick...)
-	sort.Ints(sorted)
-	batch := make([]Request, 0, len(sorted))
-	taken := make(map[int]bool, len(sorted))
-	for i, idx := range sorted {
+	scratch = append(scratch[:0], pick...)
+	sort.Ints(scratch)
+	for i, idx := range scratch {
 		if idx < 0 || idx >= len(q) {
-			return nil, fmt.Errorf("serving: policy %q picked queue index %d of %d", policy, idx, len(q))
+			return dst, scratch, fmt.Errorf("serving: policy %q picked queue index %d of %d", policy, idx, len(q))
 		}
-		if i > 0 && idx == sorted[i-1] {
-			return nil, fmt.Errorf("serving: policy %q picked queue index %d twice", policy, idx)
+		if i > 0 && idx == scratch[i-1] {
+			return dst, scratch, fmt.Errorf("serving: policy %q picked queue index %d twice", policy, idx)
 		}
-		taken[idx] = true
-		batch = append(batch, q[idx])
+		dst = append(dst, q[idx])
 	}
+	// Sweep the queue once, skipping the sorted picked indices — no
+	// taken-set needed.
 	rest := q[:0]
+	pi := 0
 	for i, r := range q {
-		if !taken[i] {
-			rest = append(rest, r)
+		if pi < len(scratch) && i == scratch[pi] {
+			pi++
+			continue
 		}
+		rest = append(rest, r)
 	}
 	*queue = rest
-	return batch, nil
+	return dst, scratch, nil
 }
 
 // Summary is the deterministic, serialization-stable digest of a
@@ -327,9 +322,11 @@ func (r *Result) Summary() Summary {
 	}
 	s.MeanWaitUS = waitSum / float64(len(r.Requests))
 	s.MeanLatencyUS = stats.Sum(lats) / float64(len(lats))
-	// Percentiles only errors on empty input or p outside [0,100];
-	// neither can happen here.
-	if ps, err := stats.Percentiles(lats, 50, 95, 99); err == nil {
+	// lats is this function's own scratch, so rank in place instead of
+	// letting Percentiles duplicate a million-element slice. It only
+	// errors on empty input or p outside [0,100]; neither can happen
+	// here.
+	if ps, err := stats.PercentilesInPlace(lats, 50, 95, 99); err == nil {
 		s.P50LatencyUS, s.P95LatencyUS, s.P99LatencyUS = ps[0], ps[1], ps[2]
 	}
 	return s

@@ -127,13 +127,25 @@ func Percentiles(xs []float64, ps ...float64) ([]float64, error) {
 		return nil, ErrEmpty
 	}
 	cp := append([]float64(nil), xs...)
-	sort.Float64s(cp)
+	return PercentilesInPlace(cp, ps...)
+}
+
+// PercentilesInPlace is Percentiles without the defensive copy: it
+// sorts xs in place and reads every rank from that one scratch slice.
+// Callers that already own a throwaway sample buffer (the serving
+// summaries build per-request latency slices only to rank them) use
+// this to avoid duplicating million-element slices on the hot path.
+func PercentilesInPlace(xs []float64, ps ...float64) ([]float64, error) {
+	if len(xs) == 0 {
+		return nil, ErrEmpty
+	}
+	sort.Float64s(xs)
 	out := make([]float64, len(ps))
 	for i, p := range ps {
 		if p < 0 || p > 100 || math.IsNaN(p) {
 			return nil, fmt.Errorf("stats: percentile %v outside [0, 100]", p)
 		}
-		out[i] = cp[nearestRank(len(cp), p)-1]
+		out[i] = xs[nearestRank(len(xs), p)-1]
 	}
 	return out, nil
 }

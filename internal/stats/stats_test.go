@@ -2,6 +2,7 @@ package stats
 
 import (
 	"math"
+	"sort"
 	"testing"
 	"testing/quick"
 )
@@ -98,6 +99,36 @@ func TestPercentilesAgreesWithPercentile(t *testing.T) {
 		t.Error("out-of-range p in bulk form should error")
 	}
 	if _, err := Percentiles(nil, 50); err != ErrEmpty {
+		t.Errorf("empty error = %v, want ErrEmpty", err)
+	}
+}
+
+// TestPercentilesInPlace pins the allocation-free variant's contract:
+// same answers as the copying form, input left sorted (the documented
+// side effect), and the same error surface.
+func TestPercentilesInPlace(t *testing.T) {
+	xs := []float64{9, 1, 7, 3, 5, 5, 2}
+	ps := []float64{0, 25, 50, 55, 95, 100}
+	want, err := Percentiles(xs, ps...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := PercentilesInPlace(xs, ps...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ps {
+		if got[i] != want[i] {
+			t.Errorf("PercentilesInPlace[%v] = %v, Percentiles = %v", ps[i], got[i], want[i])
+		}
+	}
+	if !sort.Float64sAreSorted(xs) {
+		t.Errorf("input not left sorted: %v", xs)
+	}
+	if _, err := PercentilesInPlace(xs, 50, -1); err == nil {
+		t.Error("out-of-range p should error")
+	}
+	if _, err := PercentilesInPlace(nil, 50); err != ErrEmpty {
 		t.Errorf("empty error = %v, want ErrEmpty", err)
 	}
 }

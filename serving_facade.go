@@ -47,6 +47,9 @@ type (
 // reproduces SimulateServing byte-for-byte (FleetResult.AsServing).
 type (
 	// FleetSpec describes one multi-replica serving simulation.
+	// Parallelism > 1 advances independent replicas concurrently
+	// between routing barriers — purely a speed knob; the result is
+	// byte-identical to the serial default.
 	FleetSpec = serving.FleetSpec
 	// FleetResult is a fleet simulation's full outcome.
 	FleetResult = serving.FleetResult

@@ -19,10 +19,17 @@ func res(pkg, name string, ns float64) Result {
 	}
 }
 
+// resAllocs is res plus an allocs/op measurement.
+func resAllocs(pkg, name string, ns, allocs float64) Result {
+	r := res(pkg, name, ns)
+	r.Metrics["allocs/op"] = allocs
+	return r
+}
+
 func TestCompareWithinThresholdPasses(t *testing.T) {
 	base := doc(res("seqpoint/internal/serving", "BenchmarkFleetMillionEvents", 1000))
 	curr := doc(res("seqpoint/internal/serving", "BenchmarkFleetMillionEvents", 1200))
-	report, ok, err := Compare(base, curr, 25)
+	report, ok, err := Compare(base, curr, 25, 10)
 	if err != nil || !ok {
 		t.Fatalf("20%% regression under a 25%% threshold should pass; ok=%v err=%v\n%s", ok, err, report)
 	}
@@ -34,7 +41,7 @@ func TestCompareWithinThresholdPasses(t *testing.T) {
 func TestCompareRegressionFails(t *testing.T) {
 	base := doc(res("p", "BenchmarkA", 1000))
 	curr := doc(res("p", "BenchmarkA", 1300))
-	report, ok, err := Compare(base, curr, 25)
+	report, ok, err := Compare(base, curr, 25, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +56,7 @@ func TestCompareRegressionFails(t *testing.T) {
 func TestCompareImprovementPasses(t *testing.T) {
 	base := doc(res("p", "BenchmarkA", 1000))
 	curr := doc(res("p", "BenchmarkA", 400))
-	if report, ok, err := Compare(base, curr, 25); err != nil || !ok {
+	if report, ok, err := Compare(base, curr, 25, 10); err != nil || !ok {
 		t.Fatalf("improvement failed the gate; ok=%v err=%v\n%s", ok, err, report)
 	}
 }
@@ -57,7 +64,7 @@ func TestCompareImprovementPasses(t *testing.T) {
 func TestCompareNewBenchmarkSkipped(t *testing.T) {
 	base := doc(res("p", "BenchmarkA", 1000))
 	curr := doc(res("p", "BenchmarkA", 1000), res("p", "BenchmarkBrandNew", 9e9))
-	report, ok, err := Compare(base, curr, 25)
+	report, ok, err := Compare(base, curr, 25, 10)
 	if err != nil || !ok {
 		t.Fatalf("a new benchmark must not fail the gate; ok=%v err=%v\n%s", ok, err, report)
 	}
@@ -69,7 +76,7 @@ func TestCompareNewBenchmarkSkipped(t *testing.T) {
 func TestCompareVanishedBenchmarkFails(t *testing.T) {
 	base := doc(res("p", "BenchmarkA", 1000), res("p", "BenchmarkGone", 500))
 	curr := doc(res("p", "BenchmarkA", 1000))
-	report, ok, err := Compare(base, curr, 25)
+	report, ok, err := Compare(base, curr, 25, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,31 +89,108 @@ func TestCompareVanishedBenchmarkFails(t *testing.T) {
 }
 
 func TestCompareEmptyDocumentsError(t *testing.T) {
-	if _, _, err := Compare(doc(), doc(), 25); err == nil {
+	if _, _, err := Compare(doc(), doc(), 25, 10); err == nil {
 		t.Fatal("two empty documents should be an error, not a pass")
 	}
 }
 
+// TestCompareAllocGate exercises the allocs/op gate across its
+// threshold, independence from the ns/op gate, and the
+// missing-baseline-metric skip.
+func TestCompareAllocGate(t *testing.T) {
+	cases := []struct {
+		name     string
+		base     Result
+		curr     Result
+		wantOK   bool
+		wantFrag string
+	}{
+		{
+			name:     "alloc regression past threshold fails even with flat ns",
+			base:     resAllocs("p", "BenchmarkA", 1000, 100),
+			curr:     resAllocs("p", "BenchmarkA", 1000, 120),
+			wantOK:   false,
+			wantFrag: "120 allocs/op (+20.0%) REGRESSED past 10%",
+		},
+		{
+			name:     "alloc growth within threshold passes",
+			base:     resAllocs("p", "BenchmarkA", 1000, 100),
+			curr:     resAllocs("p", "BenchmarkA", 1000, 105),
+			wantOK:   true,
+			wantFrag: "105 allocs/op (+5.0%) ok",
+		},
+		{
+			name:     "alloc improvement passes",
+			base:     resAllocs("p", "BenchmarkA", 1000, 100),
+			curr:     resAllocs("p", "BenchmarkA", 1000, 40),
+			wantOK:   true,
+			wantFrag: "40 allocs/op (-60.0%) ok",
+		},
+		{
+			name:     "ns regression still fails when allocs are flat",
+			base:     resAllocs("p", "BenchmarkA", 1000, 100),
+			curr:     resAllocs("p", "BenchmarkA", 1400, 100),
+			wantOK:   false,
+			wantFrag: "1400 ns/op (+40.0%) REGRESSED past 25%",
+		},
+		{
+			name:   "baseline without allocs skips the alloc gate",
+			base:   res("p", "BenchmarkA", 1000),
+			curr:   resAllocs("p", "BenchmarkA", 1000, 9999),
+			wantOK: true,
+		},
+		{
+			name:   "current without allocs skips the alloc gate",
+			base:   resAllocs("p", "BenchmarkA", 1000, 100),
+			curr:   res("p", "BenchmarkA", 1000),
+			wantOK: true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			report, ok, err := Compare(doc(tc.base), doc(tc.curr), 25, 10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok != tc.wantOK {
+				t.Fatalf("gate ok = %v, want %v:\n%s", ok, tc.wantOK, report)
+			}
+			if tc.wantFrag != "" && !strings.Contains(report, tc.wantFrag) {
+				t.Fatalf("report missing %q:\n%s", tc.wantFrag, report)
+			}
+		})
+	}
+}
+
 // TestGateCommittedBaseline runs the gate over the repo's committed
-// artifacts: BENCH_pr6.json against itself must pass (guards that the
-// committed files stay parseable in benchjson's format), and against
-// the seed baseline must also pass — the PR 6 numbers are faster.
+// artifacts: the latest snapshot against itself must pass (guards that
+// the committed files stay parseable in benchjson's format), and each
+// snapshot against its predecessor must also pass — the trajectory
+// only ever improved.
 func TestGateCommittedBaseline(t *testing.T) {
-	pr6, err := filepath.Abs("../../BENCH_pr6.json")
+	pr7, err := filepath.Abs("../../BENCH_pr7.json")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := os.Stat(pr6); err != nil {
+	if _, err := os.Stat(pr7); err != nil {
 		t.Skipf("committed baseline not found: %v", err)
 	}
-	report, ok, err := Gate(pr6, pr6, 25)
+	report, ok, err := Gate(pr7, pr7, 25, 10)
 	if err != nil || !ok {
 		t.Fatalf("self-comparison failed; ok=%v err=%v\n%s", ok, err, report)
 	}
-	seed := filepath.Join(filepath.Dir(pr6), "BENCH_seed.json")
-	report, ok, err = Gate(seed, pr6, 25)
+	seed := filepath.Join(filepath.Dir(pr7), "BENCH_seed.json")
+	pr6 := filepath.Join(filepath.Dir(pr7), "BENCH_pr6.json")
+	report, ok, err = Gate(seed, pr6, 25, 10)
 	if err != nil || !ok {
 		t.Fatalf("PR 6 numbers regressed against the seed; ok=%v err=%v\n%s", ok, err, report)
+	}
+	// PR 7 adds the KV model behind a nil-by-default config, so the
+	// pre-existing benchmarks' wall time may wander but their
+	// allocation counts must hold.
+	report, ok, err = Gate(pr6, pr7, 25, 10)
+	if err != nil || !ok {
+		t.Fatalf("PR 7 numbers regressed against PR 6; ok=%v err=%v\n%s", ok, err, report)
 	}
 }
 

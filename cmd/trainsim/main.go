@@ -84,6 +84,10 @@ func mainExit() int {
 		queueCap = flag.Int("queue-cap", 0, "(with -serve) per-replica admission queue bound (0 = unbounded)")
 		autoScal = flag.Bool("autoscale", false, "(with -serve) autoscale the fleet between 1 and -replicas on queue depth")
 		simPar   = flag.Int("sim-parallelism", 0, "(with -serve) advance independent replicas on this many goroutines between routing barriers (0/1 = serial; output is byte-identical)")
+		kvCapGB  = flag.Float64("kv-capacity-gb", 0, "(with -serve) per-replica KV-cache capacity in GB; 0 disables the memory model")
+		kvSteps  = flag.Int("decode-steps", 0, "(with -serve -kv-capacity-gb) decode steps per request")
+		kvPre    = flag.String("kv-preempt", "", "(with -serve -kv-capacity-gb) over-capacity behavior: evict or block")
+		disagg   = flag.String("disagg", "", "(with -serve -kv-capacity-gb) split the fleet into prefill:decode pools, e.g. 2:6")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
@@ -126,7 +130,8 @@ func mainExit() int {
 	serveOnly := map[string]bool{
 		"rate": true, "policy": true, "requests": true, "serve-timeout-us": true,
 		"replicas": true, "routing": true, "queue-cap": true, "autoscale": true,
-		"sim-parallelism": true,
+		"sim-parallelism": true, "kv-capacity-gb": true, "decode-steps": true,
+		"kv-preempt": true, "disagg": true,
 	}
 	var bad []string
 	routingSet, simParSet := false, false
@@ -149,16 +154,18 @@ func mainExit() int {
 	}
 
 	if *serve {
-		var err error
-		// Any fleet-only knob — including an explicit -routing, a
-		// bounded queue, or replica-advancement parallelism on a single
-		// replica — selects the fleet simulator, so no flag is ever
-		// silently ignored.
-		if *replicas > 1 || *autoScal || *queueCap > 0 || routingSet || simParSet {
-			err = runFleet(*model, *cfgIdx, *batch, *seed, *rate, *policy, *requests, *timeout,
-				*replicas, *routing, *queueCap, *autoScal, *simPar)
-		} else {
-			err = runServe(*model, *cfgIdx, *batch, *seed, *rate, *policy, *requests, *timeout)
+		kvCfg, disaggCfg, err := kvFromFlags(*kvCapGB, *kvSteps, *kvPre, *disagg, *replicas)
+		if err == nil {
+			// Any fleet-only knob — including an explicit -routing, a
+			// bounded queue, a pool split, or replica-advancement
+			// parallelism on a single replica — selects the fleet
+			// simulator, so no flag is ever silently ignored.
+			if *replicas > 1 || *autoScal || *queueCap > 0 || routingSet || simParSet || disaggCfg != nil {
+				err = runFleet(*model, *cfgIdx, *batch, *seed, *rate, *policy, *requests, *timeout,
+					*replicas, *routing, *queueCap, *autoScal, *simPar, kvCfg, disaggCfg)
+			} else {
+				err = runServe(*model, *cfgIdx, *batch, *seed, *rate, *policy, *requests, *timeout, kvCfg)
+			}
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "trainsim:", err)
@@ -191,8 +198,34 @@ func writeHeapProfile(path string) error {
 	return pprof.WriteHeapProfile(f)
 }
 
+// kvFromFlags assembles the KV-cache and disaggregation configuration
+// from the serve-mode flags; both are nil with the memory model off.
+func kvFromFlags(capGB float64, steps int, preempt, disagg string, replicas int) (*serving.KVConfig, *serving.DisaggConfig, error) {
+	if capGB == 0 {
+		if steps != 0 || preempt != "" || disagg != "" {
+			return nil, nil, fmt.Errorf("-decode-steps, -kv-preempt and -disagg need the KV model; add -kv-capacity-gb")
+		}
+		return nil, nil, nil
+	}
+	kv := &serving.KVConfig{CapacityBytes: capGB * 1e9, DecodeSteps: steps, Preempt: preempt}
+	if err := kv.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if disagg == "" {
+		return kv, nil, nil
+	}
+	var p, d int
+	if n, err := fmt.Sscanf(disagg, "%d:%d", &p, &d); n != 2 || err != nil {
+		return nil, nil, fmt.Errorf("-disagg wants prefill:decode pool sizes (e.g. 2:6), got %q", disagg)
+	}
+	if p+d != replicas {
+		return nil, nil, fmt.Errorf("-disagg pools must sum to -replicas: %d + %d != %d", p, d, replicas)
+	}
+	return kv, &serving.DisaggConfig{PrefillReplicas: p, DecodeReplicas: d}, nil
+}
+
 // runServe simulates online serving and prints the roll-up.
-func runServe(model string, cfgIdx, batch int, seed int64, rate float64, policyName string, requests int, timeoutUS float64) error {
+func runServe(model string, cfgIdx, batch int, seed int64, rate float64, policyName string, requests int, timeoutUS float64, kv *serving.KVConfig) error {
 	cfgs := gpusim.TableII()
 	if cfgIdx < 1 || cfgIdx > len(cfgs) {
 		return fmt.Errorf("config %d outside Table II range 1-%d", cfgIdx, len(cfgs))
@@ -210,7 +243,7 @@ func runServe(model string, cfgIdx, batch int, seed int64, rate float64, policyN
 	if err != nil {
 		return err
 	}
-	res, err := serving.Simulate(serving.Spec{Model: w.Model, Trace: trace, Policy: pol}, cfg)
+	res, err := serving.Simulate(serving.Spec{Model: w.Model, Trace: trace, Policy: pol, KV: kv}, cfg)
 	if err != nil {
 		return err
 	}
@@ -229,15 +262,27 @@ func runServe(model string, cfgIdx, batch int, seed int64, rate float64, policyN
 	t.AddStringRow("p50 latency", report.US(sum.P50LatencyUS))
 	t.AddStringRow("p95 latency", report.US(sum.P95LatencyUS))
 	t.AddStringRow("p99 latency", report.US(sum.P99LatencyUS))
+	if kv != nil {
+		addKVRows(t, sum.MeanTTFTUS, sum.P99TTFTUS, sum.Preemptions, sum.KVPeakBytes, sum.KVCapacityBytes)
+	}
 	fmt.Print(t.String())
 	return nil
+}
+
+// addKVRows appends the KV-model rows shared by the serve and fleet
+// summaries.
+func addKVRows(t *report.Table, meanTTFT, p99TTFT float64, preemptions int, peak, capacity float64) {
+	t.AddStringRow("mean TTFT", report.US(meanTTFT))
+	t.AddStringRow("p99 TTFT", report.US(p99TTFT))
+	t.AddStringRow("preemptions", report.Count(preemptions))
+	t.AddStringRow("KV peak / capacity", fmt.Sprintf("%.2f / %.2f GB", peak/1e9, capacity/1e9))
 }
 
 // runFleet simulates multi-replica serving and prints the fleet
 // roll-up.
 func runFleet(model string, cfgIdx, batch int, seed int64, rate float64, policyName string,
 	requests int, timeoutUS float64, replicas int, routingName string, queueCap int,
-	autoscale bool, simParallelism int) error {
+	autoscale bool, simParallelism int, kv *serving.KVConfig, disagg *serving.DisaggConfig) error {
 	cfgs := gpusim.TableII()
 	if cfgIdx < 1 || cfgIdx > len(cfgs) {
 		return fmt.Errorf("config %d outside Table II range 1-%d", cfgIdx, len(cfgs))
@@ -267,6 +312,8 @@ func runFleet(model string, cfgIdx, batch int, seed int64, rate float64, policyN
 		Replicas:    replicas,
 		QueueCap:    queueCap,
 		Parallelism: simParallelism,
+		KV:          kv,
+		Disagg:      disagg,
 	}
 	if autoscale {
 		// Scale between one replica and the flag's fleet size: up past
@@ -302,6 +349,12 @@ func runFleet(model string, cfgIdx, batch int, seed int64, rate float64, policyN
 	t.AddStringRow("p95 latency", report.US(sum.P95LatencyUS))
 	t.AddStringRow("p99 latency", report.US(sum.P99LatencyUS))
 	t.AddStringRow("replica-seconds", fmt.Sprintf("%.2f", sum.ReplicaSeconds))
+	if kv != nil {
+		addKVRows(t, sum.MeanTTFTUS, sum.P99TTFTUS, sum.Preemptions, sum.KVPeakBytes, sum.KVCapacityBytes)
+	}
+	if sum.Disagg != "" {
+		t.AddStringRow("pools", sum.Disagg)
+	}
 	if autoscale {
 		t.AddStringRow("scale ups / downs", fmt.Sprintf("%d / %d", sum.ScaleUps, sum.ScaleDowns))
 		t.AddStringRow("peak replicas", report.Count(sum.PeakReplicas))

@@ -4,7 +4,33 @@ import (
 	"testing"
 
 	"seqpoint/internal/gpusim"
+	"seqpoint/internal/serving"
 )
+
+func TestKVFromFlags(t *testing.T) {
+	if kv, dis, err := kvFromFlags(0, 0, "", "", 2); err != nil || kv != nil || dis != nil {
+		t.Fatalf("no KV flags should mean no KV model: %v %v %v", kv, dis, err)
+	}
+	if _, _, err := kvFromFlags(0, 8, "", "", 2); err == nil {
+		t.Error("-decode-steps without -kv-capacity-gb should error")
+	}
+	kv, dis, err := kvFromFlags(0.5, 8, "block", "1:2", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kv == nil || kv.CapacityBytes != 0.5e9 || kv.DecodeSteps != 8 || kv.Preempt != serving.PreemptBlock {
+		t.Errorf("kv = %+v", kv)
+	}
+	if dis == nil || dis.PrefillReplicas != 1 || dis.DecodeReplicas != 2 {
+		t.Errorf("disagg = %+v", dis)
+	}
+	if _, _, err := kvFromFlags(0.5, 8, "", "1:3", 3); err == nil {
+		t.Error("pools not summing to replicas should error")
+	}
+	if _, _, err := kvFromFlags(0.5, 0, "", "nope", 2); err == nil {
+		t.Error("malformed -disagg should error")
+	}
+}
 
 func TestClusterFromFlags(t *testing.T) {
 	cl, err := clusterFromFlags(1, "ring", 25, 1.5, 0.5)
@@ -32,33 +58,44 @@ func TestRunServeAndFleet(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full serving simulations skipped in -short mode")
 	}
-	if err := runServe("gnmt", 1, 8, 1, 300, "dynamic", 48, 20000); err != nil {
+	if err := runServe("gnmt", 1, 8, 1, 300, "dynamic", 48, 20000, nil); err != nil {
 		t.Errorf("runServe: %v", err)
 	}
-	if err := runFleet("gnmt", 1, 8, 1, 600, "dynamic", 48, 20000, 3, "jsq", 64, false, 0); err != nil {
+	if err := runFleet("gnmt", 1, 8, 1, 600, "dynamic", 48, 20000, 3, "jsq", 64, false, 0, nil, nil); err != nil {
 		t.Errorf("runFleet: %v", err)
 	}
-	if err := runFleet("gnmt", 1, 8, 1, 600, "dynamic", 48, 20000, 2, "po2", 0, true, 0); err != nil {
+	if err := runFleet("gnmt", 1, 8, 1, 600, "dynamic", 48, 20000, 2, "po2", 0, true, 0, nil, nil); err != nil {
 		t.Errorf("runFleet autoscale: %v", err)
+	}
+	kv := &serving.KVConfig{CapacityBytes: 0.05e9, DecodeSteps: 16}
+	if err := runServe("gnmt", 1, 8, 1, 300, "dynamic", 48, 20000, kv); err != nil {
+		t.Errorf("runServe kv: %v", err)
+	}
+	if err := runFleet("gnmt", 1, 8, 1, 600, "dynamic", 48, 20000, 3, "kv", 64, false, 0, kv, nil); err != nil {
+		t.Errorf("runFleet kv routing: %v", err)
+	}
+	if err := runFleet("gnmt", 1, 8, 1, 600, "dynamic", 48, 20000, 3, "rr", 64, false, 0, kv,
+		&serving.DisaggConfig{PrefillReplicas: 1, DecodeReplicas: 2}); err != nil {
+		t.Errorf("runFleet disagg: %v", err)
 	}
 
 	// Error paths: bad config index, model, policy, routing.
-	if err := runServe("gnmt", 9, 8, 1, 300, "dynamic", 48, 20000); err == nil {
+	if err := runServe("gnmt", 9, 8, 1, 300, "dynamic", 48, 20000, nil); err == nil {
 		t.Error("config out of range should error")
 	}
-	if err := runFleet("gnmt", 0, 8, 1, 300, "dynamic", 48, 20000, 2, "rr", 0, false, 0); err == nil {
+	if err := runFleet("gnmt", 0, 8, 1, 300, "dynamic", 48, 20000, 2, "rr", 0, false, 0, nil, nil); err == nil {
 		t.Error("config out of range should error")
 	}
-	if err := runFleet("cnn", 1, 8, 1, 300, "dynamic", 48, 20000, 2, "rr", 0, false, 0); err == nil {
+	if err := runFleet("cnn", 1, 8, 1, 300, "dynamic", 48, 20000, 2, "rr", 0, false, 0, nil, nil); err == nil {
 		t.Error("cnn is not servable")
 	}
-	if err := runFleet("gnmt", 1, 8, 1, 300, "magic", 48, 20000, 2, "rr", 0, false, 0); err == nil {
+	if err := runFleet("gnmt", 1, 8, 1, 300, "magic", 48, 20000, 2, "rr", 0, false, 0, nil, nil); err == nil {
 		t.Error("unknown policy should error")
 	}
-	if err := runFleet("gnmt", 1, 8, 1, 300, "dynamic", 48, 20000, 2, "torus", 0, false, 0); err == nil {
+	if err := runFleet("gnmt", 1, 8, 1, 300, "dynamic", 48, 20000, 2, "torus", 0, false, 0, nil, nil); err == nil {
 		t.Error("unknown routing should error")
 	}
-	if err := runFleet("gnmt", 1, 8, 1, -5, "dynamic", 48, 20000, 2, "rr", 0, false, 0); err == nil {
+	if err := runFleet("gnmt", 1, 8, 1, -5, "dynamic", 48, 20000, 2, "rr", 0, false, 0, nil, nil); err == nil {
 		t.Error("negative rate should error")
 	}
 }

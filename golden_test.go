@@ -308,6 +308,114 @@ func TestGoldenFleetDeterminism(t *testing.T) {
 	}
 }
 
+const goldenFleetKVPath = "testdata/golden_fleet_kv_summary.json"
+
+// goldenFleetKVSpec pins the memory-aware serving stack: the KV-cache
+// capacity model with a ceiling tight enough to force preemption
+// waves, prefill/decode split pricing, cache-pressure routing, and a
+// bounded admission queue. The KV-off goldens above are intentionally
+// untouched — with Spec.KV nil the simulator must keep producing them
+// byte-for-byte.
+func goldenFleetKVSpec(t *testing.T, eng *seqpoint.Engine) seqpoint.FleetSpec {
+	t.Helper()
+	lengths := make([]int, 192)
+	for i := range lengths {
+		lengths[i] = 4 + (i*13)%48
+	}
+	corpus, err := seqpoint.Synthetic("golden-fleet-kv", lengths, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, err := seqpoint.PoissonTrace(corpus, 160, 700, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	policy, err := seqpoint.NewDynamicBatch(16, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return seqpoint.FleetSpec{
+		Model:    seqpoint.NewGNMT(),
+		Trace:    trace,
+		Policy:   policy,
+		Router:   seqpoint.NewKVRouter(),
+		Replicas: 3,
+		QueueCap: 24,
+		Profiles: eng,
+		KV: &seqpoint.KVCacheConfig{
+			// ~Half a full dynamic batch of worst-case contexts fits, so
+			// the run preempts without rejecting anything at admission.
+			CapacityBytes: 40e6,
+			DecodeSteps:   24,
+		},
+	}
+}
+
+// TestGoldenFleetKVDeterminism holds memory-aware serving to the same
+// byte contract: identical FleetSummary JSON at profiling parallelism
+// 1, 4 and GOMAXPROCS and at every replica-advancement parallelism,
+// for both the aggregated fleet and the disaggregated two-pool
+// topology, pinned against a committed golden file. Regenerate with
+// -update-golden.
+func TestGoldenFleetKVDeterminism(t *testing.T) {
+	parallelisms := []int{1, 4, runtime.GOMAXPROCS(0)}
+
+	var got bytes.Buffer
+	for _, disagg := range []bool{false, true} {
+		var reference []byte
+		for _, par := range parallelisms {
+			for _, simPar := range []int{0, par + 1} {
+				eng := seqpoint.NewEngine()
+				eng.SetParallelism(par)
+				spec := goldenFleetKVSpec(t, eng)
+				spec.Parallelism = simPar
+				if disagg {
+					spec.Router = seqpoint.NewRoundRobin()
+					spec.Disagg = &seqpoint.FleetDisagg{PrefillReplicas: 1, DecodeReplicas: 2}
+				}
+				res, err := seqpoint.SimulateFleet(spec, seqpoint.VegaFE())
+				if err != nil {
+					t.Fatalf("disagg=%v parallelism=%d sim-parallelism=%d: %v", disagg, par, simPar, err)
+				}
+				buf, err := res.Summary().Serialize()
+				if err != nil {
+					t.Fatalf("disagg=%v parallelism=%d sim-parallelism=%d: serialize: %v", disagg, par, simPar, err)
+				}
+				if reference == nil {
+					reference = buf
+					continue
+				}
+				if !bytes.Equal(buf, reference) {
+					t.Fatalf("disagg=%v: FleetSummary at parallelism %d/%d differs from the reference run:\n%s\nvs\n%s",
+						disagg, par, simPar, buf, reference)
+				}
+			}
+		}
+		fmt.Fprintf(&got, "=== disagg %v ===\n", disagg)
+		got.Write(reference)
+	}
+
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenFleetKVPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenFleetKVPath, got.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", goldenFleetKVPath, got.Len())
+		return
+	}
+
+	want, err := os.ReadFile(goldenFleetKVPath)
+	if err != nil {
+		t.Fatalf("reading golden file (regenerate with -update-golden): %v", err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Errorf("fleet KV summary drifted from %s — if the cost model changed intentionally, regenerate with -update-golden.\ngot:\n%s\nwant:\n%s",
+			goldenFleetKVPath, got.Bytes(), want)
+	}
+}
+
 // TestGoldenSummaryScalesSanely spot-checks the committed scenario's
 // physics rather than its bytes: more GPUs must not slow training down,
 // and communication only exists on clusters.

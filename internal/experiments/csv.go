@@ -164,6 +164,13 @@ func (s *Suite) CSVBundle() (map[string]string, error) {
 			return nil, err
 		}
 		out[fmt.Sprintf("fleetsweep_%s.csv", w.Name)] = fs.CSV()
+
+		ks, err := KVSweep(s.Lab, w, calib, DefaultServeRequests,
+			KVSweepCapacitiesGB(), DefaultKVLoadFactor)
+		if err != nil {
+			return nil, err
+		}
+		out[fmt.Sprintf("kvsweep_%s.csv", w.Name)] = ks.CSV()
 	}
 	return out, nil
 }

@@ -400,6 +400,21 @@ func (s *Suite) RunAll(w io.Writer) error {
 		return err
 	}
 
+	if err := emit("Memory-aware serving (KV capacity sweep)", func() (string, error) {
+		var out string
+		for _, w := range s.Workloads() {
+			r, err := KVSweep(s.Lab, w, calib, DefaultServeRequests,
+				KVSweepCapacitiesGB(), DefaultKVLoadFactor)
+			if err != nil {
+				return "", err
+			}
+			out += r.Render()
+		}
+		return out, nil
+	}); err != nil {
+		return err
+	}
+
 	if err := emit("Section VI-F (dataset scaling)", func() (string, error) {
 		var out string
 		for _, tc := range []struct {

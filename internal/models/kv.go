@@ -1,0 +1,34 @@
+package models
+
+import (
+	"math"
+
+	"seqpoint/internal/tensor"
+)
+
+// kvEstimatedLayers is the layer depth the KV-footprint estimate
+// assumes when backing a model's hidden width out of its parameter
+// count. The serving simulator only needs the footprint's scale and
+// its model-to-model ordering, not a layer-exact census; a fixed
+// depth keeps the estimate a pure function of ParamCount.
+const kvEstimatedLayers = 8
+
+// KVBytesPerToken estimates the per-token inference-cache footprint of
+// m: the bytes a serving replica must hold resident per token of
+// context (the key/value cache of attention models, the recurrent
+// state window of SQNNs) while a request decodes. Assuming the usual
+// params ≈ 12·L·H² relationship, the hidden width is backed out of
+// ParamCount at a fixed depth L and the per-token state is the classic
+// 2·L·H elements (keys and values per layer):
+//
+//	H = sqrt(ParamCount / (12·L)),  bytes/token = 2·L·H·ElemSize
+//
+// For the bundled models this lands at ~40 KB/token (ds2, 38M params)
+// to ~83 KB/token (gnmt, 160M) — the scale at which a 16 GB device
+// holds a few thousand tokens of context per batch, which is exactly
+// the capacity-pressure regime the memory-aware serving model studies.
+// Rounded to whole bytes so derived capacities stay tidy in reports.
+func KVBytesPerToken(m Model) float64 {
+	hidden := math.Sqrt(float64(m.ParamCount()) / (12 * kvEstimatedLayers))
+	return math.Round(2 * kvEstimatedLayers * hidden * tensor.ElemSize)
+}

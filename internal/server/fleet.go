@@ -52,6 +52,15 @@ type AutoscaleSpec struct {
 	CooldownUS *float64 `json:"cooldown_us,omitempty"`
 }
 
+// DisaggSpec splits the fleet into prefill and decode pools over the
+// wire; requires the KV model (kv_capacity_gb).
+type DisaggSpec struct {
+	// Prefill and Decode size the two pools; their sum must equal the
+	// request's replica count.
+	Prefill int `json:"prefill"`
+	Decode  int `json:"decode"`
+}
+
 // FleetRequest describes one multi-replica serving simulation over the
 // wire: a ServeRequest (model, rate, batching policy, trace shape)
 // plus the fleet dimensions — replica count, routing policy, admission
@@ -61,7 +70,8 @@ type FleetRequest struct {
 	// Replicas is the fleet size (the initial live count when
 	// autoscaling).
 	Replicas int `json:"replicas,omitempty"`
-	// Routing selects the router: "rr", "least", "jsq" or "po2".
+	// Routing selects the router: "rr", "least", "jsq", "po2" or "kv"
+	// (least cache pressure; needs kv_capacity_gb).
 	Routing string `json:"routing,omitempty"`
 	// QueueCap bounds each replica's admission queue; 0 is unbounded.
 	QueueCap int `json:"queue_cap,omitempty"`
@@ -71,6 +81,21 @@ type FleetRequest struct {
 	// between routing barriers; the response is byte-identical to the
 	// serial default (0 or 1). Purely a speed knob for large fleets.
 	Parallelism int `json:"parallelism,omitempty"`
+	// Disagg splits the fleet into prefill and decode pools joined by a
+	// handoff queue. Requires the KV model; incompatible with
+	// autoscaling.
+	Disagg *DisaggSpec `json:"disagg,omitempty"`
+}
+
+// disaggConfig maps the wire spec to the simulator's configuration.
+func (r FleetRequest) disaggConfig() *serving.DisaggConfig {
+	if r.Disagg == nil {
+		return nil
+	}
+	return &serving.DisaggConfig{
+		PrefillReplicas: r.Disagg.Prefill,
+		DecodeReplicas:  r.Disagg.Decode,
+	}
 }
 
 // normalize fills defaults in place; the normalized form doubles as
@@ -137,6 +162,23 @@ func (s *Server) validateFleet(r FleetRequest) error {
 	case r.Parallelism < 0:
 		return fmt.Errorf("parallelism must be non-negative, got %d", r.Parallelism)
 	}
+	if r.Disagg != nil {
+		switch {
+		case r.KVCapacityGB == nil:
+			return fmt.Errorf("disagg needs the KV model: set kv_capacity_gb")
+		case r.Autoscale != nil:
+			return fmt.Errorf("disagg and autoscale are incompatible: pool sizes are fixed")
+		case r.Disagg.Prefill+r.Disagg.Decode != r.Replicas:
+			return fmt.Errorf("disagg pools must sum to replicas: %d + %d != %d",
+				r.Disagg.Prefill, r.Disagg.Decode, r.Replicas)
+		}
+		if err := r.disaggConfig().Validate(); err != nil {
+			return err
+		}
+	}
+	if r.Routing == serving.RoutingKV && r.KVCapacityGB == nil {
+		return fmt.Errorf("kv routing needs the KV model: set kv_capacity_gb")
+	}
 	if a := r.autoscaleConfig(); a != nil {
 		if a.Max > maxFleetReplicas {
 			return fmt.Errorf("autoscale max %d exceeds the %d-replica limit", a.Max, maxFleetReplicas)
@@ -199,6 +241,8 @@ func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
 			Autoscale:   req.autoscaleConfig(),
 			Parallelism: req.Parallelism,
 			Profiles:    s.eng,
+			KV:          req.kvConfig(),
+			Disagg:      req.disaggConfig(),
 		}, hw)
 		if err != nil {
 			return http.StatusInternalServerError, errorBody(err)

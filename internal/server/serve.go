@@ -54,6 +54,29 @@ type ServeRequest struct {
 	// SeqLens, when set, replaces the workload corpus as the pool
 	// request lengths are drawn from.
 	SeqLens []int `json:"seqlens,omitempty"`
+	// KVCapacityGB enables the per-replica KV-cache capacity model
+	// (decimal gigabytes). A pointer so absent means disabled; with it
+	// set, requests are prefill + decode and TTFT fields appear in the
+	// summary.
+	KVCapacityGB *float64 `json:"kv_capacity_gb,omitempty"`
+	// DecodeSteps is the decode length per request under the KV model.
+	DecodeSteps int `json:"decode_steps,omitempty"`
+	// KVPreempt selects the over-capacity behavior: "evict" (default)
+	// or "block".
+	KVPreempt string `json:"kv_preempt,omitempty"`
+}
+
+// kvConfig maps the wire knobs to the simulator's KV configuration;
+// nil when the capacity model is disabled.
+func (r ServeRequest) kvConfig() *serving.KVConfig {
+	if r.KVCapacityGB == nil {
+		return nil
+	}
+	return &serving.KVConfig{
+		CapacityBytes: *r.KVCapacityGB * 1e9,
+		DecodeSteps:   r.DecodeSteps,
+		Preempt:       r.KVPreempt,
+	}
 }
 
 // normalize fills defaults in place; the normalized form doubles as
@@ -96,6 +119,13 @@ func (s *Server) validateServe(r ServeRequest) error {
 		return fmt.Errorf("requests %d exceeds the %d-request limit", r.Requests, maxSeqLens)
 	case *r.TimeoutUS < 0 || math.IsNaN(*r.TimeoutUS) || math.IsInf(*r.TimeoutUS, 0):
 		return fmt.Errorf("timeout_us must be a finite non-negative duration, got %v", *r.TimeoutUS)
+	}
+	if kv := r.kvConfig(); kv != nil {
+		if err := kv.Validate(); err != nil {
+			return fmt.Errorf("kv_capacity_gb: %w", err)
+		}
+	} else if r.DecodeSteps != 0 || r.KVPreempt != "" {
+		return fmt.Errorf("decode_steps and kv_preempt need the KV model: set kv_capacity_gb")
 	}
 	return seqLenBounds(r.SeqLens)
 }
@@ -183,6 +213,7 @@ func (s *Server) handleServe(w http.ResponseWriter, r *http.Request) {
 			Trace:    trace,
 			Policy:   policy,
 			Profiles: s.eng,
+			KV:       req.kvConfig(),
 		}, hw)
 		if err != nil {
 			return http.StatusInternalServerError, errorBody(err)

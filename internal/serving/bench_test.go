@@ -77,6 +77,57 @@ func BenchmarkFleetMillionEvents(b *testing.B) {
 	}
 }
 
+// BenchmarkFleetKV measures the memory-aware fleet: 32 replicas,
+// 200k arrivals, the KV-cache capacity model with a ceiling tight
+// enough that batches split into preemption waves, cache-pressure
+// routing, and the two-phase prefill/decode pricing. It bounds the
+// cost of the KV bookkeeping relative to BenchmarkFleetMillionEvents'
+// KV-less loop and pins its allocation behavior.
+func BenchmarkFleetKV(b *testing.B) {
+	const (
+		replicas = 32
+		requests = 200_000
+		rate     = 100_000 // req/s: ~60% of the stub fleet's capacity
+	)
+	trace, err := PoissonTrace(benchCorpus(b), requests, rate, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	policy, err := NewDynamicBatch(16, 2_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	kv := &KVConfig{
+		// ~8 worst-case contexts ((51+16)×1000B each) per replica, so a
+		// full 16-batch preempts but single requests always admit.
+		CapacityBytes: 536_000,
+		DecodeSteps:   16,
+		BytesPerToken: 1000,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := SimulateFleet(FleetSpec{
+			Model:    models.NewGNMT(),
+			Trace:    trace,
+			Policy:   policy,
+			Router:   NewKVRouter(),
+			Replicas: replicas,
+			Profiles: &stubSource{},
+			KV:       kv,
+		}, gpusim.VegaFE())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got := len(res.Requests); got != requests {
+			b.Fatalf("served %d of %d requests", got, requests)
+		}
+		if res.KV == nil || res.KV.PeakBytes > kv.CapacityBytes {
+			b.Fatalf("KV stats %+v violate the %v-byte ceiling", res.KV, kv.CapacityBytes)
+		}
+	}
+}
+
 // BenchmarkServingHotPath measures the single-queue event loop — the
 // admit/consult/dispatch/record cycle every fleet replica runs — over
 // 200k arrivals near saturation, plus the summary roll-up.

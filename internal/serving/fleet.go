@@ -90,6 +90,14 @@ type FleetSpec struct {
 	// Autoscale enables the reactive autoscaler; nil keeps the fleet
 	// size fixed at Replicas.
 	Autoscale *AutoscaleConfig
+	// KV enables the per-replica KV-cache capacity model with
+	// prefill/decode-split pricing; nil keeps the compute-only fleet,
+	// byte-identical to the pre-KV simulator.
+	KV *KVConfig
+	// Disagg splits the fleet into a prefill pool and a decode pool
+	// joined by a handoff queue (requires KV); nil keeps the aggregated
+	// topology where every replica runs both phases.
+	Disagg *DisaggConfig
 	// Parallelism > 1 advances independent replicas concurrently
 	// between routing barriers, producing byte-identical results to
 	// the serial loop (0 and 1 mean serial). Autoscaled fleets always
@@ -139,6 +147,28 @@ func (s FleetSpec) Validate() error {
 				s.Replicas, s.Autoscale.Min, s.Autoscale.Max)
 		}
 	}
+	if s.KV != nil {
+		if err := s.KV.Validate(); err != nil {
+			return err
+		}
+	} else if s.Router.Name() == RoutingKV {
+		return fmt.Errorf("serving: %q routing needs the KV model enabled — without it every replica reports zero cache pressure", RoutingKV)
+	}
+	if s.Disagg != nil {
+		if err := s.Disagg.Validate(); err != nil {
+			return err
+		}
+		switch {
+		case s.KV == nil:
+			return fmt.Errorf("serving: a disaggregated fleet needs the KV model — the prefill/decode split is what the pools disaggregate")
+		case s.Autoscale != nil:
+			return fmt.Errorf("serving: disaggregated fleets do not autoscale")
+		case s.Replicas != s.Disagg.PrefillReplicas+s.Disagg.DecodeReplicas:
+			return fmt.Errorf("serving: %d replicas but disagg pools sum to %d (prefill %d + decode %d)",
+				s.Replicas, s.Disagg.PrefillReplicas+s.Disagg.DecodeReplicas,
+				s.Disagg.PrefillReplicas, s.Disagg.DecodeReplicas)
+		}
+	}
 	if len(s.Clusters) > 0 {
 		if len(s.Clusters) != s.allocated() {
 			return fmt.Errorf("serving: %d per-replica clusters for %d allocated replicas",
@@ -184,6 +214,10 @@ type ReplicaStats struct {
 	// fleets).
 	BusyUS float64 `json:"busy_us"`
 	LiveUS float64 `json:"live_us"`
+	// Preemptions and KVPeakBytes are the replica's share of the KV
+	// model's activity; always 0 (and omitted) with KV disabled.
+	Preemptions int     `json:"preemptions,omitempty"`
+	KVPeakBytes float64 `json:"kv_peak_bytes,omitempty"`
 }
 
 // FleetResult is one fleet simulation's full outcome.
@@ -219,6 +253,11 @@ type FleetResult struct {
 	ScaleUps     int
 	ScaleDowns   int
 	PeakReplicas int
+	// KV is the cache model's roll-up; nil when FleetSpec.KV was nil.
+	KV *KVRunStats
+	// Disagg labels a disaggregated run's topology
+	// ("prefill=P,decode=D"); empty on aggregated fleets.
+	Disagg string
 }
 
 // fleetReplica is one replica's mutable event-loop state.
@@ -248,6 +287,17 @@ type fleetReplica struct {
 	// concurrent replica advancement never shares sort buffers.
 	pickScratch []int
 
+	// KV-model state, all replica-local (zero with KV off):
+	// launchTimes/launchWaves describe the in-flight busy period,
+	// kvQueued/kvInflight the router-visible cache pressure, and
+	// preempts/kvPeak the per-replica roll-ups summed at finalize.
+	launchTimes []kvReqTime
+	launchWaves int
+	kvQueued    float64
+	kvInflight  float64
+	kvPeak      float64
+	preempts    int
+
 	served, batches int
 	busyUS          float64
 	liveUS          float64
@@ -270,12 +320,19 @@ func SimulateFleet(spec FleetSpec, hw gpusim.Config) (*FleetResult, error) {
 	if err := hw.Validate(); err != nil {
 		return nil, err
 	}
+	if spec.Disagg != nil {
+		return simulateDisagg(spec, hw)
+	}
 	src := spec.Profiles
 	if src == nil {
 		src = trainer.DefaultProfileSource()
 	}
 	maxBatch := spec.Policy.MaxBatch()
 	allocated := spec.allocated()
+	var kv *kvState
+	if spec.KV != nil {
+		kv = newKVState(spec.KV, spec.Model)
+	}
 
 	// Distinct clusters in first-occurrence order index the price
 	// table (and fix the prefetch call order, which engine caching can
@@ -297,7 +354,7 @@ func SimulateFleet(spec FleetSpec, hw gpusim.Config) (*FleetResult, error) {
 		replicas[i] = &fleetReplica{id: i, cluster: cl, clusterIdx: ci, live: i < spec.Replicas, wakeAt: math.Inf(1)}
 	}
 
-	prices, err := newPriceTable(src, hw, spec.Model, maxBatch, clusters, spec.Trace.UniqueSLs())
+	prices, err := newPriceTable(src, hw, spec.Model, maxBatch, clusters, spec.Trace.UniqueSLs(), kv != nil)
 	if err != nil {
 		return nil, err
 	}
@@ -307,6 +364,7 @@ func SimulateFleet(spec FleetSpec, hw gpusim.Config) (*FleetResult, error) {
 		replicas: replicas,
 		prices:   prices,
 		maxBatch: maxBatch,
+		kv:       kv,
 		res: &FleetResult{
 			Config:       hw,
 			Routing:      spec.Router.Name(),
@@ -334,6 +392,7 @@ type fleetRun struct {
 	replicas []*fleetReplica
 	prices   *priceTable
 	maxBatch int
+	kv       *kvState // nil = KV model off (the pre-KV code path)
 	res      *FleetResult
 
 	clock float64
@@ -382,7 +441,9 @@ func (f *fleetRun) run() error {
 		}
 		f.clock = t
 		f.drainDue()
-		f.routeArrivals()
+		if err := f.routeArrivals(); err != nil {
+			return err
+		}
 		f.autoscale()
 	}
 	// Retire live-time integrals at the end of the run.
@@ -489,36 +550,74 @@ func (f *fleetRun) dispatchDirty() error {
 
 // launch prices and starts one batch on r at the current clock.
 func (f *fleetRun) launch(r *fleetReplica, pick []int) error {
+	lat, err := f.startBatch(r, pick, f.clock)
+	if err != nil {
+		return err
+	}
+	f.res.BusyUS += lat
+	f.busyCount++
+	return nil
+}
+
+// startBatch moves the policy's pick into r's in-flight batch at time
+// now and prices its busy period — a single pad-to-max price on the
+// compute-only path, a prefill/decode wave plan under the KV model
+// (which may evict part of the pick back to the queue). Every effect
+// is replica-local; callers account the global busy time and busy
+// count in their own (serial or barrier-merged) order.
+func (f *fleetRun) startBatch(r *fleetReplica, pick []int, now float64) (float64, error) {
 	batch, scratch, err := takeBatch(r.inflight, &r.queue, pick, r.pickScratch, f.maxBatch, f.spec.Policy.Name())
 	r.pickScratch = scratch
 	if err != nil {
-		return err
+		return 0, err
 	}
 	r.inflight = batch
-	paddedSL := 0
-	for _, q := range batch {
-		if q.SeqLen > paddedSL {
-			paddedSL = q.SeqLen
+	var lat float64
+	if f.kv == nil {
+		paddedSL := 0
+		for _, q := range batch {
+			if q.SeqLen > paddedSL {
+				paddedSL = q.SeqLen
+			}
 		}
-	}
-	lat, err := f.prices.latency(r.clusterIdx, len(batch), paddedSL)
-	if err != nil {
-		return err
+		if lat, err = f.prices.latency(r.clusterIdx, len(batch), paddedSL); err != nil {
+			return 0, err
+		}
+		r.paddedSL = paddedSL
+	} else {
+		plan, times, err := f.kv.plan(f.prices, r.clusterIdx, batch, r.launchTimes)
+		r.launchTimes = times
+		if err != nil {
+			return 0, err
+		}
+		if plan.keep < len(batch) {
+			// Eviction: the displaced suffix rejoins the queue front so
+			// recomputation does not also mean starvation.
+			r.queue = prependRequests(r.queue, batch[plan.keep:])
+			r.inflight = batch[:plan.keep]
+		}
+		lat = plan.totalLat
+		r.launchWaves = plan.waves
+		r.preempts += plan.preempts
+		if plan.peak > r.kvPeak {
+			r.kvPeak = plan.peak
+		}
+		// The launched requests' cache moves from queued to in-flight
+		// pressure; evicted ones stay counted in the queue.
+		r.kvQueued -= plan.keptKV
+		r.kvInflight = plan.keptKV
 	}
 	r.busy = true
-	r.paddedSL = paddedSL
-	r.startedAt = f.clock
-	r.doneAt = f.clock + lat
+	r.startedAt = now
+	r.doneAt = now + lat
 	// Accumulate the priced latency itself, in dispatch order — not
 	// doneAt-startedAt, whose float rounding would break the byte-exact
 	// equivalence with the single-queue loop.
 	r.busyUS += lat
-	f.res.BusyUS += lat
-	f.busyCount++
 	r.wakeAt = math.Inf(1)
 	r.needConsult = false
 	r.consults = 0
-	return nil
+	return lat, nil
 }
 
 // drainDue pops every replica event at or before the clock: batch
@@ -548,28 +647,12 @@ func (f *fleetRun) drainDue() {
 // completeReplica retires r's in-flight batch at the clock, recording
 // per-request metrics.
 func (f *fleetRun) completeReplica(r *fleetReplica) {
-	for _, q := range r.inflight {
-		f.served[q.ID] = RequestMetric{
-			ID:        q.ID,
-			SeqLen:    q.SeqLen,
-			ArrivalUS: q.ArrivalUS,
-			StartUS:   r.startedAt,
-			DoneUS:    r.doneAt,
-			BatchSize: len(r.inflight),
-			PaddedSL:  r.paddedSL,
-			Replica:   r.id,
-		}
-		f.isServed[q.ID] = true
-		f.done++
-	}
-	r.served += len(r.inflight)
-	r.batches++
-	f.res.Batches++
+	n, waves := f.retireBatch(r)
+	f.done += n
+	f.res.Batches += waves
 	if r.doneAt > f.res.MakespanUS {
 		f.res.MakespanUS = r.doneAt
 	}
-	r.busy = false
-	r.inflight = r.inflight[:0]
 	f.busyCount--
 	if len(r.queue) > 0 {
 		r.needConsult = true
@@ -579,12 +662,64 @@ func (f *fleetRun) completeReplica(r *fleetReplica) {
 	}
 }
 
+// retireBatch writes r's completed per-request metrics and resets its
+// in-flight state, returning the request count and the number of
+// priced batches the busy period contained (capacity waves under the
+// KV model, 1 otherwise). Every effect is replica-local or a disjoint
+// per-request slot write, so the serial and parallel completion paths
+// share it.
+func (f *fleetRun) retireBatch(r *fleetReplica) (n, waves int) {
+	if f.kv == nil {
+		for _, q := range r.inflight {
+			f.served[q.ID] = RequestMetric{
+				ID:        q.ID,
+				SeqLen:    q.SeqLen,
+				ArrivalUS: q.ArrivalUS,
+				StartUS:   r.startedAt,
+				DoneUS:    r.doneAt,
+				BatchSize: len(r.inflight),
+				PaddedSL:  r.paddedSL,
+				Replica:   r.id,
+			}
+			f.isServed[q.ID] = true
+		}
+		waves = 1
+	} else {
+		for i, q := range r.inflight {
+			t := r.launchTimes[i]
+			f.served[q.ID] = RequestMetric{
+				ID:        q.ID,
+				SeqLen:    q.SeqLen,
+				ArrivalUS: q.ArrivalUS,
+				StartUS:   r.startedAt + t.startOff,
+				FirstUS:   r.startedAt + t.firstOff,
+				DoneUS:    r.startedAt + t.doneOff,
+				BatchSize: t.batch,
+				PaddedSL:  t.paddedSL,
+				Replica:   r.id,
+			}
+			f.isServed[q.ID] = true
+		}
+		waves = r.launchWaves
+		r.kvInflight = 0
+	}
+	n = len(r.inflight)
+	r.served += n
+	r.batches += waves
+	r.busy = false
+	r.inflight = r.inflight[:0]
+	return n, waves
+}
+
 // routeArrivals admits every arrival at or before the clock, in trace
 // order: the router picks among live replicas with queue room; when
-// none has room the request is rejected. The fleet snapshot is built
-// once per pass in the reused scratch buffer and updated in place as
-// arrivals land.
-func (f *fleetRun) routeArrivals() {
+// none has room the request is rejected. Under the KV model a request
+// whose own cache footprint exceeds the capacity is rejected outright
+// (no replica could ever serve it), and a router that returns an
+// ineligible replica fails the run with ErrBadRoute. The fleet
+// snapshot is built once per pass in the reused scratch buffer and
+// updated in place as arrivals land.
+func (f *fleetRun) routeArrivals() error {
 	trace := f.spec.Trace.Requests
 	var (
 		views    []ReplicaView
@@ -593,6 +728,13 @@ func (f *fleetRun) routeArrivals() {
 	for f.next < len(trace) && trace[f.next].ArrivalUS <= f.clock {
 		req := trace[f.next]
 		f.next++
+		if f.kv != nil && f.kv.peakBytes(req) > f.kv.capacity {
+			f.res.Rejections = append(f.res.Rejections, Rejection{
+				ID: req.ID, ArrivalUS: req.ArrivalUS, SeqLen: req.SeqLen, Reason: RejectReasonKVCapacity,
+			})
+			f.done++
+			continue
+		}
 		if views == nil {
 			views, eligible = f.views()
 		}
@@ -605,14 +747,8 @@ func (f *fleetRun) routeArrivals() {
 		}
 		id := f.spec.Router.Route(req, views)
 		if id < 0 || id >= len(f.replicas) || !views[id].eligible() {
-			// A router returning an ineligible replica is a bug; fall
-			// back to the lowest-ID eligible one so the run stays valid.
-			for _, v := range views {
-				if v.eligible() {
-					id = v.ID
-					break
-				}
-			}
+			return fmt.Errorf("%w: router %q picked replica %d for request %d at %v with %d eligible replicas",
+				ErrBadRoute, f.spec.Router.Name(), id, req.ID, req.ArrivalUS, eligible)
 		}
 		r := f.replicas[id]
 		r.queue = append(r.queue, req)
@@ -621,6 +757,11 @@ func (f *fleetRun) routeArrivals() {
 		f.markDirty(id)
 		// Only the routed replica's view changed; update it in place.
 		views[id].Queued++
+		if f.kv != nil {
+			need := f.kv.peakBytes(req)
+			r.kvQueued += need
+			views[id].KVBytes += need
+		}
 		if f.spec.QueueCap != 0 && len(r.queue) >= f.spec.QueueCap {
 			if views[id].eligible() {
 				eligible--
@@ -638,6 +779,7 @@ func (f *fleetRun) routeArrivals() {
 			}
 		}
 	}
+	return nil
 }
 
 // views snapshots the fleet for the router into the reused scratch
@@ -653,6 +795,9 @@ func (f *fleetRun) views() ([]ReplicaView, int) {
 			Queued:   len(r.queue),
 			InFlight: len(r.inflight),
 			HasRoom:  f.spec.QueueCap == 0 || len(r.queue) < f.spec.QueueCap,
+		}
+		if f.kv != nil {
+			views[i].KVBytes = r.kvQueued + r.kvInflight
 		}
 		if views[i].eligible() {
 			eligible++
@@ -724,14 +869,28 @@ func (f *fleetRun) finalize() {
 	var replicaUS float64
 	for i, r := range f.replicas {
 		f.res.ReplicaStats[i] = ReplicaStats{
-			Replica: i,
-			GPUs:    r.cluster.GPUs,
-			Served:  r.served,
-			Batches: r.batches,
-			BusyUS:  r.busyUS,
-			LiveUS:  r.liveUS,
+			Replica:     i,
+			GPUs:        r.cluster.GPUs,
+			Served:      r.served,
+			Batches:     r.batches,
+			BusyUS:      r.busyUS,
+			LiveUS:      r.liveUS,
+			Preemptions: r.preempts,
+			KVPeakBytes: r.kvPeak,
 		}
 		replicaUS += r.liveUS
 	}
 	f.res.ReplicaSeconds = replicaUS / 1e6
+	if f.kv != nil {
+		// Per-replica counters summed in replica order: order-free
+		// integers and a max, so the parallel path cannot perturb them.
+		kvs := &KVRunStats{BytesPerToken: f.kv.bpt, CapacityBytes: f.kv.capacity}
+		for _, r := range f.replicas {
+			kvs.Preemptions += r.preempts
+			if r.kvPeak > kvs.PeakBytes {
+				kvs.PeakBytes = r.kvPeak
+			}
+		}
+		f.res.KV = kvs
+	}
 }

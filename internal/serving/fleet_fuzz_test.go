@@ -22,16 +22,21 @@ import (
 //     so waits and latencies are non-negative;
 //   - attribution: per-replica served/batch counts sum to the fleet
 //     totals, and rejections only occur under a bounded queue;
+//   - memory (kvMode > 0): no replica's cache peak exceeds the
+//     capacity ceiling, first-token instants sit inside each request's
+//     service window, and preemption counts attribute to replicas;
 //   - generalization: a 1-replica round-robin unbounded fleet matches
-//     the single-queue simulator byte-for-byte.
+//     the single-queue simulator byte-for-byte, KV model included.
 func FuzzFleetInvariants(f *testing.F) {
-	f.Add(int64(1), 200.0, uint8(40), uint8(1), uint8(0), uint8(0), uint8(0), false)
-	f.Add(int64(7), 900.0, uint8(120), uint8(3), uint8(4), uint8(1), uint8(1), false)
-	f.Add(int64(42), 5000.0, uint8(200), uint8(5), uint8(2), uint8(2), uint8(2), true)
-	f.Add(int64(-3), 50.0, uint8(10), uint8(2), uint8(1), uint8(3), uint8(1), true)
-	f.Add(int64(99), 1e6, uint8(255), uint8(8), uint8(8), uint8(2), uint8(0), false)
+	f.Add(int64(1), 200.0, uint8(40), uint8(1), uint8(0), uint8(0), uint8(0), false, uint8(0))
+	f.Add(int64(7), 900.0, uint8(120), uint8(3), uint8(4), uint8(1), uint8(1), false, uint8(0))
+	f.Add(int64(42), 5000.0, uint8(200), uint8(5), uint8(2), uint8(2), uint8(2), true, uint8(0))
+	f.Add(int64(-3), 50.0, uint8(10), uint8(2), uint8(1), uint8(3), uint8(1), true, uint8(0))
+	f.Add(int64(99), 1e6, uint8(255), uint8(8), uint8(8), uint8(2), uint8(0), false, uint8(0))
+	f.Add(int64(11), 800.0, uint8(96), uint8(4), uint8(0), uint8(4), uint8(1), false, uint8(5))
+	f.Add(int64(13), 3000.0, uint8(180), uint8(6), uint8(3), uint8(1), uint8(2), false, uint8(2))
 
-	f.Fuzz(func(t *testing.T, seed int64, rate float64, n, replicas, queueCap, routing, policyKind uint8, autoscale bool) {
+	f.Fuzz(func(t *testing.T, seed int64, rate float64, n, replicas, queueCap, routing, policyKind uint8, autoscale bool, kvMode uint8) {
 		if rate <= 0 || math.IsNaN(rate) || math.IsInf(rate, 0) || rate > 1e8 {
 			t.Skip()
 		}
@@ -60,7 +65,24 @@ func FuzzFleetInvariants(f *testing.F) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		// kvMode > 0 enables the capacity model. The per-token footprint
+		// is overridden to 1000B so peaks are hand-computable; the
+		// tightest capacity (100KB) still exceeds the largest single
+		// request (at most (61+16)×1000B), so admission never rejects on
+		// size and every run exercises the batching/preemption path.
+		var kv *KVConfig
+		if kvMode > 0 {
+			kv = &KVConfig{
+				CapacityBytes: float64(int(kvMode)%4+1) * 100_000,
+				DecodeSteps:   int(kvMode) % 17,
+				BytesPerToken: 1000,
+				Preempt:       []string{PreemptEvict, PreemptBlock}[int(kvMode)%2],
+			}
+		}
 		routerNames := []string{RoutingRoundRobin, RoutingLeastOutstanding, RoutingJSQ, RoutingPowerOfTwo}
+		if kv != nil {
+			routerNames = append(routerNames, RoutingKV)
+		}
 		router, err := ParseRouting(routerNames[int(routing)%len(routerNames)], seed)
 		if err != nil {
 			t.Fatal(err)
@@ -73,6 +95,7 @@ func FuzzFleetInvariants(f *testing.F) {
 			Replicas: nReplicas,
 			QueueCap: cap,
 			Profiles: &stubSource{},
+			KV:       kv,
 		}
 		if autoscale {
 			spec.Autoscale = &AutoscaleConfig{
@@ -102,11 +125,13 @@ func FuzzFleetInvariants(f *testing.F) {
 				t.Fatalf("rejected ID %d out of range or duplicated", rej.ID)
 			}
 			seen[rej.ID] = true
-			if rej.Reason != RejectReasonQueueFull {
-				t.Fatalf("rejection reason %q, want %q", rej.Reason, RejectReasonQueueFull)
+			if rej.Reason != RejectReasonQueueFull && rej.Reason != RejectReasonKVCapacity {
+				t.Fatalf("rejection reason %q, want %q or %q", rej.Reason, RejectReasonQueueFull, RejectReasonKVCapacity)
 			}
 		}
 		if cap == 0 && len(res.Rejections) > 0 {
+			// The KV capacities above always admit single requests, so an
+			// unbounded queue still implies zero rejections.
 			t.Fatalf("%d rejections under an unbounded queue", len(res.Rejections))
 		}
 
@@ -152,6 +177,34 @@ func FuzzFleetInvariants(f *testing.F) {
 			t.Fatalf("negative replica-seconds %v", res.ReplicaSeconds)
 		}
 
+		// Memory: the cache model never overdraws its ceiling, and
+		// first-token instants are inside each service window.
+		if kv != nil {
+			if res.KV == nil {
+				t.Fatal("KV-enabled run produced no KV stats")
+			}
+			if res.KV.PeakBytes > kv.CapacityBytes {
+				t.Fatalf("fleet cache peak %v above the %v-byte capacity", res.KV.PeakBytes, kv.CapacityBytes)
+			}
+			var preempts int
+			for _, rs := range res.ReplicaStats {
+				if rs.KVPeakBytes > kv.CapacityBytes {
+					t.Fatalf("replica %d cache peak %v above the %v-byte capacity", rs.Replica, rs.KVPeakBytes, kv.CapacityBytes)
+				}
+				preempts += rs.Preemptions
+			}
+			if preempts != res.KV.Preemptions {
+				t.Fatalf("replica preemption sum %d != fleet preemptions %d", preempts, res.KV.Preemptions)
+			}
+			for _, m := range res.Requests {
+				if m.FirstUS < m.StartUS || m.FirstUS > m.DoneUS {
+					t.Fatalf("request %d first-token %v outside service window [%v, %v]", m.ID, m.FirstUS, m.StartUS, m.DoneUS)
+				}
+			}
+		} else if res.KV != nil {
+			t.Fatal("KV-disabled run produced KV stats")
+		}
+
 		// Parallel advancement (Parallelism > 1) must reproduce the
 		// serial loop byte-for-byte on non-autoscaled fleets — same
 		// summary and same per-request metrics. A fresh router is built
@@ -186,7 +239,7 @@ func FuzzFleetInvariants(f *testing.F) {
 		// the single-queue simulator.
 		if nReplicas == 1 && cap == 0 && spec.Autoscale == nil && router.Name() == RoutingRoundRobin {
 			single, err := Simulate(Spec{
-				Model: spec.Model, Trace: trace, Policy: policy, Profiles: &stubSource{},
+				Model: spec.Model, Trace: trace, Policy: policy, Profiles: &stubSource{}, KV: kv,
 			}, gpusim.VegaFE())
 			if err != nil {
 				t.Fatalf("Simulate: %v", err)

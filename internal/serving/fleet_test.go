@@ -2,6 +2,7 @@ package serving
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"math"
 	"strings"
@@ -439,21 +440,36 @@ func TestFleetPolicyMisbehavior(t *testing.T) {
 	}
 }
 
-// wildRouter returns an out-of-range replica; the fleet must fall back
-// to an eligible one rather than crash or drop the request.
-type wildRouter struct{}
+// wildRouter returns an out-of-range replica; the fleet must surface
+// the contract violation as ErrBadRoute, not silently reroute (the old
+// fallback masked router bugs and made results depend on which replica
+// the fallback happened to choose).
+type wildRouter struct{ pick int }
 
-func (wildRouter) Name() string                                  { return "wild" }
-func (wildRouter) Route(req Request, replicas []ReplicaView) int { return 99 }
+func (wildRouter) Name() string                                    { return "wild" }
+func (w wildRouter) Route(req Request, replicas []ReplicaView) int { return w.pick }
 
-func TestFleetBuggyRouterFallback(t *testing.T) {
-	fixed, _ := NewFixedBatch(2)
-	res := fleetSim(t, FleetSpec{
-		Model: models.NewGNMT(), Trace: replay(t, []float64{0, 5, 9}, []int{3, 4, 5}),
-		Policy: fixed, Router: wildRouter{}, Replicas: 2,
-	})
-	if len(res.Requests) != 3 || len(res.Rejections) != 0 {
-		t.Fatalf("served %d rejected %d, want 3/0 via the fallback", len(res.Requests), len(res.Rejections))
+func TestFleetBuggyRouterRejected(t *testing.T) {
+	// Out of range, and in-range-but-ineligible once queues fill
+	// (QueueCap 1 with a never-dispatching policy saturates replica 0).
+	for name, router := range map[string]Router{
+		"out of range": wildRouter{pick: 99},
+		"negative":     wildRouter{pick: -1},
+	} {
+		t.Run(name, func(t *testing.T) {
+			fixed, _ := NewFixedBatch(2)
+			_, err := SimulateFleet(FleetSpec{
+				Model: models.NewGNMT(), Trace: replay(t, []float64{0, 5, 9}, []int{3, 4, 5}),
+				Policy: fixed, Router: router, Replicas: 2,
+				Profiles: &stubSource{},
+			}, gpusim.VegaFE())
+			if !errors.Is(err, ErrBadRoute) {
+				t.Fatalf("error = %v, want ErrBadRoute", err)
+			}
+			if err == nil || !strings.Contains(err.Error(), `router "wild"`) {
+				t.Fatalf("error %v should name the misbehaving router", err)
+			}
+		})
 	}
 }
 

@@ -49,13 +49,17 @@ type dispatchRec struct {
 }
 
 // roundDelta is one replica's order-free contribution to a round,
-// merged serially at the barrier.
+// merged serially at the barrier. batches counts priced batches
+// (capacity waves under the KV model), completions retired busy
+// periods — they coincide only with KV off, and the busy-count merge
+// needs the latter.
 type roundDelta struct {
-	done     int
-	batches  int
-	makespan float64
-	dlog     []dispatchRec
-	err      error
+	done        int
+	batches     int
+	completions int
+	makespan    float64
+	dlog        []dispatchRec
+	err         error
 }
 
 // runRounds advances the fleet to the end of the arrival trace using
@@ -126,7 +130,9 @@ func (f *fleetRun) runRounds() error {
 		}
 
 		f.clock = tA
-		f.routeArrivals()
+		if err := f.routeArrivals(); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -149,7 +155,7 @@ func (f *fleetRun) mergeRound(due []int, deltas []roundDelta) error {
 		}
 		f.done += d.done
 		f.res.Batches += d.batches
-		f.busyCount += len(d.dlog) - d.batches
+		f.busyCount += len(d.dlog) - d.completions
 		if d.makespan > f.res.MakespanUS {
 			f.res.MakespanUS = d.makespan
 		}
@@ -247,28 +253,13 @@ func (f *fleetRun) advanceReplica(r *fleetReplica, tPrev, tA float64, d *roundDe
 // completeLocal retires r's in-flight batch into r-local state and the
 // round delta (plus the disjoint per-request metric slots).
 func (f *fleetRun) completeLocal(r *fleetReplica, d *roundDelta) {
-	for _, q := range r.inflight {
-		f.served[q.ID] = RequestMetric{
-			ID:        q.ID,
-			SeqLen:    q.SeqLen,
-			ArrivalUS: q.ArrivalUS,
-			StartUS:   r.startedAt,
-			DoneUS:    r.doneAt,
-			BatchSize: len(r.inflight),
-			PaddedSL:  r.paddedSL,
-			Replica:   r.id,
-		}
-		f.isServed[q.ID] = true
-		d.done++
-	}
-	r.served += len(r.inflight)
-	r.batches++
-	d.batches++
+	n, waves := f.retireBatch(r)
+	d.done += n
+	d.batches += waves
+	d.completions++
 	if r.doneAt > d.makespan {
 		d.makespan = r.doneAt
 	}
-	r.busy = false
-	r.inflight = r.inflight[:0]
 	r.needConsult = len(r.queue) > 0
 }
 
@@ -276,30 +267,10 @@ func (f *fleetRun) completeLocal(r *fleetReplica, d *roundDelta) {
 // effects, with the global accumulations (BusyUS order, busy count,
 // batch count) deferred to the barrier merge via the dispatch log.
 func (f *fleetRun) launchLocal(r *fleetReplica, pick []int, now float64, d *roundDelta) error {
-	batch, scratch, err := takeBatch(r.inflight, &r.queue, pick, r.pickScratch, f.maxBatch, f.spec.Policy.Name())
-	r.pickScratch = scratch
+	lat, err := f.startBatch(r, pick, now)
 	if err != nil {
 		return err
 	}
-	r.inflight = batch
-	paddedSL := 0
-	for _, q := range batch {
-		if q.SeqLen > paddedSL {
-			paddedSL = q.SeqLen
-		}
-	}
-	lat, err := f.prices.latency(r.clusterIdx, len(batch), paddedSL)
-	if err != nil {
-		return err
-	}
-	r.busy = true
-	r.paddedSL = paddedSL
-	r.startedAt = now
-	r.doneAt = now + lat
-	r.busyUS += lat
 	d.dlog = append(d.dlog, dispatchRec{at: now, latency: lat, replica: r.id})
-	r.wakeAt = math.Inf(1)
-	r.needConsult = false
-	r.consults = 0
 	return nil
 }

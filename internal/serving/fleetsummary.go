@@ -42,6 +42,19 @@ type FleetSummary struct {
 	ScaleDowns     int     `json:"scale_downs"`
 	PeakReplicas   int     `json:"peak_replicas"`
 
+	// KV-model roll-ups, only emitted when the run had KV enabled
+	// (omitempty keeps KV-off summaries byte-identical to the pre-KV
+	// format). TTFT is arrival → prefill completion; Disagg names the
+	// prefill/decode pool split for disaggregated topologies.
+	MeanTTFTUS      float64 `json:"mean_ttft_us,omitempty"`
+	P50TTFTUS       float64 `json:"p50_ttft_us,omitempty"`
+	P95TTFTUS       float64 `json:"p95_ttft_us,omitempty"`
+	P99TTFTUS       float64 `json:"p99_ttft_us,omitempty"`
+	Preemptions     int     `json:"preemptions,omitempty"`
+	KVCapacityBytes float64 `json:"kv_capacity_bytes,omitempty"`
+	KVPeakBytes     float64 `json:"kv_peak_bytes,omitempty"`
+	Disagg          string  `json:"disagg,omitempty"`
+
 	PerReplica []ReplicaStats `json:"per_replica"`
 }
 
@@ -91,6 +104,14 @@ func (r *FleetResult) Summary() FleetSummary {
 	if liveUS > 0 {
 		s.UtilizationPct = r.BusyUS / liveUS * 100
 	}
+	if r.KV != nil {
+		// Scalars first, so even an all-rejected run reports its
+		// capacity configuration and admission-time peak.
+		s.Preemptions = r.KV.Preemptions
+		s.KVCapacityBytes = r.KV.CapacityBytes
+		s.KVPeakBytes = r.KV.PeakBytes
+		s.Disagg = r.Disagg
+	}
 	if s.Served == 0 {
 		return s
 	}
@@ -108,6 +129,9 @@ func (r *FleetResult) Summary() FleetSummary {
 	// here.
 	if ps, err := stats.PercentilesInPlace(lats, 50, 95, 99); err == nil {
 		s.P50LatencyUS, s.P95LatencyUS, s.P99LatencyUS = ps[0], ps[1], ps[2]
+	}
+	if r.KV != nil {
+		s.MeanTTFTUS, s.P50TTFTUS, s.P95TTFTUS, s.P99TTFTUS = ttftDigest(r.Requests)
 	}
 	return s
 }
@@ -134,12 +158,17 @@ func (r *FleetResult) AsServing() (*Result, error) {
 	if len(r.Rejections) > 0 {
 		return nil, fmt.Errorf("serving: AsServing needs a rejection-free run, got %d rejections", len(r.Rejections))
 	}
-	return &Result{
+	out := &Result{
 		Config:     r.Config,
 		Policy:     r.Policy,
 		Requests:   append([]RequestMetric(nil), r.Requests...),
 		Batches:    r.Batches,
 		BusyUS:     r.BusyUS,
 		MakespanUS: r.MakespanUS,
-	}, nil
+	}
+	if r.KV != nil {
+		kv := *r.KV
+		out.KV = &kv
+	}
+	return out, nil
 }

@@ -1,6 +1,7 @@
 package serving
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sync"
@@ -9,6 +10,20 @@ import (
 	"seqpoint/internal/models"
 	"seqpoint/internal/trainer"
 )
+
+// ErrNonFinitePrice is returned (wrapped) when a profile source yields
+// a NaN or infinite batch latency. The table stores NaN as its
+// unfilled-slot sentinel, so a non-finite price must be rejected at
+// fill time: stored as-is it would be indistinguishable from an empty
+// slot, and every later lookup would silently re-fetch it under the
+// write lock — a mutex-guarded refill on the hot path masking what is
+// always an upstream cost-model bug.
+var ErrNonFinitePrice = errors.New("serving: profile source returned non-finite latency")
+
+// decodeSL is the sequence length a decode step is priced at: one new
+// token per sequence flows through the forward pass, so the per-step
+// cost of a decode batch is the eval profile at SL 1.
+const decodeSL = 1
 
 // priceTable is the flat per-(cluster, batch, SL) batch-latency table
 // both event loops price against. It replaces the map-keyed memo the
@@ -19,10 +34,17 @@ import (
 // padded SL of any batch is one of the trace's SLs); partial-batch
 // sizes fill their slots on first use.
 //
-// Unfilled slots hold NaN — a value no profile source can legitimately
-// produce, so presence needs no side bitmap. On-demand fills are
-// guarded by a mutex so parallel replica simulation (see
-// FleetSpec.Parallelism) can price concurrently.
+// With the KV model enabled the table additionally holds a decode row
+// per cluster: the per-decode-step latency at each batch size, priced
+// at SL 1 through the same ProfileSource seam. KV-off runs never touch
+// (or prefetch) the decode row, so their profile-source call sequence
+// is byte-for-byte the pre-KV one.
+//
+// Unfilled slots hold NaN — a value no valid profile can produce
+// (fills reject non-finite prices with ErrNonFinitePrice), so presence
+// needs no side bitmap. On-demand fills are guarded by a mutex so
+// parallel replica simulation (see FleetSpec.Parallelism) can price
+// concurrently.
 type priceTable struct {
 	src      trainer.ProfileSource
 	hw       gpusim.Config
@@ -42,16 +64,26 @@ type priceTable struct {
 
 	mu     sync.RWMutex
 	prices []float64 // [cluster][batch-1][slIdx], NaN = unfilled
+	decode []float64 // [cluster][batch-1] per-decode-step latency; nil when KV is off
 }
 
 // maxDenseSL bounds the dense SL-index array: traces with longer
 // sequences fall back to a map index without losing correctness.
 const maxDenseSL = 1 << 16
 
+// checkFinite validates one fetched price at fill time.
+func checkFinite(us float64, batch, sl int) error {
+	if math.IsNaN(us) || math.IsInf(us, 0) {
+		return fmt.Errorf("%w: %v for batch %d SL %d", ErrNonFinitePrice, us, batch, sl)
+	}
+	return nil
+}
+
 // newPriceTable builds the table over the distinct clusters and the
-// trace's unique SLs, prefetching every cluster's maxBatch row.
+// trace's unique SLs, prefetching every cluster's maxBatch row — and,
+// with withDecode, its maxBatch decode-step price.
 func newPriceTable(src trainer.ProfileSource, hw gpusim.Config, model models.Model,
-	maxBatch int, clusters []gpusim.ClusterConfig, uniqueSLs []int) (*priceTable, error) {
+	maxBatch int, clusters []gpusim.ClusterConfig, uniqueSLs []int, withDecode bool) (*priceTable, error) {
 	t := &priceTable{
 		src:      src,
 		hw:       hw,
@@ -81,6 +113,12 @@ func newPriceTable(src trainer.ProfileSource, hw gpusim.Config, model models.Mod
 	for i := range t.prices {
 		t.prices[i] = math.NaN()
 	}
+	if withDecode {
+		t.decode = make([]float64, len(clusters)*maxBatch)
+		for i := range t.decode {
+			t.decode[i] = math.NaN()
+		}
+	}
 	for ci, cl := range clusters {
 		profiles, err := src.EvalProfiles(hw, cl, model, maxBatch, uniqueSLs)
 		if err != nil {
@@ -89,7 +127,15 @@ func newPriceTable(src trainer.ProfileSource, hw gpusim.Config, model models.Mod
 		base := (ci*maxBatch + maxBatch - 1) * t.numSL
 		for sl, prof := range profiles {
 			if si := t.slIndex(sl); si > 0 {
+				if err := checkFinite(prof.TimeUS, maxBatch, sl); err != nil {
+					return nil, err
+				}
 				t.prices[base+si-1] = prof.TimeUS
+			}
+		}
+		if withDecode {
+			if _, err := t.fillDecode(ci, maxBatch); err != nil {
+				return nil, err
 			}
 		}
 	}
@@ -146,7 +192,40 @@ func (t *priceTable) latency(clusterIdx, batch, sl int) (float64, error) {
 	return us, nil
 }
 
-// fetch prices one (cluster, batch, SL) through the profile source.
+// decodeLatency prices one decode step of a batch on cluster
+// clusterIdx: the forward cost of one new token per sequence. Only
+// valid on tables built with withDecode.
+func (t *priceTable) decodeLatency(clusterIdx, batch int) (float64, error) {
+	off := clusterIdx*t.maxBatch + batch - 1
+	t.mu.RLock()
+	us := t.decode[off]
+	t.mu.RUnlock()
+	if !math.IsNaN(us) {
+		return us, nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.fillDecode(clusterIdx, batch)
+}
+
+// fillDecode fetches and stores the per-step decode price for one
+// (cluster, batch); callers must hold the write lock (or be the
+// single-threaded constructor).
+func (t *priceTable) fillDecode(clusterIdx, batch int) (float64, error) {
+	off := clusterIdx*t.maxBatch + batch - 1
+	if us := t.decode[off]; !math.IsNaN(us) {
+		return us, nil
+	}
+	us, err := t.fetch(clusterIdx, batch, decodeSL)
+	if err != nil {
+		return 0, err
+	}
+	t.decode[off] = us
+	return us, nil
+}
+
+// fetch prices one (cluster, batch, SL) through the profile source,
+// rejecting non-finite results at the fill boundary.
 func (t *priceTable) fetch(clusterIdx, batch, sl int) (float64, error) {
 	profiles, err := t.src.EvalProfiles(t.hw, t.clusters[clusterIdx], t.model, batch, []int{sl})
 	if err != nil {
@@ -155,6 +234,9 @@ func (t *priceTable) fetch(clusterIdx, batch, sl int) (float64, error) {
 	prof, ok := profiles[sl]
 	if !ok {
 		return 0, fmt.Errorf("serving: profile source returned no eval profile for batch %d SL %d", batch, sl)
+	}
+	if err := checkFinite(prof.TimeUS, batch, sl); err != nil {
+		return 0, err
 	}
 	return prof.TimeUS, nil
 }

@@ -1,0 +1,75 @@
+package serving
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"seqpoint/internal/gpusim"
+	"seqpoint/internal/models"
+	"seqpoint/internal/profiler"
+)
+
+// nanSource prices one sequence length as NaN and everything else
+// normally: the shape of a profiler bug the price table must refuse
+// rather than serve. Before the finiteness check, a NaN profile was
+// indistinguishable from the table's own unfilled-slot sentinel, so it
+// flowed straight into latencies and poisoned every percentile
+// downstream.
+type nanSource struct {
+	badSL int
+	bad   float64
+}
+
+func (s *nanSource) TrainProfiles(hw gpusim.Config, cl gpusim.ClusterConfig, m models.Model, batch int, seqLens []int) (map[int]profiler.IterationProfile, error) {
+	return s.EvalProfiles(hw, cl, m, batch, seqLens)
+}
+
+func (s *nanSource) EvalProfiles(hw gpusim.Config, cl gpusim.ClusterConfig, m models.Model, batch int, seqLens []int) (map[int]profiler.IterationProfile, error) {
+	out := make(map[int]profiler.IterationProfile, len(seqLens))
+	for _, sl := range seqLens {
+		us := float64(sl) * 100
+		if sl == s.badSL {
+			us = s.bad
+		}
+		out[sl] = profiler.IterationProfile{SeqLen: sl, Batch: batch, TimeUS: us}
+	}
+	return out, nil
+}
+
+func TestPriceTableRejectsNonFinitePrices(t *testing.T) {
+	fixed, _ := NewFixedBatch(2)
+	for name, bad := range map[string]float64{
+		"NaN":  math.NaN(),
+		"+Inf": math.Inf(1),
+	} {
+		t.Run(name, func(t *testing.T) {
+			_, err := Simulate(Spec{
+				Model:    models.NewGNMT(),
+				Trace:    replay(t, []float64{0, 5}, []int{3, 4}),
+				Policy:   fixed,
+				Profiles: &nanSource{badSL: 4, bad: bad},
+			}, gpusim.VegaFE())
+			if !errors.Is(err, ErrNonFinitePrice) {
+				t.Fatalf("Simulate error = %v, want ErrNonFinitePrice", err)
+			}
+		})
+	}
+}
+
+// The same guard covers the decode row: a KV-enabled run prices decode
+// steps at SL 1, so a non-finite SL-1 profile must surface as the
+// typed error, not a NaN timeline.
+func TestPriceTableRejectsNonFiniteDecodePrice(t *testing.T) {
+	fixed, _ := NewFixedBatch(1)
+	_, err := Simulate(Spec{
+		Model:    models.NewGNMT(),
+		Trace:    replay(t, []float64{0}, []int{3}),
+		Policy:   fixed,
+		Profiles: &nanSource{badSL: decodeSL, bad: math.NaN()},
+		KV:       &KVConfig{CapacityBytes: 1e9, DecodeSteps: 2},
+	}, gpusim.VegaFE())
+	if !errors.Is(err, ErrNonFinitePrice) {
+		t.Fatalf("Simulate error = %v, want ErrNonFinitePrice", err)
+	}
+}

@@ -1,9 +1,17 @@
 package serving
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 )
+
+// ErrBadRoute is the typed cause SimulateFleet wraps when a router
+// violates its contract by returning an out-of-range or ineligible
+// replica. The fleet used to paper over this by silently re-routing to
+// the lowest-ID eligible replica, which hid real router bugs inside
+// otherwise-plausible results; now the run stops and says so.
+var ErrBadRoute = errors.New("serving: router returned an ineligible replica")
 
 // ReplicaView is the router-visible state of one replica at a routing
 // instant: enough to implement the classic load-balancing policies
@@ -22,6 +30,10 @@ type ReplicaView struct {
 	// HasRoom reports whether the replica's bounded queue can admit one
 	// more request (always true on unbounded queues).
 	HasRoom bool
+	// KVBytes is the replica's cache pressure under the KV model: the
+	// summed peak footprint of its queued and in-flight requests.
+	// Always 0 with KV disabled.
+	KVBytes float64
 }
 
 // eligible reports whether a request may be routed to the replica.
@@ -51,10 +63,11 @@ const (
 	RoutingLeastOutstanding = "least"
 	RoutingJSQ              = "jsq"
 	RoutingPowerOfTwo       = "po2"
+	RoutingKV               = "kv"
 )
 
 // ParseRouting builds a router from its CLI/HTTP spelling: "rr",
-// "least", "jsq" or "po2". seed drives po2's sampling only.
+// "least", "jsq", "po2" or "kv". seed drives po2's sampling only.
 func ParseRouting(name string, seed int64) (Router, error) {
 	switch name {
 	case RoutingRoundRobin:
@@ -65,9 +78,11 @@ func ParseRouting(name string, seed int64) (Router, error) {
 		return NewJSQ(), nil
 	case RoutingPowerOfTwo:
 		return NewPowerOfTwo(seed), nil
+	case RoutingKV:
+		return NewKVRouter(), nil
 	default:
-		return nil, fmt.Errorf("serving: unknown routing %q (want %s, %s, %s or %s)",
-			name, RoutingRoundRobin, RoutingLeastOutstanding, RoutingJSQ, RoutingPowerOfTwo)
+		return nil, fmt.Errorf("serving: unknown routing %q (want %s, %s, %s, %s or %s)",
+			name, RoutingRoundRobin, RoutingLeastOutstanding, RoutingJSQ, RoutingPowerOfTwo, RoutingKV)
 	}
 }
 
@@ -91,7 +106,8 @@ func (r *roundRobin) Route(req Request, replicas []ReplicaView) int {
 		}
 	}
 	// The fleet never calls Route with no eligible replica; scanning a
-	// full cycle without one is unreachable.
+	// full cycle without one is unreachable, and the fleet surfaces it
+	// as an ErrBadRoute failure rather than guessing a replica.
 	return -1
 }
 
@@ -135,6 +151,29 @@ func (leastOutstanding) Route(req Request, replicas []ReplicaView) int {
 	return best
 }
 
+// kvRouter picks the eligible replica with the least KV-cache
+// pressure (queued plus in-flight footprint), ties toward the lowest
+// ID — the routing policy that actually sees the resource the
+// memory-bound regime contends on. It needs the fleet's KV model to
+// be enabled; FleetSpec.Validate rejects the pairing with KV off,
+// where every view reports zero pressure.
+type kvRouter struct{}
+
+// NewKVRouter returns the least-KV-pressure router.
+func NewKVRouter() Router { return kvRouter{} }
+
+func (kvRouter) Name() string { return RoutingKV }
+
+func (kvRouter) Route(req Request, replicas []ReplicaView) int {
+	best := -1
+	for _, v := range replicas {
+		if v.eligible() && (best < 0 || v.KVBytes < replicas[best].KVBytes) {
+			best = v.ID
+		}
+	}
+	return best
+}
+
 // powerOfTwo samples two distinct eligible replicas with a seeded RNG
 // and joins the shorter queue (ties toward the lower ID): the classic
 // "power of two choices" compromise that gets most of JSQ's balance
@@ -163,6 +202,8 @@ func (p *powerOfTwo) Route(req Request, replicas []ReplicaView) int {
 	p.ids = ids
 	switch len(ids) {
 	case 0:
+		// Unreachable by the Route contract; surfaced by the fleet as
+		// ErrBadRoute if it ever happens.
 		return -1
 	case 1:
 		return ids[0]

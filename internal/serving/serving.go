@@ -35,6 +35,10 @@ type Request struct {
 	ArrivalUS float64
 	// SeqLen is the request's input sequence length.
 	SeqLen int
+	// DecodeSteps is the request's decode length under the KV-cache
+	// model (Spec.KV / FleetSpec.KV); 0 falls back to the configured
+	// default, and the field is inert with KV disabled.
+	DecodeSteps int
 }
 
 // Trace is an arrival-ordered request sequence.
@@ -58,6 +62,9 @@ func (t Trace) Validate() error {
 		}
 		if r.SeqLen <= 0 {
 			return fmt.Errorf("serving: trace %q request %d has sequence length %d", t.Name, i, r.SeqLen)
+		}
+		if r.DecodeSteps < 0 {
+			return fmt.Errorf("serving: trace %q request %d has negative decode steps %d", t.Name, i, r.DecodeSteps)
 		}
 		if math.IsNaN(r.ArrivalUS) || math.IsInf(r.ArrivalUS, 0) || r.ArrivalUS < 0 {
 			return fmt.Errorf("serving: trace %q request %d has invalid arrival %v", t.Name, i, r.ArrivalUS)

@@ -20,6 +20,10 @@ type Spec struct {
 	Trace Trace
 	// Policy is the batching policy.
 	Policy Policy
+	// KV enables the per-replica KV-cache capacity model with
+	// prefill/decode-split pricing; nil keeps the compute-only server,
+	// byte-identical to the pre-KV simulator.
+	KV *KVConfig
 	// Profiles overrides the profile source; nil uses the process
 	// default (the shared engine when internal/engine is linked).
 	Profiles trainer.ProfileSource
@@ -35,6 +39,11 @@ func (s Spec) Validate() error {
 	case s.Policy.MaxBatch() <= 0:
 		return fmt.Errorf("serving: policy %q has non-positive max batch", s.Policy.Name())
 	}
+	if s.KV != nil {
+		if err := s.KV.Validate(); err != nil {
+			return err
+		}
+	}
 	return s.Trace.Validate()
 }
 
@@ -49,6 +58,10 @@ type RequestMetric struct {
 	ArrivalUS float64 `json:"arrival_us"`
 	StartUS   float64 `json:"start_us"`
 	DoneUS    float64 `json:"done_us"`
+	// FirstUS is the first-token instant (prefill completion) under the
+	// KV model's prefill/decode split; 0 when KV is disabled, where the
+	// phases are not separable.
+	FirstUS float64 `json:"first_us,omitempty"`
 	// BatchSize is the size of the batch that served the request;
 	// PaddedSL the batch's padded sequence length (its longest member).
 	BatchSize int `json:"batch"`
@@ -64,6 +77,16 @@ func (m RequestMetric) WaitUS() float64 { return m.StartUS - m.ArrivalUS }
 // LatencyUS is the request's end-to-end latency (queueing + service).
 func (m RequestMetric) LatencyUS() float64 { return m.DoneUS - m.ArrivalUS }
 
+// TTFTUS is the request's time to first token (arrival to prefill
+// completion). Only meaningful under the KV model, which separates
+// the phases; 0 otherwise.
+func (m RequestMetric) TTFTUS() float64 {
+	if m.FirstUS == 0 {
+		return 0
+	}
+	return m.FirstUS - m.ArrivalUS
+}
+
 // Result is one serving simulation's full outcome.
 type Result struct {
 	// Config is the hardware configuration served on.
@@ -78,6 +101,8 @@ type Result struct {
 	BusyUS float64
 	// MakespanUS is the completion time of the last batch.
 	MakespanUS float64
+	// KV is the cache model's roll-up; nil when Spec.KV was nil.
+	KV *KVRunStats
 }
 
 // policyConsultSlack bounds policy consultations per dispatched batch
@@ -107,12 +132,28 @@ func Simulate(spec Spec, hw gpusim.Config) (*Result, error) {
 	}
 	maxBatch := spec.Policy.MaxBatch()
 
+	// The KV model needs decode-step prices; a nil kv leaves the table
+	// and the whole event loop on the pre-KV path, byte for byte.
+	var kv *kvState
+	if spec.KV != nil {
+		kv = newKVState(spec.KV, spec.Model)
+		// A request whose own cache exceeds the capacity can never be
+		// served; a fleet rejects it at admission, the single-queue
+		// server has no admission controller and must refuse the trace.
+		for _, r := range spec.Trace.Requests {
+			if need := kv.peakBytes(r); need > kv.capacity {
+				return nil, fmt.Errorf("serving: request %d needs %v KV bytes, above the %v-byte capacity",
+					r.ID, need, kv.capacity)
+			}
+		}
+	}
+
 	// The price table prefetches the trace's unique SLs at the max
 	// batch size (every full batch's padded SL is one of the trace's
 	// SLs) and prices each dispatch by integer offset; partial-batch
 	// sizes fill their slots on first use.
 	prices, err := newPriceTable(src, hw, spec.Model, maxBatch,
-		[]gpusim.ClusterConfig{gpusim.SingleGPU()}, spec.Trace.UniqueSLs())
+		[]gpusim.ClusterConfig{gpusim.SingleGPU()}, spec.Trace.UniqueSLs(), kv != nil)
 	if err != nil {
 		return nil, err
 	}
@@ -123,6 +164,9 @@ func Simulate(spec Spec, hw gpusim.Config) (*Result, error) {
 		Policy:   spec.Policy.Name(),
 		Requests: make([]RequestMetric, len(trace)),
 	}
+	if kv != nil {
+		res.KV = &KVRunStats{BytesPerToken: kv.bpt, CapacityBytes: kv.capacity}
+	}
 
 	var (
 		clock float64   // server-free time
@@ -130,8 +174,9 @@ func Simulate(spec Spec, hw gpusim.Config) (*Result, error) {
 		queue []Request // admitted, unserved requests, oldest first
 		done  int       // completed requests
 
-		batchBuf    []Request // reused takeBatch destination
-		pickScratch []int     // reused takeBatch index scratch
+		batchBuf    []Request   // reused takeBatch destination
+		pickScratch []int       // reused takeBatch index scratch
+		kvTimes     []kvReqTime // reused KV-plan timing scratch
 	)
 	admit := func() {
 		for next < len(trace) && trace[next].ArrivalUS <= clock {
@@ -161,32 +206,68 @@ func Simulate(spec Spec, hw gpusim.Config) (*Result, error) {
 				if err != nil {
 					return nil, err
 				}
-				paddedSL := 0
-				for _, r := range batch {
-					if r.SeqLen > paddedSL {
-						paddedSL = r.SeqLen
-					}
-				}
-				lat, err := prices.latency(0, len(batch), paddedSL)
-				if err != nil {
-					return nil, err
-				}
 				start := clock
-				clock += lat
-				res.Batches++
-				res.BusyUS += lat
-				res.MakespanUS = clock
-				for _, r := range batch {
-					res.Requests[r.ID] = RequestMetric{
-						ID:        r.ID,
-						SeqLen:    r.SeqLen,
-						ArrivalUS: r.ArrivalUS,
-						StartUS:   start,
-						DoneUS:    clock,
-						BatchSize: len(batch),
-						PaddedSL:  paddedSL,
+				if kv == nil {
+					paddedSL := 0
+					for _, r := range batch {
+						if r.SeqLen > paddedSL {
+							paddedSL = r.SeqLen
+						}
 					}
-					done++
+					lat, err := prices.latency(0, len(batch), paddedSL)
+					if err != nil {
+						return nil, err
+					}
+					clock += lat
+					res.Batches++
+					res.BusyUS += lat
+					res.MakespanUS = clock
+					for _, r := range batch {
+						res.Requests[r.ID] = RequestMetric{
+							ID:        r.ID,
+							SeqLen:    r.SeqLen,
+							ArrivalUS: r.ArrivalUS,
+							StartUS:   start,
+							DoneUS:    clock,
+							BatchSize: len(batch),
+							PaddedSL:  paddedSL,
+						}
+						done++
+					}
+				} else {
+					plan, times, err := kv.plan(prices, 0, batch, kvTimes)
+					kvTimes = times
+					if err != nil {
+						return nil, err
+					}
+					if plan.keep < len(batch) {
+						// Eviction: the displaced suffix rejoins the queue
+						// front so recomputation does not also mean
+						// starvation.
+						queue = prependRequests(queue, batch[plan.keep:])
+					}
+					clock += plan.totalLat
+					res.Batches += plan.waves
+					res.BusyUS += plan.totalLat
+					res.MakespanUS = clock
+					res.KV.Preemptions += plan.preempts
+					if plan.peak > res.KV.PeakBytes {
+						res.KV.PeakBytes = plan.peak
+					}
+					for i, r := range batch[:plan.keep] {
+						t := times[i]
+						res.Requests[r.ID] = RequestMetric{
+							ID:        r.ID,
+							SeqLen:    r.SeqLen,
+							ArrivalUS: r.ArrivalUS,
+							StartUS:   start + t.startOff,
+							FirstUS:   start + t.firstOff,
+							DoneUS:    start + t.doneOff,
+							BatchSize: t.batch,
+							PaddedSL:  t.paddedSL,
+						}
+						done++
+					}
 				}
 				admit()
 				break
@@ -269,6 +350,35 @@ type Summary struct {
 	P50LatencyUS   float64 `json:"p50_latency_us"`
 	P95LatencyUS   float64 `json:"p95_latency_us"`
 	P99LatencyUS   float64 `json:"p99_latency_us"`
+
+	// KV-model roll-ups, only emitted when the run had KV enabled
+	// (omitempty keeps KV-off summaries byte-identical to the pre-KV
+	// format). TTFT is arrival → prefill completion; the end-to-end
+	// latency fields above keep their meaning.
+	MeanTTFTUS      float64 `json:"mean_ttft_us,omitempty"`
+	P50TTFTUS       float64 `json:"p50_ttft_us,omitempty"`
+	P95TTFTUS       float64 `json:"p95_ttft_us,omitempty"`
+	P99TTFTUS       float64 `json:"p99_ttft_us,omitempty"`
+	Preemptions     int     `json:"preemptions,omitempty"`
+	KVCapacityBytes float64 `json:"kv_capacity_bytes,omitempty"`
+	KVPeakBytes     float64 `json:"kv_peak_bytes,omitempty"`
+}
+
+// ttftDigest ranks per-request TTFTs (arrival → prefill completion)
+// into a mean and nearest-rank p50/p95/p99. metrics must be non-empty
+// and carry FirstUS (a KV-enabled run).
+func ttftDigest(metrics []RequestMetric) (mean, p50, p95, p99 float64) {
+	ttfts := make([]float64, len(metrics))
+	var sum float64
+	for i, m := range metrics {
+		ttfts[i] = m.TTFTUS()
+		sum += ttfts[i]
+	}
+	mean = sum / float64(len(ttfts))
+	if ps, err := stats.PercentilesInPlace(ttfts, 50, 95, 99); err == nil {
+		p50, p95, p99 = ps[0], ps[1], ps[2]
+	}
+	return mean, p50, p95, p99
 }
 
 // Latencies returns every request's end-to-end latency in trace order.
@@ -328,6 +438,12 @@ func (r *Result) Summary() Summary {
 	// here.
 	if ps, err := stats.PercentilesInPlace(lats, 50, 95, 99); err == nil {
 		s.P50LatencyUS, s.P95LatencyUS, s.P99LatencyUS = ps[0], ps[1], ps[2]
+	}
+	if r.KV != nil {
+		s.Preemptions = r.KV.Preemptions
+		s.KVCapacityBytes = r.KV.CapacityBytes
+		s.KVPeakBytes = r.KV.PeakBytes
+		s.MeanTTFTUS, s.P50TTFTUS, s.P95TTFTUS, s.P99TTFTUS = ttftDigest(r.Requests)
 	}
 	return s
 }

@@ -23,6 +23,12 @@ var ErrEmpty = errors.New("stats: empty input")
 // ErrMismatch is returned when paired inputs have different lengths.
 var ErrMismatch = errors.New("stats: input length mismatch")
 
+// ErrNonFinite is returned by the percentile functions when a sample is
+// NaN or infinite. Go's sort is not a total order over NaN, so ranking
+// such inputs would be order-unstable — a silent determinism hazard —
+// and a non-finite latency is always an upstream bug worth surfacing.
+var ErrNonFinite = errors.New("stats: non-finite sample")
+
 // Sum returns the sum of xs. An empty slice sums to zero.
 func Sum(xs []float64) float64 {
 	var s float64
@@ -135,9 +141,17 @@ func Percentiles(xs []float64, ps ...float64) ([]float64, error) {
 // Callers that already own a throwaway sample buffer (the serving
 // summaries build per-request latency slices only to rank them) use
 // this to avoid duplicating million-element slices on the hot path.
+// Non-finite samples are rejected with ErrNonFinite before sorting:
+// sort.Float64s over NaN is not a total order, so its output — and
+// every rank read from it — would vary run to run.
 func PercentilesInPlace(xs []float64, ps ...float64) ([]float64, error) {
 	if len(xs) == 0 {
 		return nil, ErrEmpty
+	}
+	for i, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return nil, fmt.Errorf("%w: xs[%d] = %v", ErrNonFinite, i, x)
+		}
 	}
 	sort.Float64s(xs)
 	out := make([]float64, len(ps))

@@ -1,8 +1,10 @@
 package stats
 
 import (
+	"errors"
 	"math"
 	"sort"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -130,6 +132,37 @@ func TestPercentilesInPlace(t *testing.T) {
 	}
 	if _, err := PercentilesInPlace(nil, 50); err != ErrEmpty {
 		t.Errorf("empty error = %v, want ErrEmpty", err)
+	}
+}
+
+// Non-finite samples used to silently poison the ranked result: NaN
+// sorts to an arbitrary position, so every percentile after it was
+// garbage. All three entry points must refuse such input with the
+// typed sentinel and name the offending index.
+func TestPercentileRejectsNonFinite(t *testing.T) {
+	for name, xs := range map[string][]float64{
+		"NaN":  {1, math.NaN(), 3},
+		"+Inf": {1, 2, math.Inf(1)},
+		"-Inf": {math.Inf(-1), 2, 3},
+	} {
+		t.Run(name, func(t *testing.T) {
+			if _, err := Percentile(append([]float64(nil), xs...), 50); !errors.Is(err, ErrNonFinite) {
+				t.Errorf("Percentile error = %v, want ErrNonFinite", err)
+			}
+			if _, err := Percentiles(append([]float64(nil), xs...), 50, 99); !errors.Is(err, ErrNonFinite) {
+				t.Errorf("Percentiles error = %v, want ErrNonFinite", err)
+			}
+			err := func() error {
+				_, err := PercentilesInPlace(append([]float64(nil), xs...), 50)
+				return err
+			}()
+			if !errors.Is(err, ErrNonFinite) {
+				t.Errorf("PercentilesInPlace error = %v, want ErrNonFinite", err)
+			}
+			if !strings.Contains(err.Error(), "xs[") {
+				t.Errorf("error %q should name the offending index", err)
+			}
+		})
 	}
 }
 

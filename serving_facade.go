@@ -71,15 +71,46 @@ type (
 var (
 	// SimulateFleet runs a multi-replica serving simulation.
 	SimulateFleet = serving.SimulateFleet
-	// NewRoundRobin, NewLeastOutstanding, NewJSQ and NewPowerOfTwo
-	// build the four bundled routing policies.
+	// NewRoundRobin, NewLeastOutstanding, NewJSQ, NewPowerOfTwo and
+	// NewKVRouter build the five bundled routing policies.
 	NewRoundRobin       = serving.NewRoundRobin
 	NewLeastOutstanding = serving.NewLeastOutstanding
 	NewJSQ              = serving.NewJSQ
 	NewPowerOfTwo       = serving.NewPowerOfTwo
+	NewKVRouter         = serving.NewKVRouter
 	// ParseRouting maps a CLI/HTTP routing spelling ("rr", "least",
-	// "jsq", "po2") to a router.
+	// "jsq", "po2", "kv") to a router.
 	ParseRouting = serving.ParseRouting
+)
+
+// Memory-aware serving (internal/serving): the KV-cache capacity model.
+// With KVCacheConfig set on a spec, requests are a prefill over their
+// input followed by decode steps, the replica holds cache bytes per
+// in-flight token against a capacity ceiling, over-capacity picks
+// preempt (evict-and-recompute or block into waves), and summaries gain
+// time-to-first-token percentiles alongside end-to-end latency. A fleet
+// can additionally split into prefill/decode pools joined by a handoff
+// queue (FleetDisagg) and route on cache pressure (NewKVRouter).
+type (
+	// KVCacheConfig enables the per-replica KV-cache capacity model.
+	KVCacheConfig = serving.KVConfig
+	// KVCacheStats is the cache model's roll-up of one run.
+	KVCacheStats = serving.KVRunStats
+	// FleetDisagg splits a fleet into prefill and decode pools.
+	FleetDisagg = serving.DisaggConfig
+)
+
+// KV-model spellings: preemption policies and the cache-pressure router.
+const (
+	// KVPreemptEvict launches the maximal fitting prefix of a batch and
+	// returns the displaced requests to the queue front.
+	KVPreemptEvict = serving.PreemptEvict
+	// KVPreemptBlock serves an over-capacity batch as consecutive
+	// capacity-bounded waves within one busy period.
+	KVPreemptBlock = serving.PreemptBlock
+	// RoutingKV is the ParseRouting spelling of the least-cache-pressure
+	// router.
+	RoutingKV = serving.RoutingKV
 )
 
 var (

@@ -168,19 +168,21 @@ func TestCompareAllocGate(t *testing.T) {
 // snapshot against its predecessor must also pass — the trajectory
 // only ever improved.
 func TestGateCommittedBaseline(t *testing.T) {
-	pr7, err := filepath.Abs("../../BENCH_pr7.json")
+	pr8, err := filepath.Abs("../../BENCH_pr8.json")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := os.Stat(pr7); err != nil {
+	if _, err := os.Stat(pr8); err != nil {
 		t.Skipf("committed baseline not found: %v", err)
 	}
-	report, ok, err := Gate(pr7, pr7, 25, 10)
+	report, ok, err := Gate(pr8, pr8, 25, 10)
 	if err != nil || !ok {
 		t.Fatalf("self-comparison failed; ok=%v err=%v\n%s", ok, err, report)
 	}
-	seed := filepath.Join(filepath.Dir(pr7), "BENCH_seed.json")
-	pr6 := filepath.Join(filepath.Dir(pr7), "BENCH_pr6.json")
+	dir := filepath.Dir(pr8)
+	seed := filepath.Join(dir, "BENCH_seed.json")
+	pr6 := filepath.Join(dir, "BENCH_pr6.json")
+	pr7 := filepath.Join(dir, "BENCH_pr7.json")
 	report, ok, err = Gate(seed, pr6, 25, 10)
 	if err != nil || !ok {
 		t.Fatalf("PR 6 numbers regressed against the seed; ok=%v err=%v\n%s", ok, err, report)
@@ -191,6 +193,13 @@ func TestGateCommittedBaseline(t *testing.T) {
 	report, ok, err = Gate(pr6, pr7, 25, 10)
 	if err != nil || !ok {
 		t.Fatalf("PR 7 numbers regressed against PR 6; ok=%v err=%v\n%s", ok, err, report)
+	}
+	// PR 8 adds the planner (a new benchmark, skipped against pr7)
+	// without touching the serving hot path: allocation counts are
+	// byte-identical.
+	report, ok, err = Gate(pr7, pr8, 25, 10)
+	if err != nil || !ok {
+		t.Fatalf("PR 8 numbers regressed against PR 7; ok=%v err=%v\n%s", ok, err, report)
 	}
 }
 

@@ -7,12 +7,19 @@
 // arrival trace at -rate requests/s through the -policy batcher,
 // reporting throughput, utilization and the p50/p95/p99 latency tail.
 //
+// With -plan it answers the inverse serving question: given SLO
+// targets (-slo-p99-us, -slo-ttft-p99-us, -slo-min-rps,
+// -slo-max-drop-pct), search replicas × routing for the cheapest fleet
+// that meets them at -rate, and report the plan with its saturation
+// analysis — headroom, bottleneck, and the knee rate where it breaks.
+//
 // Usage:
 //
 //	trainsim -model ds2 -config 3 -epochs 2 -parallelism 8 -o profile.csv
 //	trainsim -model gnmt -gpus 8 -topology ring -linkgbps 25
 //	trainsim -model gnmt -serve -rate 120 -policy dynamic -requests 512
 //	trainsim -model gnmt -serve -replicas 32 -rate 5000 -cpuprofile cpu.pprof
+//	trainsim -model gnmt -plan -rate 700 -slo-p99-us 180000 -slo-min-rps 400
 package main
 
 import (
@@ -27,6 +34,7 @@ import (
 	"seqpoint/internal/engine"
 	"seqpoint/internal/experiments"
 	"seqpoint/internal/gpusim"
+	"seqpoint/internal/planner"
 	"seqpoint/internal/profiler"
 	"seqpoint/internal/report"
 	"seqpoint/internal/serving"
@@ -88,6 +96,13 @@ func mainExit() int {
 		kvSteps  = flag.Int("decode-steps", 0, "(with -serve -kv-capacity-gb) decode steps per request")
 		kvPre    = flag.String("kv-preempt", "", "(with -serve -kv-capacity-gb) over-capacity behavior: evict or block")
 		disagg   = flag.String("disagg", "", "(with -serve -kv-capacity-gb) split the fleet into prefill:decode pools, e.g. 2:6")
+		plan     = flag.Bool("plan", false, "plan capacity: find the minimal fleet meeting the -slo-* targets at -rate")
+		sloP99   = flag.Float64("slo-p99-us", 0, "(with -plan) p99 end-to-end latency target in µs (0 = untargeted)")
+		sloTTFT  = flag.Float64("slo-ttft-p99-us", 0, "(with -plan) p99 TTFT target in µs; needs -kv-capacity-gb (0 = untargeted)")
+		sloRPS   = flag.Float64("slo-min-rps", 0, "(with -plan) served-throughput floor in requests/s (0 = untargeted)")
+		sloDrop  = flag.Float64("slo-max-drop-pct", -1, "(with -plan) admission drop-rate cap in percent; 0 means drop nothing (-1 = untargeted)")
+		planMax  = flag.Int("plan-max-replicas", planner.DefaultMaxReplicas, "(with -plan) replica search ceiling")
+		planRout = flag.String("plan-routings", "", "(with -plan) comma-separated routing axis (default rr,least,jsq,po2)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
@@ -120,37 +135,53 @@ func mainExit() int {
 		}()
 	}
 
-	// The two modes accept disjoint knobs; reject mismatched flags
+	// The three modes accept disjoint knobs; reject mismatched flags
 	// instead of silently ignoring them (forgetting -serve while
-	// passing -rate would otherwise run a training simulation).
-	trainOnly := map[string]bool{
-		"gpus": true, "topology": true, "linkgbps": true, "linklatus": true,
-		"overlap": true, "epochs": true, "o": true, "trace-sl": true, "trace-o": true,
+	// passing -rate would otherwise run a training simulation, and
+	// passing -replicas with -plan would contradict the planner, whose
+	// job is to choose the replica count).
+	if *serve && *plan {
+		fmt.Fprintln(os.Stderr, "trainsim: -serve and -plan are mutually exclusive; choose one mode")
+		return 1
 	}
-	serveOnly := map[string]bool{
-		"rate": true, "policy": true, "requests": true, "serve-timeout-us": true,
-		"replicas": true, "routing": true, "queue-cap": true, "autoscale": true,
-		"sim-parallelism": true, "kv-capacity-gb": true, "decode-steps": true,
-		"kv-preempt": true, "disagg": true,
+	mode := "train"
+	switch {
+	case *serve:
+		mode = "serve"
+	case *plan:
+		mode = "plan"
 	}
-	var bad []string
+	var visited []string
 	routingSet, simParSet := false, false
 	flag.Visit(func(f *flag.Flag) {
 		routingSet = routingSet || f.Name == "routing"
 		simParSet = simParSet || f.Name == "sim-parallelism"
-		if *serve && trainOnly[f.Name] || !*serve && serveOnly[f.Name] {
-			bad = append(bad, "-"+f.Name)
-		}
+		visited = append(visited, f.Name)
 	})
-	if len(bad) > 0 {
-		if *serve {
-			fmt.Fprintf(os.Stderr, "trainsim: %s apply to training simulation only, not -serve\n",
-				strings.Join(bad, ", "))
-		} else {
-			fmt.Fprintf(os.Stderr, "trainsim: %s apply to -serve only; add -serve to simulate serving\n",
-				strings.Join(bad, ", "))
-		}
+	if bad, hint := badModeFlags(mode, visited); len(bad) > 0 {
+		fmt.Fprintf(os.Stderr, "trainsim: %s %s\n", strings.Join(bad, ", "), hint)
 		return 1
+	}
+
+	if *plan {
+		slo := planner.SLO{
+			TTFTP99US:        *sloTTFT,
+			LatencyP99US:     *sloP99,
+			MinThroughputRPS: *sloRPS,
+		}
+		if *sloDrop >= 0 {
+			slo.MaxDropRatePct = sloDrop
+		}
+		kvCfg, _, err := kvFromFlags(*kvCapGB, *kvSteps, *kvPre, "", 0)
+		if err == nil {
+			err = runPlan(*model, *cfgIdx, *batch, *seed, *rate, *policy, *requests, *timeout,
+				*queueCap, kvCfg, slo, *planMax, *planRout)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "trainsim:", err)
+			return 1
+		}
+		return 0
 	}
 
 	if *serve {
@@ -184,6 +215,62 @@ func mainExit() int {
 		return 1
 	}
 	return 0
+}
+
+// Flag groups by mode. Serving-shared flags (-rate, -policy, the KV
+// model, ...) describe the workload and apply to both -serve and
+// -plan; fleet-only flags pick the fleet shape, which in -plan mode is
+// the planner's output, not an input.
+var (
+	trainOnlyFlags = map[string]bool{
+		"gpus": true, "topology": true, "linkgbps": true, "linklatus": true,
+		"overlap": true, "epochs": true, "o": true, "trace-sl": true, "trace-o": true,
+	}
+	fleetOnlyFlags = map[string]bool{
+		"replicas": true, "routing": true, "autoscale": true,
+		"sim-parallelism": true, "disagg": true,
+	}
+	servingSharedFlags = map[string]bool{
+		"rate": true, "policy": true, "requests": true, "serve-timeout-us": true,
+		"queue-cap": true, "kv-capacity-gb": true, "decode-steps": true, "kv-preempt": true,
+	}
+	planOnlyFlags = map[string]bool{
+		"slo-p99-us": true, "slo-ttft-p99-us": true, "slo-min-rps": true,
+		"slo-max-drop-pct": true, "plan-max-replicas": true, "plan-routings": true,
+	}
+)
+
+// badModeFlags returns the explicitly-set flags that do not apply to
+// the selected mode ("train", "serve" or "plan"), plus the hint to
+// print after them.
+func badModeFlags(mode string, visited []string) (bad []string, hint string) {
+	wrong := func(name string) bool {
+		switch mode {
+		case "serve":
+			return trainOnlyFlags[name] || planOnlyFlags[name]
+		case "plan":
+			return trainOnlyFlags[name] || fleetOnlyFlags[name]
+		default:
+			return servingSharedFlags[name] || fleetOnlyFlags[name] || planOnlyFlags[name]
+		}
+	}
+	for _, name := range visited {
+		if wrong(name) {
+			bad = append(bad, "-"+name)
+		}
+	}
+	if len(bad) == 0 {
+		return nil, ""
+	}
+	switch mode {
+	case "serve":
+		hint = "do not apply to -serve; training flags need the default mode, -slo-*/-plan-* need -plan"
+	case "plan":
+		hint = "do not apply to -plan: the planner chooses the fleet shape; use -serve to price a fleet you pick"
+	default:
+		hint = "apply to -serve or -plan only; add one of those flags"
+	}
+	return bad, hint
 }
 
 // writeHeapProfile snapshots the heap into path after a final GC, so
@@ -372,6 +459,104 @@ func runFleet(model string, cfgIdx, batch int, seed int64, rate float64, policyN
 			report.US(rs.LiveUS))
 	}
 	fmt.Print(rt.String())
+	return nil
+}
+
+// runPlan searches for the minimal fleet meeting the SLO at the
+// offered rate and prints the plan report.
+func runPlan(model string, cfgIdx, batch int, seed int64, rate float64, policyName string,
+	requests int, timeoutUS float64, queueCap int, kv *serving.KVConfig,
+	slo planner.SLO, maxReplicas int, routingsCSV string) error {
+	cfgs := gpusim.TableII()
+	if cfgIdx < 1 || cfgIdx > len(cfgs) {
+		return fmt.Errorf("config %d outside Table II range 1-%d", cfgIdx, len(cfgs))
+	}
+	cfg := cfgs[cfgIdx-1]
+	if err := slo.Validate(); err != nil {
+		return fmt.Errorf("%w; set at least one of -slo-p99-us, -slo-ttft-p99-us, -slo-min-rps, -slo-max-drop-pct", err)
+	}
+	w, err := experiments.ServedWorkloadByName(model, seed)
+	if err != nil {
+		return err
+	}
+	w.Batch = batch
+	pol, err := serving.ParsePolicy(policyName, batch, timeoutUS)
+	if err != nil {
+		return err
+	}
+	var routings []string
+	if routingsCSV != "" {
+		for _, r := range strings.Split(routingsCSV, ",") {
+			name := strings.TrimSpace(r)
+			// Validate eagerly: search pruning can skip a combination
+			// entirely, which would let a typo ride along unnoticed.
+			if _, err := serving.ParseRouting(name, seed); err != nil {
+				return err
+			}
+			routings = append(routings, name)
+		}
+	}
+	probe, err := experiments.PlanProbe(engine.Shared(), w, cfg, experiments.PlanProbeConfig{
+		Requests:        requests,
+		QueueCap:        queueCap,
+		KV:              kv,
+		Policy:          pol,
+		PolicyTimeoutUS: timeoutUS,
+	})
+	if err != nil {
+		return err
+	}
+	plan, err := planner.Solve(planner.Spec{
+		SLO:         slo,
+		RatePerSec:  rate,
+		MaxReplicas: maxReplicas,
+		Routings:    routings,
+		Probe:       probe,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("model=%s config=%s rate=%g req/s max-replicas=%d\n", w.Name, cfg, rate, maxReplicas)
+	t := report.NewTable("Capacity plan", "quantity", "value").Align(1, report.AlignRight)
+	t.AddStringRow("replicas", report.Count(plan.Replicas))
+	t.AddStringRow("routing", plan.Routing)
+	t.AddStringRow("policy", plan.Policy)
+	if plan.KVCapacityGB > 0 {
+		t.AddStringRow("KV capacity", fmt.Sprintf("%.2f GB", plan.KVCapacityGB))
+	}
+	t.AddStringRow("cost", fmt.Sprintf("%.2f replica-s", plan.CostReplicaSeconds))
+	t.AddStringRow("throughput", fmt.Sprintf("%.1f req/s", plan.Summary.ThroughputRPS))
+	t.AddStringRow("p99 latency", report.US(plan.Summary.P99LatencyUS))
+	t.AddStringRow("probe evaluations", report.Count(plan.Evaluations))
+	fmt.Print(t.String())
+
+	st := report.NewTable("SLO targets", "dimension", "target", "achieved", "headroom", "met").AlignNumeric()
+	for _, d := range plan.SLO {
+		met := "yes"
+		if !d.OK {
+			met = "NO"
+		}
+		st.AddStringRow(d.Name, fmt.Sprintf("%.6g", d.Target), fmt.Sprintf("%.6g", d.Achieved),
+			report.Pct(d.HeadroomPct), met)
+	}
+	fmt.Print(st.String())
+
+	sat := plan.Saturation
+	at := report.NewTable("Saturation", "quantity", "value").Align(1, report.AlignRight)
+	at.AddStringRow("bottleneck", sat.Bottleneck)
+	at.AddStringRow("compute pressure", report.Pct(sat.ComputePct))
+	at.AddStringRow("queue pressure", report.Pct(sat.QueuePct))
+	if sat.KVPct > 0 {
+		at.AddStringRow("KV pressure", report.Pct(sat.KVPct))
+	}
+	at.AddStringRow("SLO headroom", report.Pct(sat.SLOHeadroomPct))
+	knee := fmt.Sprintf("%.1f req/s (%.2f× planned)", sat.KneeRPS, sat.KneeFactor)
+	if sat.KneeCapped {
+		knee += " — beyond probed range"
+	}
+	at.AddStringRow("knee", knee)
+	fmt.Print(at.String())
 	return nil
 }
 

@@ -1,11 +1,99 @@
 package main
 
 import (
+	"reflect"
+	"strings"
 	"testing"
 
 	"seqpoint/internal/gpusim"
+	"seqpoint/internal/planner"
 	"seqpoint/internal/serving"
 )
+
+// TestBadModeFlags pins the three-way mode × flag-group matrix:
+// serving-shared flags work in -serve and -plan, fleet-shape flags are
+// serve-only (the planner chooses the fleet), SLO flags are plan-only,
+// and training flags belong to the default mode.
+func TestBadModeFlags(t *testing.T) {
+	cases := []struct {
+		name    string
+		mode    string
+		visited []string
+		wantBad []string
+		hintHas string
+	}{
+		{"clean train", "train", []string{"model", "epochs", "gpus", "o"}, nil, ""},
+		{"clean serve", "serve", []string{"serve", "rate", "policy", "replicas", "routing", "kv-capacity-gb"}, nil, ""},
+		{"clean plan", "plan", []string{"plan", "rate", "policy", "queue-cap", "kv-capacity-gb", "slo-p99-us", "plan-max-replicas"}, nil, ""},
+		{"serving flags without a serving mode", "train", []string{"rate", "requests"}, []string{"-rate", "-requests"}, "-serve or -plan"},
+		{"slo flags without plan", "train", []string{"slo-min-rps"}, []string{"-slo-min-rps"}, "-serve or -plan"},
+		{"train flags under serve", "serve", []string{"serve", "gpus", "topology"}, []string{"-gpus", "-topology"}, "do not apply to -serve"},
+		{"plan flags under serve", "serve", []string{"serve", "slo-p99-us", "plan-routings"}, []string{"-slo-p99-us", "-plan-routings"}, "need -plan"},
+		{"fleet shape under plan", "plan", []string{"plan", "replicas", "routing", "autoscale"}, []string{"-replicas", "-routing", "-autoscale"}, "planner chooses the fleet shape"},
+		{"train flags under plan", "plan", []string{"plan", "epochs"}, []string{"-epochs"}, "do not apply to -plan"},
+		{"profiling flags valid everywhere", "plan", []string{"plan", "cpuprofile", "memprofile", "parallelism", "slo-p99-us"}, nil, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			bad, hint := badModeFlags(tc.mode, tc.visited)
+			if !reflect.DeepEqual(bad, tc.wantBad) {
+				t.Errorf("bad = %v, want %v", bad, tc.wantBad)
+			}
+			if tc.hintHas == "" {
+				if hint != "" {
+					t.Errorf("hint = %q, want empty", hint)
+				}
+			} else if !strings.Contains(hint, tc.hintHas) {
+				t.Errorf("hint %q missing %q", hint, tc.hintHas)
+			}
+		})
+	}
+}
+
+// TestRunPlan drives the planning entry point end to end (output goes
+// to stdout; errors are what we assert on).
+func TestRunPlan(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full planning searches skipped in -short mode")
+	}
+	// Feasible: a loose latency target plus a throughput floor.
+	slo := planner.SLO{LatencyP99US: 500_000, MinThroughputRPS: 100}
+	if err := runPlan("gnmt", 1, 16, 1, 300, "dynamic", 48, 20000, 0, nil, slo, 4, ""); err != nil {
+		t.Errorf("runPlan: %v", err)
+	}
+	// An explicit routing axis and a bounded queue.
+	if err := runPlan("gnmt", 1, 16, 1, 300, "dynamic", 48, 20000, 32, nil, slo, 4, "rr,jsq"); err != nil {
+		t.Errorf("runPlan with routings: %v", err)
+	}
+	// The KV model brings TTFT targets into play.
+	kv := &serving.KVConfig{CapacityBytes: 0.5e9, DecodeSteps: 16}
+	kvSLO := planner.SLO{TTFTP99US: 1e9, MinThroughputRPS: 10}
+	if err := runPlan("gnmt", 1, 16, 1, 300, "dynamic", 48, 20000, 0, kv, kvSLO, 4, ""); err != nil {
+		t.Errorf("runPlan kv: %v", err)
+	}
+
+	// Error paths: bad config, empty SLO, unknown model/policy/routing,
+	// infeasible target.
+	if err := runPlan("gnmt", 9, 16, 1, 300, "dynamic", 48, 20000, 0, nil, slo, 4, ""); err == nil {
+		t.Error("config out of range should error")
+	}
+	if err := runPlan("gnmt", 1, 16, 1, 300, "dynamic", 48, 20000, 0, nil, planner.SLO{}, 4, ""); err == nil {
+		t.Error("empty SLO should error")
+	}
+	if err := runPlan("cnn", 1, 16, 1, 300, "dynamic", 48, 20000, 0, nil, slo, 4, ""); err == nil {
+		t.Error("cnn is not servable")
+	}
+	if err := runPlan("gnmt", 1, 16, 1, 300, "magic", 48, 20000, 0, nil, slo, 4, ""); err == nil {
+		t.Error("unknown policy should error")
+	}
+	if err := runPlan("gnmt", 1, 16, 1, 300, "dynamic", 48, 20000, 0, nil, slo, 4, "rr,torus"); err == nil {
+		t.Error("unknown routing should error")
+	}
+	if err := runPlan("gnmt", 1, 16, 1, 300, "dynamic", 48, 20000, 0, nil,
+		planner.SLO{LatencyP99US: 1}, 2, "rr"); err == nil {
+		t.Error("impossible latency target should be infeasible")
+	}
+}
 
 func TestKVFromFlags(t *testing.T) {
 	if kv, dis, err := kvFromFlags(0, 0, "", "", 2); err != nil || kv != nil || dis != nil {

@@ -171,6 +171,12 @@ func (s *Suite) CSVBundle() (map[string]string, error) {
 			return nil, err
 		}
 		out[fmt.Sprintf("kvsweep_%s.csv", w.Name)] = ks.CSV()
+
+		ps, err := PlanSweep(s.Lab, w, calib, DefaultServeRequests, PlanSweepBudgets())
+		if err != nil {
+			return nil, err
+		}
+		out[fmt.Sprintf("plansweep_%s.csv", w.Name)] = ps.CSV()
 	}
 	return out, nil
 }

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"seqpoint/internal/engine"
+	"seqpoint/internal/gpusim"
+	"seqpoint/internal/planner"
+)
+
+// TestPlanProbeDeterminism pins the probe seam's caching contract:
+// repeated calls for the same candidate and rate return identical
+// summaries, and candidate overrides (routing, policy, KV capacity)
+// actually reach the simulation.
+func TestPlanProbeDeterminism(t *testing.T) {
+	lab := NewLabWith(engine.New())
+	w := sweepWorkload()
+	probe, err := PlanProbe(lab.Engine(), w, gpusim.VegaFE(), PlanProbeConfig{Requests: 96, QueueCap: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := planner.Candidate{Replicas: 2, Routing: "rr"}
+	first, err := probe(c, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := probe(c, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Errorf("probe is not deterministic for a repeated candidate:\n%+v\nvs\n%+v", first, second)
+	}
+	if first.Requests != 96 || first.Replicas != 2 {
+		t.Errorf("probe config did not reach the simulation: %+v", first)
+	}
+
+	// A KV-capacity override enables the cache model.
+	kvSum, err := probe(planner.Candidate{Replicas: 2, Routing: "rr", KVCapacityGB: 1}, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kvSum.KVCapacityBytes != 1e9 {
+		t.Errorf("KV override did not reach the simulation: capacity %v, want 1e9", kvSum.KVCapacityBytes)
+	}
+
+	// Unknown overrides surface as errors, not silent fallbacks.
+	if _, err := probe(planner.Candidate{Replicas: 1, Routing: "torus"}, 300); err == nil {
+		t.Error("unknown routing should error")
+	}
+	if _, err := probe(planner.Candidate{Replicas: 1, Routing: "rr", Policy: "magic"}, 300); err == nil {
+		t.Error("unknown policy should error")
+	}
+}
+
+// TestPlanSweepMonotonicity runs the suite's planner sweep end to end
+// and checks the economics: a tighter p99 budget can never be served
+// by a smaller fleet than a looser one.
+func TestPlanSweepMonotonicity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full planner sweeps skipped in -short mode")
+	}
+	lab := NewLabWith(engine.New())
+	w := sweepWorkload()
+	res, err := PlanSweep(lab, w, gpusim.VegaFE(), 128, []float64{8, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(res.Rows))
+	}
+	if res.CapacityRPS <= 0 || res.RatePerSec <= 0 {
+		t.Fatalf("capacity %v / rate %v, want > 0", res.CapacityRPS, res.RatePerSec)
+	}
+	loose, tight := res.Rows[0], res.Rows[1]
+	if loose.P99BudgetUS <= tight.P99BudgetUS {
+		t.Fatalf("budget axis not loose-to-tight: %v then %v", loose.P99BudgetUS, tight.P99BudgetUS)
+	}
+	if !loose.Feasible {
+		t.Fatalf("the loose budget must be plannable: %+v", loose)
+	}
+	if tight.Feasible && tight.Replicas < loose.Replicas {
+		t.Errorf("tighter budget planned fewer replicas (%d) than the looser one (%d)",
+			tight.Replicas, loose.Replicas)
+	}
+	for _, row := range res.Rows {
+		if !row.Feasible {
+			continue
+		}
+		if row.Evaluations <= 0 || row.KneeRPS <= 0 || row.Bottleneck == "" {
+			t.Errorf("feasible row missing analysis fields: %+v", row)
+		}
+	}
+
+	out := res.Render()
+	for _, want := range []string{"Capacity planner", "p99 budget", "bottleneck", "knee req/s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render() missing %q:\n%s", want, out)
+		}
+	}
+	csv := res.CSV()
+	if !strings.Contains(csv, "p99_budget_us,feasible,replicas,routing") {
+		t.Errorf("CSV missing header:\n%s", csv)
+	}
+	if got := strings.Count(csv, "\n"); got != len(res.Rows)+1 {
+		t.Errorf("CSV has %d lines, want %d", got, len(res.Rows)+1)
+	}
+}

@@ -415,6 +415,20 @@ func (s *Suite) RunAll(w io.Writer) error {
 		return err
 	}
 
+	if err := emit("Capacity planner (SLO → minimal fleet)", func() (string, error) {
+		var out string
+		for _, w := range s.Workloads() {
+			r, err := PlanSweep(s.Lab, w, calib, DefaultServeRequests, PlanSweepBudgets())
+			if err != nil {
+				return "", err
+			}
+			out += r.Render()
+		}
+		return out, nil
+	}); err != nil {
+		return err
+	}
+
 	if err := emit("Section VI-F (dataset scaling)", func() (string, error) {
 		var out string
 		for _, tc := range []struct {

@@ -275,7 +275,35 @@ type StatsResponse struct {
 	MaxInflight int `json:"max_inflight"`
 }
 
-// errorResponse is the uniform error body: {"error": "..."}.
+// Machine-readable error codes carried by every non-2xx response's
+// "code" field (and surfaced on the client as APIError.Code), so
+// programs branch on a stable identifier instead of parsing prose.
+const (
+	// CodeBadRequest marks a malformed or out-of-bounds request (400).
+	CodeBadRequest = "bad_request"
+	// CodeKVCapacity marks a KV-cache-model misconfiguration: invalid
+	// kv_capacity_gb, or a KV-dependent knob without the model (400).
+	CodeKVCapacity = "kv_capacity"
+	// CodeMethodNotAllowed marks a wrong HTTP method (405).
+	CodeMethodNotAllowed = "method_not_allowed"
+	// CodeInfeasible marks a well-formed plan request whose SLO no
+	// candidate within bounds can meet (422).
+	CodeInfeasible = "infeasible"
+	// CodeOverloaded marks rejection by the in-flight limiter (429).
+	CodeOverloaded = "overloaded"
+	// CodeInternal marks a simulation or encoding failure (500).
+	CodeInternal = "internal"
+	// CodeCancelled marks a request abandoned because the client went
+	// away (503).
+	CodeCancelled = "cancelled"
+	// CodeTimeout marks a request that outlived the server's
+	// per-request deadline (504).
+	CodeTimeout = "timeout"
+)
+
+// errorResponse is the uniform error body:
+// {"error": "...", "code": "..."}.
 type errorResponse struct {
 	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
 }

@@ -68,6 +68,16 @@ func (c *Client) Fleet(ctx context.Context, req FleetRequest) (FleetResponse, er
 	return out, err
 }
 
+// Plan solves for the minimal fleet meeting the request's SLO and
+// returns the chosen plan with its saturation analysis. An SLO no
+// in-bounds fleet can meet surfaces as an APIError with Status 422 and
+// Code "infeasible".
+func (c *Client) Plan(ctx context.Context, req PlanRequest) (PlanResponse, error) {
+	var out PlanResponse
+	err := c.post(ctx, "/v1/plan", req, &out)
+	return out, err
+}
+
 // Stats fetches the engine cache and service counters.
 func (c *Client) Stats(ctx context.Context) (StatsResponse, error) {
 	var out StatsResponse
@@ -111,6 +121,9 @@ func (c *Client) get(ctx context.Context, path string, out any) error {
 type APIError struct {
 	// Status is the HTTP status code.
 	Status int
+	// Code is the server's machine-readable error code (one of the
+	// Code* constants), empty when the server sent a non-JSON body.
+	Code string
 	// Message is the server's error body: the decoded {"error": ...}
 	// payload, or the raw body when the server sent something else.
 	Message string
@@ -139,6 +152,7 @@ func (c *Client) do(req *http.Request, out any) error {
 		var er errorResponse
 		if json.Unmarshal(body, &er) == nil && er.Error != "" {
 			apiErr.Message = er.Error
+			apiErr.Code = er.Code
 		} else {
 			apiErr.Message = string(bytes.TrimSpace(body))
 		}

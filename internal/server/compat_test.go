@@ -1,0 +1,118 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// strictDecode decodes with DisallowUnknownFields, the same mode the
+// server's handlers use.
+func strictDecode(t *testing.T, body string, dst any) {
+	t.Helper()
+	dec := json.NewDecoder(strings.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		t.Fatalf("strict decode of %s: %v", body, err)
+	}
+}
+
+// TestWorkloadEnvelopeWireCompat: moving the shared fields into the
+// embedded WorkloadSpec must not change the wire protocol. The flat
+// JSON shapes clients sent before the envelope existed still decode —
+// strictly — into the typed requests, land in the embedded struct, and
+// re-encode without any nesting artifact.
+func TestWorkloadEnvelopeWireCompat(t *testing.T) {
+	// A pre-envelope /v1/serve body exercising every shared field.
+	serveJSON := `{
+		"model": "gnmt",
+		"rate": 500,
+		"config": "#2",
+		"batch": 8,
+		"policy": "dynamic",
+		"timeout_us": 20000,
+		"requests": 64,
+		"seed": 7,
+		"seqlens": [4, 7, 9],
+		"kv_capacity_gb": 2,
+		"decode_steps": 16,
+		"kv_preempt": "block"
+	}`
+	var serve ServeRequest
+	strictDecode(t, serveJSON, &serve)
+	if serve.Model != "gnmt" || serve.Rate != 500 || serve.Config != "#2" {
+		t.Errorf("flat fields did not land in the embedded envelope: %+v", serve.WorkloadSpec)
+	}
+	if serve.TimeoutUS == nil || *serve.TimeoutUS != 20000 {
+		t.Errorf("timeout_us = %v, want 20000", serve.TimeoutUS)
+	}
+	if serve.KVCapacityGB == nil || *serve.KVCapacityGB != 2 || serve.DecodeSteps != 16 || serve.KVPreempt != "block" {
+		t.Errorf("KV knobs did not land: %+v", serve.WorkloadSpec)
+	}
+
+	// A pre-envelope /v1/fleet body: shared fields plus fleet-only ones.
+	fleetJSON := `{"model":"gnmt","rate":500,"batch":8,"replicas":3,"routing":"jsq","queue_cap":16,"autoscale":{"max":4}}`
+	var fleet FleetRequest
+	strictDecode(t, fleetJSON, &fleet)
+	if fleet.Model != "gnmt" || fleet.Replicas != 3 || fleet.Routing != "jsq" || fleet.Autoscale == nil {
+		t.Errorf("fleet decode: %+v", fleet)
+	}
+
+	// Re-encoding stays flat: no "WorkloadSpec" key, shared fields at
+	// the top level.
+	for name, v := range map[string]any{"serve": serve, "fleet": fleet} {
+		b, err := json.Marshal(v)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if strings.Contains(string(b), "WorkloadSpec") || strings.Contains(string(b), "workload") {
+			t.Errorf("%s request nests the envelope on the wire: %s", name, b)
+		}
+		if !strings.Contains(string(b), `"model":"gnmt"`) {
+			t.Errorf("%s request lost the flat model field: %s", name, b)
+		}
+	}
+
+	// The decoded old-shape bodies are also still valid requests
+	// end-to-end.
+	s := testServer(Options{})
+	if w := postJSON(t, s, "/v1/serve", serveJSON); w.Code != http.StatusOK {
+		t.Errorf("old-shape serve body = %d: %s", w.Code, w.Body.String())
+	}
+	if w := postJSON(t, s, "/v1/fleet", fleetJSON); w.Code != http.StatusOK {
+		t.Errorf("old-shape fleet body = %d: %s", w.Code, w.Body.String())
+	}
+}
+
+// TestWorkloadEnvelopeSharedValidation: the envelope gives all three
+// endpoints one validation path — the same malformed shared field must
+// fail identically everywhere.
+func TestWorkloadEnvelopeSharedValidation(t *testing.T) {
+	s := testServer(Options{})
+	bodies := map[string]string{
+		"/v1/serve": `{"model":"gnmt","rate":100,"decode_steps":4}`,
+		"/v1/fleet": `{"model":"gnmt","rate":100,"decode_steps":4,"replicas":2}`,
+		"/v1/plan":  `{"model":"gnmt","rate":100,"decode_steps":4,"slo":{"min_throughput_rps":1}}`,
+	}
+	var messages []string
+	for path, body := range bodies {
+		w := postJSON(t, s, path, body)
+		if w.Code != http.StatusBadRequest {
+			t.Fatalf("%s: status = %d, want 400; body %s", path, w.Code, w.Body.String())
+		}
+		var er errorResponse
+		if err := json.Unmarshal(w.Body.Bytes(), &er); err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if er.Code != CodeKVCapacity {
+			t.Errorf("%s: code = %q, want %q", path, er.Code, CodeKVCapacity)
+		}
+		messages = append(messages, er.Error)
+	}
+	for _, m := range messages[1:] {
+		if m != messages[0] {
+			t.Errorf("endpoints diverge on the shared validation message: %q vs %q", m, messages[0])
+		}
+	}
+}

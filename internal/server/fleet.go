@@ -62,11 +62,11 @@ type DisaggSpec struct {
 }
 
 // FleetRequest describes one multi-replica serving simulation over the
-// wire: a ServeRequest (model, rate, batching policy, trace shape)
-// plus the fleet dimensions — replica count, routing policy, admission
-// bound, and optional autoscaling.
+// wire: the shared workload envelope (model, rate, batching policy,
+// trace shape) plus the fleet dimensions — replica count, routing
+// policy, admission bound, and optional autoscaling.
 type FleetRequest struct {
-	ServeRequest
+	WorkloadSpec
 	// Replicas is the fleet size (the initial live count when
 	// autoscaling).
 	Replicas int `json:"replicas,omitempty"`
@@ -101,7 +101,7 @@ func (r FleetRequest) disaggConfig() *serving.DisaggConfig {
 // normalize fills defaults in place; the normalized form doubles as
 // the coalescing identity.
 func (r FleetRequest) normalize() FleetRequest {
-	r.ServeRequest = r.ServeRequest.normalize()
+	r.WorkloadSpec = r.WorkloadSpec.normalize()
 	if r.Replicas == 0 {
 		r.Replicas = DefaultFleetReplicas
 	}
@@ -147,9 +147,9 @@ func (r FleetRequest) autoscaleConfig() *serving.AutoscaleConfig {
 }
 
 // validateFleet applies the server's request-shape limits on top of
-// the serve-request checks.
+// the shared workload-envelope checks.
 func (s *Server) validateFleet(r FleetRequest) error {
-	if err := s.validateServe(r.ServeRequest); err != nil {
+	if err := s.validateWorkload(r.WorkloadSpec); err != nil {
 		return err
 	}
 	switch {
@@ -165,7 +165,7 @@ func (s *Server) validateFleet(r FleetRequest) error {
 	if r.Disagg != nil {
 		switch {
 		case r.KVCapacityGB == nil:
-			return fmt.Errorf("disagg needs the KV model: set kv_capacity_gb")
+			return withCode(CodeKVCapacity, fmt.Errorf("disagg needs the KV model: set kv_capacity_gb"))
 		case r.Autoscale != nil:
 			return fmt.Errorf("disagg and autoscale are incompatible: pool sizes are fixed")
 		case r.Disagg.Prefill+r.Disagg.Decode != r.Replicas:
@@ -177,7 +177,7 @@ func (s *Server) validateFleet(r FleetRequest) error {
 		}
 	}
 	if r.Routing == serving.RoutingKV && r.KVCapacityGB == nil {
-		return fmt.Errorf("kv routing needs the KV model: set kv_capacity_gb")
+		return withCode(CodeKVCapacity, fmt.Errorf("kv routing needs the KV model: set kv_capacity_gb"))
 	}
 	if a := r.autoscaleConfig(); a != nil {
 		if a.Max > maxFleetReplicas {
@@ -219,7 +219,7 @@ func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	workload, hw, policy, trace, err := buildServeSetup(req.ServeRequest)
+	workload, hw, policy, trace, err := buildWorkloadSetup(req.WorkloadSpec)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -245,7 +245,7 @@ func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
 			Disagg:      req.disaggConfig(),
 		}, hw)
 		if err != nil {
-			return http.StatusInternalServerError, errorBody(err)
+			return http.StatusInternalServerError, errorBody(http.StatusInternalServerError, err)
 		}
 		return http.StatusOK, marshalBody(FleetResponse{
 			Model:      req.Model,

@@ -165,7 +165,7 @@ func TestFleetClientRoundTrip(t *testing.T) {
 	c := NewClient(ts.URL, nil)
 
 	resp, err := c.Fleet(context.Background(), FleetRequest{
-		ServeRequest: ServeRequest{
+		WorkloadSpec: WorkloadSpec{
 			Model:    "gnmt",
 			Rate:     500,
 			Batch:    4,
@@ -202,7 +202,7 @@ func TestFleetClientRoundTrip(t *testing.T) {
 	// An invalid fleet field surfaces the server's message through the
 	// typed error.
 	_, err = c.Fleet(context.Background(), FleetRequest{
-		ServeRequest: ServeRequest{Model: "gnmt", Rate: 100},
+		WorkloadSpec: WorkloadSpec{Model: "gnmt", Rate: 100},
 		Routing:      "random",
 	})
 	if err == nil || !strings.Contains(err.Error(), "unknown routing") {

@@ -1,0 +1,217 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+
+	"seqpoint/internal/experiments"
+	"seqpoint/internal/planner"
+	"seqpoint/internal/serving"
+)
+
+// Defaults and bounds for PlanRequest fields.
+const (
+	// DefaultPlanMaxReplicas bounds the replica search when the request
+	// leaves it zero.
+	DefaultPlanMaxReplicas = planner.DefaultMaxReplicas
+	// maxPlanAxis caps one search axis's length; maxPlanCombos caps the
+	// routing × policy × KV cross product. Each combination costs
+	// O(log max_replicas) fleet simulations, so the caps bound one
+	// request's work the way replicas and requests already are.
+	maxPlanAxis   = 8
+	maxPlanCombos = 32
+)
+
+// PlanSLO is the wire form of the planner's target envelope. Zero
+// (or absent) targets are untargeted; at least one must be set.
+type PlanSLO struct {
+	// TTFTP99US caps p99 time-to-first-token; needs the KV model.
+	TTFTP99US float64 `json:"ttft_p99_us,omitempty"`
+	// LatencyP99US caps p99 end-to-end latency.
+	LatencyP99US float64 `json:"latency_p99_us,omitempty"`
+	// MinThroughputRPS floors served throughput.
+	MinThroughputRPS float64 `json:"min_throughput_rps,omitempty"`
+	// MaxDropRatePct caps the admission drop rate in percent; a
+	// pointer so an explicit 0 ("drop nothing") is distinct from
+	// untargeted.
+	MaxDropRatePct *float64 `json:"max_drop_rate_pct,omitempty"`
+}
+
+// slo maps the wire form to the planner's.
+func (s PlanSLO) slo() planner.SLO {
+	return planner.SLO{
+		TTFTP99US:        s.TTFTP99US,
+		LatencyP99US:     s.LatencyP99US,
+		MinThroughputRPS: s.MinThroughputRPS,
+		MaxDropRatePct:   s.MaxDropRatePct,
+	}
+}
+
+// PlanRequest asks for the minimal fleet meeting an SLO: the shared
+// workload envelope (model, rate, batching policy, trace shape, KV
+// base config) plus the targets and the search bounds. The planner
+// decides replicas and routing — they are outputs, not inputs.
+type PlanRequest struct {
+	WorkloadSpec
+	// SLO is the target envelope; at least one target must be set.
+	SLO PlanSLO `json:"slo"`
+	// MaxReplicas bounds the replica search; 0 uses
+	// DefaultPlanMaxReplicas.
+	MaxReplicas int `json:"max_replicas,omitempty"`
+	// Routings is the routing axis, searched in order; empty uses the
+	// planner's default ("rr", "least", "jsq", "po2").
+	Routings []string `json:"routings,omitempty"`
+	// Policies optionally widens the search across batching policies
+	// ("fixed", "dynamic", "length"); empty searches only the
+	// envelope's policy.
+	Policies []string `json:"policies,omitempty"`
+	// KVCapacitiesGB optionally searches per-replica KV capacities;
+	// empty keeps the envelope's kv_capacity_gb (or no KV model).
+	KVCapacitiesGB []float64 `json:"kv_capacities_gb,omitempty"`
+	// QueueCap bounds each replica's admission queue; 0 is unbounded.
+	QueueCap int `json:"queue_cap,omitempty"`
+}
+
+// normalize fills defaults in place; the normalized form doubles as
+// the coalescing identity.
+func (r PlanRequest) normalize() PlanRequest {
+	r.WorkloadSpec = r.WorkloadSpec.normalize()
+	if r.MaxReplicas == 0 {
+		r.MaxReplicas = DefaultPlanMaxReplicas
+	}
+	if len(r.Routings) == 0 {
+		r.Routings = planner.DefaultRoutings()
+	}
+	return r
+}
+
+// hasKV reports whether any candidate the search can produce carries
+// the KV model.
+func (r PlanRequest) hasKV() bool {
+	return r.KVCapacityGB != nil || len(r.KVCapacitiesGB) > 0
+}
+
+// validatePlan applies the server's request-shape limits on top of
+// the shared workload-envelope checks.
+func (s *Server) validatePlan(r PlanRequest) error {
+	if err := s.validateWorkload(r.WorkloadSpec); err != nil {
+		return err
+	}
+	if err := r.SLO.slo().Validate(); err != nil {
+		return err
+	}
+	if r.SLO.TTFTP99US > 0 && !r.hasKV() {
+		return withCode(CodeKVCapacity,
+			fmt.Errorf("ttft_p99_us target needs the KV model: set kv_capacity_gb or kv_capacities_gb"))
+	}
+	switch {
+	case r.MaxReplicas < 1:
+		return fmt.Errorf("max_replicas must be positive, got %d", r.MaxReplicas)
+	case r.MaxReplicas > maxFleetReplicas:
+		return fmt.Errorf("max_replicas %d exceeds the %d-replica limit", r.MaxReplicas, maxFleetReplicas)
+	case r.QueueCap < 0:
+		return fmt.Errorf("queue_cap must be non-negative, got %d", r.QueueCap)
+	case len(r.Routings) > maxPlanAxis:
+		return fmt.Errorf("routings lists %d entries, more than the %d-entry limit", len(r.Routings), maxPlanAxis)
+	case len(r.Policies) > maxPlanAxis:
+		return fmt.Errorf("policies lists %d entries, more than the %d-entry limit", len(r.Policies), maxPlanAxis)
+	case len(r.KVCapacitiesGB) > maxPlanAxis:
+		return fmt.Errorf("kv_capacities_gb lists %d entries, more than the %d-entry limit", len(r.KVCapacitiesGB), maxPlanAxis)
+	}
+	combos := len(r.Routings) * max(1, len(r.Policies)) * max(1, len(r.KVCapacitiesGB))
+	if combos > maxPlanCombos {
+		return fmt.Errorf("routings × policies × kv_capacities_gb spans %d combinations, more than the %d-combination limit",
+			combos, maxPlanCombos)
+	}
+	for _, rt := range r.Routings {
+		if _, err := serving.ParseRouting(rt, r.Seed); err != nil {
+			return err
+		}
+		if rt == serving.RoutingKV && !r.hasKV() {
+			return withCode(CodeKVCapacity, fmt.Errorf("kv routing needs the KV model: set kv_capacity_gb or kv_capacities_gb"))
+		}
+	}
+	for _, p := range r.Policies {
+		if _, err := serving.ParsePolicy(p, r.Batch, *r.TimeoutUS); err != nil {
+			return err
+		}
+	}
+	for _, gb := range r.KVCapacitiesGB {
+		if gb <= 0 || math.IsNaN(gb) || math.IsInf(gb, 0) {
+			return withCode(CodeKVCapacity, fmt.Errorf("kv_capacities_gb entries must be positive finite sizes, got %v", gb))
+		}
+	}
+	return nil
+}
+
+// PlanResponse is the planning outcome over the wire.
+type PlanResponse struct {
+	// Model and Config echo the resolved request.
+	Model  string `json:"model"`
+	Config string `json:"config"`
+	// RatePerSec is the offered rate the plan carries.
+	RatePerSec float64 `json:"rate_rps"`
+	// Plan is the minimal-cost candidate with its SLO evidence and
+	// saturation analysis.
+	Plan planner.Plan `json:"plan"`
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	var req PlanRequest
+	if !s.decodePost(w, r, &req) {
+		return
+	}
+	req = req.normalize()
+	if err := s.validatePlan(req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// Resolve the envelope exactly as /v1/serve and /v1/fleet do — the
+	// probe re-derives traces per searched rate, but this validates the
+	// model/config/policy/corpus combination up front as a 400.
+	workload, hw, policy, _, err := buildWorkloadSetup(req.WorkloadSpec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	workload.Batch = req.Batch
+	workload.Seed = req.Seed
+	probe, err := experiments.PlanProbe(s.eng, workload, hw, experiments.PlanProbeConfig{
+		Requests:        req.Requests,
+		QueueCap:        req.QueueCap,
+		KV:              req.kvConfig(),
+		Policy:          policy,
+		PolicyTimeoutUS: *req.TimeoutUS,
+	})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+
+	status, body := s.execute(r.Context(), coalesceKey("plan", req), func() (int, []byte) {
+		plan, err := planner.Solve(planner.Spec{
+			SLO:            req.SLO.slo(),
+			RatePerSec:     req.Rate,
+			MaxReplicas:    req.MaxReplicas,
+			Routings:       req.Routings,
+			Policies:       req.Policies,
+			KVCapacitiesGB: req.KVCapacitiesGB,
+			Probe:          probe,
+		})
+		if errors.Is(err, planner.ErrInfeasible) {
+			return http.StatusUnprocessableEntity, errorBody(http.StatusUnprocessableEntity, err)
+		}
+		if err != nil {
+			return http.StatusInternalServerError, errorBody(http.StatusInternalServerError, err)
+		}
+		return http.StatusOK, marshalBody(PlanResponse{
+			Model:      req.Model,
+			Config:     req.Config,
+			RatePerSec: req.Rate,
+			Plan:       plan,
+		})
+	})
+	writeRaw(w, status, body)
+}

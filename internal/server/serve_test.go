@@ -157,13 +157,13 @@ func TestServeClientRoundTrip(t *testing.T) {
 	defer ts.Close()
 	c := NewClient(ts.URL, nil)
 
-	resp, err := c.Serve(context.Background(), ServeRequest{
+	resp, err := c.Serve(context.Background(), ServeRequest{WorkloadSpec: WorkloadSpec{
 		Model:    "gnmt",
 		Rate:     400,
 		Batch:    8,
 		Requests: 64,
 		SeqLens:  []int{4, 7, 9, 12, 15, 21},
-	})
+	}})
 	if err != nil {
 		t.Fatal(err)
 	}

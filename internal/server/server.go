@@ -13,6 +13,7 @@
 //	POST /v1/seqpoint  — representative-iteration selection
 //	POST /v1/serve     — online-serving simulation → latency percentiles
 //	POST /v1/fleet     — multi-replica fleet simulation → routing/drop/scaling roll-up
+//	POST /v1/plan      — SLO-driven capacity planning → minimal-cost fleet plan
 //	GET  /healthz      — liveness probe
 //	GET  /v1/stats     — engine cache + service counters
 //
@@ -150,6 +151,7 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("/v1/seqpoint", s.handleSeqPoint)
 	s.mux.HandleFunc("/v1/serve", s.handleServe)
 	s.mux.HandleFunc("/v1/fleet", s.handleFleet)
+	s.mux.HandleFunc("/v1/plan", s.handlePlan)
 	return s
 }
 
@@ -208,11 +210,11 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	status, body := s.execute(r.Context(), coalesceKey("simulate", req), func() (int, []byte) {
 		run, err := s.eng.Simulate(spec, hw)
 		if err != nil {
-			return http.StatusInternalServerError, errorBody(err)
+			return http.StatusInternalServerError, errorBody(http.StatusInternalServerError, err)
 		}
 		buf, err := run.Summary().Serialize()
 		if err != nil {
-			return http.StatusInternalServerError, errorBody(err)
+			return http.StatusInternalServerError, errorBody(http.StatusInternalServerError, err)
 		}
 		return http.StatusOK, buf
 	})
@@ -262,11 +264,11 @@ func (s *Server) handleSeqPoint(w http.ResponseWriter, r *http.Request) {
 	status, body := s.execute(r.Context(), coalesceKey("seqpoint", req), func() (int, []byte) {
 		run, err := s.eng.Simulate(spec, hw)
 		if err != nil {
-			return http.StatusInternalServerError, errorBody(err)
+			return http.StatusInternalServerError, errorBody(http.StatusInternalServerError, err)
 		}
 		sum, err := run.EpochSummary(0)
 		if err != nil {
-			return http.StatusInternalServerError, errorBody(err)
+			return http.StatusInternalServerError, errorBody(http.StatusInternalServerError, err)
 		}
 		recs := make([]core.SLRecord, len(sum))
 		for i, sl := range sum {
@@ -274,7 +276,7 @@ func (s *Server) handleSeqPoint(w http.ResponseWriter, r *http.Request) {
 		}
 		sel, err := selectFn(recs)
 		if err != nil {
-			return http.StatusInternalServerError, errorBody(err)
+			return http.StatusInternalServerError, errorBody(http.StatusInternalServerError, err)
 		}
 		resp := SeqPointResponse{
 			Model:     req.Model,
@@ -431,7 +433,8 @@ func (s *Server) execute(ctx context.Context, key string, compute func() (int, [
 		case <-f.done:
 			return f.status, f.body
 		case <-ctx.Done():
-			return statusForContext(ctx.Err()), errorBody(ctx.Err())
+			status := statusForContext(ctx.Err())
+			return status, errorBody(status, ctx.Err())
 		}
 	}
 	f := &flight{done: make(chan struct{})}
@@ -452,14 +455,15 @@ func (s *Server) execute(ctx context.Context, key string, compute func() (int, [
 		// Saturated: reject this flight; coalesced followers (if any
 		// raced in) receive the same 429.
 		s.rejected.Add(1)
-		finish(http.StatusTooManyRequests,
-			errorBody(fmt.Errorf("server at max in-flight simulations (%d); retry later", s.opts.MaxInflight)))
+		finish(http.StatusTooManyRequests, errorBody(http.StatusTooManyRequests,
+			fmt.Errorf("server at max in-flight simulations (%d); retry later", s.opts.MaxInflight)))
 		return f.status, f.body
 	}
 	if err := ctx.Err(); err != nil {
 		// The request was already cancelled before any work started.
 		<-s.sem
-		finish(statusForContext(err), errorBody(err))
+		status := statusForContext(err)
+		finish(status, errorBody(status, err))
 		return f.status, f.body
 	}
 
@@ -476,7 +480,8 @@ func (s *Server) execute(ctx context.Context, key string, compute func() (int, [
 	case <-f.done:
 		return f.status, f.body
 	case <-ctx.Done():
-		return statusForContext(ctx.Err()), errorBody(ctx.Err())
+		status := statusForContext(ctx.Err())
+		return status, errorBody(status, ctx.Err())
 	}
 }
 
@@ -492,19 +497,61 @@ func statusForContext(err error) int {
 func marshalBody(v any) []byte {
 	b, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
-		return errorBody(err)
+		return errorBody(http.StatusInternalServerError, err)
 	}
 	return append(b, '\n')
 }
 
-func errorBody(err error) []byte {
-	return marshalErr(errorResponse{Error: err.Error()})
+// codedError carries a machine-readable code that overrides the
+// status-derived default; attach one with withCode where the status
+// alone is too coarse (e.g. KV-model misconfigurations are 400s, but
+// clients want to distinguish them from generic shape errors).
+type codedError struct {
+	code string
+	err  error
+}
+
+func (e *codedError) Error() string { return e.err.Error() }
+func (e *codedError) Unwrap() error { return e.err }
+
+func withCode(code string, err error) error {
+	return &codedError{code: code, err: err}
+}
+
+// errorCode resolves the machine-readable code for a non-2xx response:
+// an explicit withCode wins, otherwise the status maps to its generic
+// code.
+func errorCode(status int, err error) string {
+	var ce *codedError
+	if errors.As(err, &ce) {
+		return ce.code
+	}
+	switch status {
+	case http.StatusBadRequest:
+		return CodeBadRequest
+	case http.StatusMethodNotAllowed:
+		return CodeMethodNotAllowed
+	case http.StatusUnprocessableEntity:
+		return CodeInfeasible
+	case http.StatusTooManyRequests:
+		return CodeOverloaded
+	case http.StatusServiceUnavailable:
+		return CodeCancelled
+	case http.StatusGatewayTimeout:
+		return CodeTimeout
+	default:
+		return CodeInternal
+	}
+}
+
+func errorBody(status int, err error) []byte {
+	return marshalErr(errorResponse{Error: err.Error(), Code: errorCode(status, err)})
 }
 
 func marshalErr(v errorResponse) []byte {
 	b, err := json.Marshal(v)
 	if err != nil {
-		return []byte(`{"error":"internal encoding failure"}`)
+		return []byte(`{"error":"internal encoding failure","code":"internal"}` + "\n")
 	}
 	return append(b, '\n')
 }
@@ -516,7 +563,7 @@ func writeRaw(w http.ResponseWriter, status int, body []byte) {
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {
-	writeRaw(w, status, errorBody(err))
+	writeRaw(w, status, errorBody(status, err))
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

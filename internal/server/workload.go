@@ -1,0 +1,183 @@
+package server
+
+import (
+	"fmt"
+	"math"
+
+	"seqpoint/internal/dataset"
+	"seqpoint/internal/experiments"
+	"seqpoint/internal/gpusim"
+	"seqpoint/internal/serving"
+)
+
+// Defaults for WorkloadSpec fields left zero, applied by normalize.
+const (
+	// DefaultServePolicy is timeout-bounded dynamic batching: the only
+	// policy that behaves sanely at every arrival rate.
+	DefaultServePolicy = serving.PolicyDynamic
+	// DefaultServeTimeoutUS caps queueing delay at low load.
+	DefaultServeTimeoutUS = 50_000
+	// DefaultServeRequests is the default trace length.
+	DefaultServeRequests = experiments.DefaultServeRequests
+	// maxServeRate bounds the Poisson arrival rate: beyond this every
+	// request of the trace effectively arrives at once, which
+	// BurstTrace models directly.
+	maxServeRate = 1e9
+)
+
+// WorkloadSpec is the request envelope shared by every serving-family
+// endpoint (/v1/serve, /v1/fleet, /v1/plan): the served model and
+// arrival process, the hardware configuration, the batching policy,
+// the trace shape, and the optional KV-cache memory model. It is
+// embedded — not nested — by ServeRequest, FleetRequest and
+// PlanRequest, so the wire shape stays the flat field set older
+// clients already send, while normalization, validation and setup
+// resolution live in exactly one place.
+type WorkloadSpec struct {
+	// Model selects the served network: "ds2", "gnmt", "transformer"
+	// or "seq2seq". The workload fixes the request-length corpus.
+	Model string `json:"model"`
+	// Rate is the Poisson arrival rate in requests per second.
+	Rate float64 `json:"rate"`
+	// Config names the hardware configuration ("#1".."#5").
+	Config string `json:"config,omitempty"`
+	// Batch is the batching policy's max batch size.
+	Batch int `json:"batch,omitempty"`
+	// Policy selects the batching policy: "fixed", "dynamic" or
+	// "length".
+	Policy string `json:"policy,omitempty"`
+	// TimeoutUS is the dynamic policy's batching window in
+	// microseconds; nil uses the default. A pointer, not a float, so
+	// an explicit 0 (serve-immediately) survives normalization.
+	TimeoutUS *float64 `json:"timeout_us,omitempty"`
+	// Requests is the trace length.
+	Requests int `json:"requests,omitempty"`
+	// Seed drives arrival times and request-length sampling.
+	Seed int64 `json:"seed,omitempty"`
+	// SeqLens, when set, replaces the workload corpus as the pool
+	// request lengths are drawn from.
+	SeqLens []int `json:"seqlens,omitempty"`
+	// KVCapacityGB enables the per-replica KV-cache capacity model
+	// (decimal gigabytes). A pointer so absent means disabled; with it
+	// set, requests are prefill + decode and TTFT fields appear in the
+	// summary.
+	KVCapacityGB *float64 `json:"kv_capacity_gb,omitempty"`
+	// DecodeSteps is the decode length per request under the KV model.
+	DecodeSteps int `json:"decode_steps,omitempty"`
+	// KVPreempt selects the over-capacity behavior: "evict" (default)
+	// or "block".
+	KVPreempt string `json:"kv_preempt,omitempty"`
+}
+
+// kvConfig maps the wire knobs to the simulator's KV configuration;
+// nil when the capacity model is disabled.
+func (r WorkloadSpec) kvConfig() *serving.KVConfig {
+	if r.KVCapacityGB == nil {
+		return nil
+	}
+	return &serving.KVConfig{
+		CapacityBytes: *r.KVCapacityGB * 1e9,
+		DecodeSteps:   r.DecodeSteps,
+		Preempt:       r.KVPreempt,
+	}
+}
+
+// normalize fills defaults in place; the normalized form doubles as
+// the coalescing identity.
+func (r WorkloadSpec) normalize() WorkloadSpec {
+	if r.Config == "" {
+		r.Config = DefaultConfig
+	}
+	if r.Batch == 0 {
+		r.Batch = experiments.DefaultBatch
+	}
+	if r.Policy == "" {
+		r.Policy = DefaultServePolicy
+	}
+	if r.TimeoutUS == nil {
+		v := float64(DefaultServeTimeoutUS)
+		r.TimeoutUS = &v
+	}
+	if r.Requests == 0 {
+		r.Requests = DefaultServeRequests
+	}
+	if r.Seed == 0 {
+		r.Seed = experiments.DefaultSeed
+	}
+	return r
+}
+
+// validateWorkload applies the server's request-shape limits shared by
+// every serving-family endpoint.
+func (s *Server) validateWorkload(r WorkloadSpec) error {
+	if r.Rate <= 0 || math.IsNaN(r.Rate) || r.Rate > maxServeRate {
+		return fmt.Errorf("rate must be in (0, %g] requests/s, got %v", float64(maxServeRate), r.Rate)
+	}
+	if err := s.batchBounds(r.Batch); err != nil {
+		return err
+	}
+	switch {
+	case r.Requests <= 0:
+		return fmt.Errorf("requests must be positive, got %d", r.Requests)
+	case r.Requests > maxSeqLens:
+		return fmt.Errorf("requests %d exceeds the %d-request limit", r.Requests, maxSeqLens)
+	case *r.TimeoutUS < 0 || math.IsNaN(*r.TimeoutUS) || math.IsInf(*r.TimeoutUS, 0):
+		return fmt.Errorf("timeout_us must be a finite non-negative duration, got %v", *r.TimeoutUS)
+	}
+	if kv := r.kvConfig(); kv != nil {
+		if err := kv.Validate(); err != nil {
+			return withCode(CodeKVCapacity, fmt.Errorf("kv_capacity_gb: %w", err))
+		}
+	} else if r.DecodeSteps != 0 || r.KVPreempt != "" {
+		return withCode(CodeKVCapacity, fmt.Errorf("decode_steps and kv_preempt need the KV model: set kv_capacity_gb"))
+	}
+	return seqLenBounds(r.SeqLens)
+}
+
+// buildWorkloadSetup resolves a normalized workload envelope into its
+// workload (with the request's synthetic corpus substituted, when
+// given), hardware, batching policy and arrival trace. Every failure
+// is a client error (HTTP 400).
+func buildWorkloadSetup(req WorkloadSpec) (experiments.Workload, gpusim.Config, serving.Policy, serving.Trace, error) {
+	var (
+		zeroW  experiments.Workload
+		zeroHW gpusim.Config
+		zeroT  serving.Trace
+	)
+	workload, err := experiments.ServedWorkloadByName(req.Model, req.Seed)
+	if err != nil {
+		// Keep the registry's explanatory message for cnn (a model that
+		// exists but is not servable); everything else gets the
+		// wire-facing model list.
+		if req.Model != "cnn" {
+			err = fmt.Errorf("unknown model %q (want ds2, gnmt, transformer or seq2seq)", req.Model)
+		}
+		return zeroW, zeroHW, nil, zeroT, err
+	}
+	hw, err := configByName(req.Config)
+	if err != nil {
+		return zeroW, zeroHW, nil, zeroT, err
+	}
+	policy, err := serving.ParsePolicy(req.Policy, req.Batch, *req.TimeoutUS)
+	if err != nil {
+		return zeroW, zeroHW, nil, zeroT, err
+	}
+	if len(req.SeqLens) > 0 {
+		corpus, err := dataset.Synthetic(fmt.Sprintf("custom-%s", req.Model), req.SeqLens, workload.Train.Vocab)
+		if err != nil {
+			return zeroW, zeroHW, nil, zeroT, fmt.Errorf("invalid seqlens: %w", err)
+		}
+		workload.Train = corpus
+	}
+	trace, err := serving.PoissonTrace(workload.Train, req.Requests, req.Rate, req.Seed)
+	if err != nil {
+		return zeroW, zeroHW, nil, zeroT, err
+	}
+	// A degenerate rate (e.g. denormal-small) can overflow arrival
+	// times to +Inf; that is the client's input, so catch it here as a
+	// 400 rather than letting the simulation fail with a 500.
+	if err := trace.Validate(); err != nil {
+		return zeroW, zeroHW, nil, zeroT, err
+	}
+	return workload, hw, policy, trace, nil
+}

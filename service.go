@@ -29,6 +29,11 @@ type (
 	SeqPointRequest = server.SeqPointRequest
 	// SeqPointResponse is the selection outcome over the wire.
 	SeqPointResponse = server.SeqPointResponse
+	// WorkloadSpec is the request envelope shared by the serving-family
+	// endpoints: model, rate, hardware config, batching policy, trace
+	// shape and optional KV model. ServeRequest, FleetRequest and
+	// PlanRequest embed it, so their JSON wire shapes stay flat.
+	WorkloadSpec = server.WorkloadSpec
 	// ServeRequest describes one online-serving simulation over the
 	// wire (POST /v1/serve).
 	ServeRequest = server.ServeRequest
@@ -43,6 +48,13 @@ type (
 	FleetResponse = server.FleetResponse
 	// FleetAutoscaleSpec configures the fleet autoscaler over the wire.
 	FleetAutoscaleSpec = server.AutoscaleSpec
+	// PlanRequest asks the capacity planner for the minimal fleet
+	// meeting an SLO (POST /v1/plan).
+	PlanRequest = server.PlanRequest
+	// PlanResponse is the planning outcome over the wire.
+	PlanResponse = server.PlanResponse
+	// PlanSLOSpec is the wire form of the planner's target envelope.
+	PlanSLOSpec = server.PlanSLO
 	// ServiceAPIError is a non-2xx service response surfaced by the
 	// typed client: HTTP status plus the server's error body.
 	ServiceAPIError = server.APIError

@@ -58,13 +58,13 @@ func TestServingFacadeHTTP(t *testing.T) {
 	defer ts.Close()
 
 	client := seqpoint.NewServiceClient(ts.URL, nil)
-	resp, err := client.Serve(context.Background(), seqpoint.ServeRequest{
+	resp, err := client.Serve(context.Background(), seqpoint.ServeRequest{WorkloadSpec: seqpoint.WorkloadSpec{
 		Model:    "gnmt",
 		Rate:     300,
 		Batch:    8,
 		Requests: 32,
 		SeqLens:  []int{4, 7, 9, 12},
-	})
+	}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +74,7 @@ func TestServingFacadeHTTP(t *testing.T) {
 
 	// A validation failure surfaces the server's message through the
 	// typed APIError.
-	_, err = client.Serve(context.Background(), seqpoint.ServeRequest{Model: "gnmt", Rate: -1})
+	_, err = client.Serve(context.Background(), seqpoint.ServeRequest{WorkloadSpec: seqpoint.WorkloadSpec{Model: "gnmt", Rate: -1}})
 	var apiErr *seqpoint.ServiceAPIError
 	if !errors.As(err, &apiErr) || apiErr.Status != 400 {
 		t.Fatalf("want 400 *ServiceAPIError, got %v", err)
@@ -153,7 +153,7 @@ func TestFleetFacadeHTTP(t *testing.T) {
 
 	client := seqpoint.NewServiceClient(ts.URL, nil)
 	resp, err := client.Fleet(context.Background(), seqpoint.FleetRequest{
-		ServeRequest: seqpoint.ServeRequest{
+		WorkloadSpec: seqpoint.WorkloadSpec{
 			Model:    "gnmt",
 			Rate:     500,
 			Batch:    8,
@@ -172,7 +172,7 @@ func TestFleetFacadeHTTP(t *testing.T) {
 	}
 
 	_, err = client.Fleet(context.Background(), seqpoint.FleetRequest{
-		ServeRequest: seqpoint.ServeRequest{Model: "gnmt", Rate: 100},
+		WorkloadSpec: seqpoint.WorkloadSpec{Model: "gnmt", Rate: 100},
 		Routing:      "random",
 	})
 	var apiErr *seqpoint.ServiceAPIError

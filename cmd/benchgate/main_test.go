@@ -168,21 +168,22 @@ func TestCompareAllocGate(t *testing.T) {
 // snapshot against its predecessor must also pass — the trajectory
 // only ever improved.
 func TestGateCommittedBaseline(t *testing.T) {
-	pr8, err := filepath.Abs("../../BENCH_pr8.json")
+	pr9, err := filepath.Abs("../../BENCH_pr9.json")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := os.Stat(pr8); err != nil {
+	if _, err := os.Stat(pr9); err != nil {
 		t.Skipf("committed baseline not found: %v", err)
 	}
-	report, ok, err := Gate(pr8, pr8, 25, 10)
+	report, ok, err := Gate(pr9, pr9, 25, 10)
 	if err != nil || !ok {
 		t.Fatalf("self-comparison failed; ok=%v err=%v\n%s", ok, err, report)
 	}
-	dir := filepath.Dir(pr8)
+	dir := filepath.Dir(pr9)
 	seed := filepath.Join(dir, "BENCH_seed.json")
 	pr6 := filepath.Join(dir, "BENCH_pr6.json")
 	pr7 := filepath.Join(dir, "BENCH_pr7.json")
+	pr8 := filepath.Join(dir, "BENCH_pr8.json")
 	report, ok, err = Gate(seed, pr6, 25, 10)
 	if err != nil || !ok {
 		t.Fatalf("PR 6 numbers regressed against the seed; ok=%v err=%v\n%s", ok, err, report)
@@ -200,6 +201,13 @@ func TestGateCommittedBaseline(t *testing.T) {
 	report, ok, err = Gate(pr7, pr8, 25, 10)
 	if err != nil || !ok {
 		t.Fatalf("PR 8 numbers regressed against PR 7; ok=%v err=%v\n%s", ok, err, report)
+	}
+	// PR 9 adds the workload generator (a new benchmark, skipped
+	// against pr8); the tenancy fields ride existing structs, so the
+	// serving and planner hot paths hold.
+	report, ok, err = Gate(pr8, pr9, 25, 10)
+	if err != nil || !ok {
+		t.Fatalf("PR 9 numbers regressed against PR 8; ok=%v err=%v\n%s", ok, err, report)
 	}
 }
 

@@ -6,6 +6,10 @@
 // With -serve it instead simulates online inference serving: a Poisson
 // arrival trace at -rate requests/s through the -policy batcher,
 // reporting throughput, utilization and the p50/p95/p99 latency tail.
+// -tenants and -pattern generate multi-tenant, diurnally shaped
+// arrivals instead (with per-tenant roll-ups, and "wfq" as the
+// tenant-aware batching policy); -trace-out records the arrival trace
+// as a versioned JSON-lines file and -trace-in replays one.
 //
 // With -plan it answers the inverse serving question: given SLO
 // targets (-slo-p99-us, -slo-ttft-p99-us, -slo-min-rps,
@@ -19,6 +23,8 @@
 //	trainsim -model gnmt -gpus 8 -topology ring -linkgbps 25
 //	trainsim -model gnmt -serve -rate 120 -policy dynamic -requests 512
 //	trainsim -model gnmt -serve -replicas 32 -rate 5000 -cpuprofile cpu.pprof
+//	trainsim -model gnmt -serve -tenants chat=3,bulk=1 -pattern diurnal -policy wfq -trace-out arrivals.trace
+//	trainsim -model gnmt -serve -trace-in arrivals.trace
 //	trainsim -model gnmt -plan -rate 700 -slo-p99-us 180000 -slo-min-rps 400
 package main
 
@@ -29,6 +35,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 
 	"seqpoint/internal/engine"
@@ -84,8 +91,12 @@ func mainExit() int {
 		overlap  = flag.Float64("overlap", gpusim.DefaultOverlap, "fraction of compute the all-reduce can hide behind [0,1]")
 		serve    = flag.Bool("serve", false, "simulate online serving instead of training")
 		rate     = flag.Float64("rate", 100, "(with -serve) Poisson arrival rate in requests/s")
-		policy   = flag.String("policy", serving.PolicyDynamic, "(with -serve) batching policy: fixed, dynamic or length")
+		policy   = flag.String("policy", serving.PolicyDynamic, "(with -serve) batching policy: fixed, dynamic, length or wfq")
 		requests = flag.Int("requests", experiments.DefaultServeRequests, "(with -serve) arrival-trace length")
+		tenants  = flag.String("tenants", "", "(with -serve) generate a multi-tenant trace: comma-separated class=count cohorts, e.g. chat=3,bulk=1")
+		pattern  = flag.String("pattern", "", "(with -serve) arrival-rate shape for generated traces: uniform or diurnal")
+		traceOut = flag.String("trace-out", "", "(with -serve) save the arrival trace to this file (versioned JSON lines)")
+		traceIn  = flag.String("trace-in", "", "(with -serve) replay a recorded trace file instead of generating arrivals; an explicit -rate rescales it")
 		timeout  = flag.Float64("serve-timeout-us", 50000, "(with -serve) dynamic policy's batching window in µs")
 		replicas = flag.Int("replicas", 1, "(with -serve) serving replica count; > 1 simulates a fleet")
 		routing  = flag.String("routing", serving.RoutingRoundRobin, "(with -serve) fleet routing: rr, least, jsq or po2")
@@ -152,10 +163,11 @@ func mainExit() int {
 		mode = "plan"
 	}
 	var visited []string
-	routingSet, simParSet := false, false
+	routingSet, simParSet, rateSet := false, false, false
 	flag.Visit(func(f *flag.Flag) {
 		routingSet = routingSet || f.Name == "routing"
 		simParSet = simParSet || f.Name == "sim-parallelism"
+		rateSet = rateSet || f.Name == "rate"
 		visited = append(visited, f.Name)
 	})
 	if bad, hint := badModeFlags(mode, visited); len(bad) > 0 {
@@ -185,6 +197,7 @@ func mainExit() int {
 	}
 
 	if *serve {
+		arr := arrivalSpec{tenants: *tenants, pattern: *pattern, in: *traceIn, out: *traceOut, rateSet: rateSet}
 		kvCfg, disaggCfg, err := kvFromFlags(*kvCapGB, *kvSteps, *kvPre, *disagg, *replicas)
 		if err == nil {
 			// Any fleet-only knob — including an explicit -routing, a
@@ -193,9 +206,9 @@ func mainExit() int {
 			// simulator, so no flag is ever silently ignored.
 			if *replicas > 1 || *autoScal || *queueCap > 0 || routingSet || simParSet || disaggCfg != nil {
 				err = runFleet(*model, *cfgIdx, *batch, *seed, *rate, *policy, *requests, *timeout,
-					*replicas, *routing, *queueCap, *autoScal, *simPar, kvCfg, disaggCfg)
+					*replicas, *routing, *queueCap, *autoScal, *simPar, kvCfg, disaggCfg, arr)
 			} else {
-				err = runServe(*model, *cfgIdx, *batch, *seed, *rate, *policy, *requests, *timeout, kvCfg)
+				err = runServe(*model, *cfgIdx, *batch, *seed, *rate, *policy, *requests, *timeout, kvCfg, arr)
 			}
 		}
 		if err != nil {
@@ -230,6 +243,9 @@ var (
 		"replicas": true, "routing": true, "autoscale": true,
 		"sim-parallelism": true, "disagg": true,
 	}
+	serveOnlyFlags = map[string]bool{
+		"tenants": true, "pattern": true, "trace-out": true, "trace-in": true,
+	}
 	servingSharedFlags = map[string]bool{
 		"rate": true, "policy": true, "requests": true, "serve-timeout-us": true,
 		"queue-cap": true, "kv-capacity-gb": true, "decode-steps": true, "kv-preempt": true,
@@ -249,9 +265,9 @@ func badModeFlags(mode string, visited []string) (bad []string, hint string) {
 		case "serve":
 			return trainOnlyFlags[name] || planOnlyFlags[name]
 		case "plan":
-			return trainOnlyFlags[name] || fleetOnlyFlags[name]
+			return trainOnlyFlags[name] || fleetOnlyFlags[name] || serveOnlyFlags[name]
 		default:
-			return servingSharedFlags[name] || fleetOnlyFlags[name] || planOnlyFlags[name]
+			return servingSharedFlags[name] || fleetOnlyFlags[name] || serveOnlyFlags[name] || planOnlyFlags[name]
 		}
 	}
 	for _, name := range visited {
@@ -266,7 +282,7 @@ func badModeFlags(mode string, visited []string) (bad []string, hint string) {
 	case "serve":
 		hint = "do not apply to -serve; training flags need the default mode, -slo-*/-plan-* need -plan"
 	case "plan":
-		hint = "do not apply to -plan: the planner chooses the fleet shape; use -serve to price a fleet you pick"
+		hint = "do not apply to -plan: the planner chooses the fleet shape and drives its own probe traces; use -serve to price a fleet you pick"
 	default:
 		hint = "apply to -serve or -plan only; add one of those flags"
 	}
@@ -311,8 +327,124 @@ func kvFromFlags(capGB float64, steps int, preempt, disagg string, replicas int)
 	return kv, &serving.DisaggConfig{PrefillReplicas: p, DecodeReplicas: d}, nil
 }
 
+// arrivalSpec carries the serve-mode trace-shaping flags: a recorded
+// trace to replay, or the generator's tenant mix and arrival pattern,
+// plus an optional path to save whichever trace the run used.
+type arrivalSpec struct {
+	tenants string
+	pattern string
+	in, out string
+	// rateSet records whether -rate was given explicitly; a replayed
+	// trace is rescaled to -rate only then, and keeps its recorded
+	// arrival times otherwise.
+	rateSet bool
+}
+
+// arrivalTrace builds the serve-mode arrival trace: a replayed trace
+// file, a generated multi-tenant or pattern-shaped trace, or the
+// default Poisson process.
+func arrivalTrace(w experiments.Workload, requests int, rate float64, seed int64, arr arrivalSpec) (serving.Trace, error) {
+	if arr.in != "" {
+		if arr.tenants != "" || arr.pattern != "" {
+			return serving.Trace{}, fmt.Errorf("-trace-in replays a recorded trace; -tenants and -pattern shape generated ones — drop one side")
+		}
+		tr, err := serving.LoadTrace(arr.in)
+		if err != nil {
+			return serving.Trace{}, err
+		}
+		if arr.rateSet {
+			return tr.ScaleToRate(rate)
+		}
+		return tr, nil
+	}
+	if arr.tenants == "" && arr.pattern == "" {
+		return serving.PoissonTrace(w.Train, requests, rate, seed)
+	}
+	cohorts, err := parseTenants(arr.tenants, w.Train.Lengths)
+	if err != nil {
+		return serving.Trace{}, err
+	}
+	pat := serving.Pattern{Kind: arr.pattern}
+	if arr.pattern == serving.PatternDiurnal {
+		// Mirror the HTTP envelope's defaults: ±50% swing, two cycles
+		// over the nominal trace horizon.
+		pat.Amplitude = 0.5
+		pat.PeriodUS = float64(requests) / rate * 1e6 / 2
+	}
+	return serving.Generate(serving.GenSpec{
+		Requests:   requests,
+		RatePerSec: rate,
+		Seed:       seed,
+		Pattern:    pat,
+		Cohorts:    cohorts,
+	})
+}
+
+// parseTenants parses the -tenants cohort list ("chat=3,bulk=1") into
+// equal-weight cohorts drawing from the corpus lengths. An empty list
+// (pattern shaping without tenancy) yields one anonymous cohort.
+func parseTenants(spec string, seqLens []int) ([]serving.Cohort, error) {
+	if spec == "" {
+		return []serving.Cohort{{Tenants: 1, Weight: 1, SeqLens: seqLens}}, nil
+	}
+	var cohorts []serving.Cohort
+	for _, part := range strings.Split(spec, ",") {
+		class, count, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || class == "" {
+			return nil, fmt.Errorf("-tenants wants class=count pairs (e.g. chat=3,bulk=1), got %q", part)
+		}
+		n, err := strconv.Atoi(count)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("-tenants cohort %q needs a positive tenant count, got %q", class, count)
+		}
+		cohorts = append(cohorts, serving.Cohort{Class: class, Tenants: n, Weight: 1, SeqLens: seqLens})
+	}
+	return cohorts, nil
+}
+
+// saveArrivals writes the run's arrival trace when -trace-out is set.
+func saveArrivals(path string, tr serving.Trace) error {
+	if path == "" {
+		return nil
+	}
+	if err := serving.SaveTrace(path, tr); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d-request arrival trace to %s\n", len(tr.Requests), path)
+	return nil
+}
+
+// addTenantTable prints the per-tenant roll-up when the trace carried
+// tenant labels.
+func addTenantTable(stats []serving.TenantStats, kvOn bool) {
+	if len(stats) == 0 {
+		return
+	}
+	cols := []string{"tenant", "requests", "served", "drop", "p50", "p95", "p99"}
+	if kvOn {
+		cols = append(cols, "p99 TTFT")
+	}
+	tt := report.NewTable("Per-tenant", cols...).AlignNumeric()
+	for _, ts := range stats {
+		row := []string{
+			ts.Tenant,
+			report.Count(ts.Requests),
+			report.Count(ts.Served),
+			report.Pct(ts.DropRatePct),
+			report.US(ts.P50LatencyUS),
+			report.US(ts.P95LatencyUS),
+			report.US(ts.P99LatencyUS),
+		}
+		if kvOn {
+			row = append(row, report.US(ts.P99TTFTUS))
+		}
+		tt.AddStringRow(row...)
+	}
+	fmt.Print(tt.String())
+}
+
 // runServe simulates online serving and prints the roll-up.
-func runServe(model string, cfgIdx, batch int, seed int64, rate float64, policyName string, requests int, timeoutUS float64, kv *serving.KVConfig) error {
+func runServe(model string, cfgIdx, batch int, seed int64, rate float64, policyName string, requests int, timeoutUS float64, kv *serving.KVConfig, arr arrivalSpec) error {
 	cfgs := gpusim.TableII()
 	if cfgIdx < 1 || cfgIdx > len(cfgs) {
 		return fmt.Errorf("config %d outside Table II range 1-%d", cfgIdx, len(cfgs))
@@ -326,8 +458,11 @@ func runServe(model string, cfgIdx, batch int, seed int64, rate float64, policyN
 	if err != nil {
 		return err
 	}
-	trace, err := serving.PoissonTrace(w.Train, requests, rate, seed)
+	trace, err := arrivalTrace(w, requests, rate, seed, arr)
 	if err != nil {
+		return err
+	}
+	if err := saveArrivals(arr.out, trace); err != nil {
 		return err
 	}
 	res, err := serving.Simulate(serving.Spec{Model: w.Model, Trace: trace, Policy: pol, KV: kv}, cfg)
@@ -353,6 +488,7 @@ func runServe(model string, cfgIdx, batch int, seed int64, rate float64, policyN
 		addKVRows(t, sum.MeanTTFTUS, sum.P99TTFTUS, sum.Preemptions, sum.KVPeakBytes, sum.KVCapacityBytes)
 	}
 	fmt.Print(t.String())
+	addTenantTable(sum.PerTenant, kv != nil)
 	return nil
 }
 
@@ -369,7 +505,8 @@ func addKVRows(t *report.Table, meanTTFT, p99TTFT float64, preemptions int, peak
 // roll-up.
 func runFleet(model string, cfgIdx, batch int, seed int64, rate float64, policyName string,
 	requests int, timeoutUS float64, replicas int, routingName string, queueCap int,
-	autoscale bool, simParallelism int, kv *serving.KVConfig, disagg *serving.DisaggConfig) error {
+	autoscale bool, simParallelism int, kv *serving.KVConfig, disagg *serving.DisaggConfig,
+	arr arrivalSpec) error {
 	cfgs := gpusim.TableII()
 	if cfgIdx < 1 || cfgIdx > len(cfgs) {
 		return fmt.Errorf("config %d outside Table II range 1-%d", cfgIdx, len(cfgs))
@@ -387,8 +524,11 @@ func runFleet(model string, cfgIdx, batch int, seed int64, rate float64, policyN
 	if err != nil {
 		return err
 	}
-	trace, err := serving.PoissonTrace(w.Train, requests, rate, seed)
+	trace, err := arrivalTrace(w, requests, rate, seed, arr)
 	if err != nil {
+		return err
+	}
+	if err := saveArrivals(arr.out, trace); err != nil {
 		return err
 	}
 	spec := serving.FleetSpec{
@@ -447,6 +587,7 @@ func runFleet(model string, cfgIdx, batch int, seed int64, rate float64, policyN
 		t.AddStringRow("peak replicas", report.Count(sum.PeakReplicas))
 	}
 	fmt.Print(t.String())
+	addTenantTable(sum.PerTenant, kv != nil)
 
 	rt := report.NewTable("Per-replica", "replica", "gpus", "served", "batches", "busy", "live").AlignNumeric()
 	for _, rs := range sum.PerReplica {

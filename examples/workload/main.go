@@ -1,0 +1,134 @@
+// Example workload generates a production-shaped multi-tenant arrival
+// trace — three Zipf-skewed interactive chat tenants against one bulk
+// tenant that submits in clumps, under a diurnal rate swing — records
+// it through the versioned trace file format, and replays the loaded
+// copy under FIFO and weighted-fair batching. Under FIFO the bulk
+// clumps fill every batch and the sparse chat requests queue behind
+// them; the wfq policy gives every queued tenant a slot per round and
+// collapses the interactive tail at no throughput cost. Everything is
+// seeded, so this prints the same numbers on every run.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"seqpoint"
+)
+
+const (
+	requests = 512
+	rate     = 60.0 // req/s of realized request volume
+	batch    = 16
+)
+
+func main() {
+	// Interactive tenants draw short sequences, the bulk tenant long
+	// ones — the SL skew that makes pad-to-max batch costs uneven.
+	short := make([]int, 24)
+	for i := range short {
+		short[i] = 4 + (i*5)%24
+	}
+	long := make([]int, 12)
+	for i := range long {
+		long[i] = 32 + (i*7)%28
+	}
+
+	// The bulk cohort emits 2x-batch clumps, so arrival events carry
+	// far more than one request each; pace events accordingly, then
+	// pin the realized request rate exactly with ScaleToRate.
+	burst := 2 * batch
+	reqsPerEvent := (8.0 + float64(burst)) / 9.0
+	horizonUS := float64(requests) / rate * 1e6
+	trace, err := seqpoint.GenerateTrace(seqpoint.WorkloadGenSpec{
+		Name:       "workload-demo",
+		Requests:   requests,
+		RatePerSec: rate / reqsPerEvent,
+		Seed:       7,
+		Pattern: seqpoint.WorkloadPattern{
+			Kind:      seqpoint.PatternDiurnal,
+			PeriodUS:  horizonUS,
+			Amplitude: 0.5,
+		},
+		Cohorts: []seqpoint.WorkloadCohort{
+			{Class: "chat", Tenants: 3, Weight: 8, ZipfS: 1.1, SeqLens: short},
+			{Class: "bulk", Tenants: 1, Weight: 1, SeqLens: long, Burst: burst},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	trace, err = trace.ScaleToRate(rate)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Record and replay: the versioned JSON-lines file round-trips the
+	// trace losslessly, so the simulation below prices the loaded copy.
+	dir, err := os.MkdirTemp("", "seqpoint-workload")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "arrivals.trace")
+	if err := seqpoint.SaveTrace(path, trace); err != nil {
+		log.Fatal(err)
+	}
+	replay, err := seqpoint.LoadTrace(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recorded %d requests from %d tenants (trace format v%d) and replayed them\n\n",
+		len(replay.Requests), len(replay.Tenants()), seqpoint.TraceFileVersion)
+
+	fifo, err := seqpoint.NewFixedBatch(batch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wfq, err := seqpoint.NewWFQBatch(batch, 25_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	p99 := make(map[string]map[string]float64)
+	for _, policy := range []seqpoint.BatchPolicy{fifo, wfq} {
+		res, err := seqpoint.SimulateServing(seqpoint.ServingSpec{
+			Model:  seqpoint.NewGNMT(),
+			Trace:  replay,
+			Policy: policy,
+		}, seqpoint.VegaFE())
+		if err != nil {
+			log.Fatal(err)
+		}
+		s := res.Summary()
+		fmt.Printf("%s: %.1f req/s served\n", s.Policy, s.ThroughputRPS)
+		fmt.Printf("  %-10s %10s %12s %12s\n", "tenant", "requests", "p50", "p99")
+		tails := make(map[string]float64, len(s.PerTenant))
+		for _, ts := range s.PerTenant {
+			fmt.Printf("  %-10s %10d %10.1fms %10.1fms\n",
+				ts.Tenant, ts.Requests, ts.P50LatencyUS/1e3, ts.P99LatencyUS/1e3)
+			tails[ts.Tenant] = ts.P99LatencyUS
+		}
+		p99[s.Policy] = tails
+		fmt.Println()
+	}
+
+	var fifoTails, wfqTails map[string]float64
+	for name, tails := range p99 {
+		if len(name) >= 3 && name[:3] == "wfq" {
+			wfqTails = tails
+		} else {
+			fifoTails = tails
+		}
+	}
+	fmt.Println("per-tenant p99 change under weighted-fair batching:")
+	for _, tenant := range replay.Tenants() {
+		delta := (wfqTails[tenant]/fifoTails[tenant] - 1) * 100
+		fmt.Printf("  %-10s %+7.1f%%\n", tenant, delta)
+	}
+	fmt.Println("\nthe fair pick collapses the interactive tenants' tail without costing the")
+	fmt.Println("bulk tenant: batches still fill every round, so aggregate throughput is")
+	fmt.Println("unchanged — only who gets the next slot changes.")
+}

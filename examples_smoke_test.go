@@ -35,7 +35,7 @@ func examplePrograms(t *testing.T) []string {
 	}
 	// Discovery covers whatever exists; these README-referenced demos
 	// must exist.
-	for _, required := range []string{"quickstart", "service", "scaleout", "serving", "fleet", "plan"} {
+	for _, required := range []string{"quickstart", "service", "scaleout", "serving", "fleet", "plan", "workload"} {
 		if !found[required] {
 			t.Errorf("examples/%s is referenced by the README but missing", required)
 		}

@@ -177,6 +177,12 @@ func (s *Suite) CSVBundle() (map[string]string, error) {
 			return nil, err
 		}
 		out[fmt.Sprintf("plansweep_%s.csv", w.Name)] = ps.CSV()
+
+		ts, err := TenantSweep(s.Lab, w, calib, DefaultServeRequests, DefaultTenantLoadFactor)
+		if err != nil {
+			return nil, err
+		}
+		out[fmt.Sprintf("tenantsweep_%s.csv", w.Name)] = ts.CSV()
 	}
 	return out, nil
 }

@@ -53,22 +53,33 @@ func ScaledRates(capacityRPS float64, factors []float64) (sortedFactors, rates [
 	return fs, rates, nil
 }
 
+// fullBatchServiceUS prices one full batch at the corpus's median SL:
+// the sweeps' shared unit of service time, used both as the dynamic
+// batching window and to scale SLO budgets.
+func fullBatchServiceUS(eng trainer.ProfileSource, w Workload, cfg gpusim.Config) (float64, error) {
+	medSL, err := stats.MedianInt(w.Train.Lengths)
+	if err != nil {
+		return 0, err
+	}
+	profiles, err := eng.EvalProfiles(cfg, gpusim.SingleGPU(), w.Model, w.Batch, []int{medSL})
+	if err != nil {
+		return 0, err
+	}
+	serviceUS := profiles[medSL].TimeUS
+	if serviceUS <= 0 {
+		return 0, fmt.Errorf("experiments: zero service time for %s at SL %d", w.Name, medSL)
+	}
+	return serviceUS, nil
+}
+
 // servingPolicy builds the sweeps' shared batching policy for w served
 // on cfg: timeout-bounded dynamic batching with max batch w.Batch and
 // a timeout of one full-batch service time at the corpus's median SL,
 // so low-load queueing delay stays on the order of a single batch.
 func servingPolicy(eng trainer.ProfileSource, w Workload, cfg gpusim.Config) (serving.Policy, error) {
-	medSL, err := stats.MedianInt(w.Train.Lengths)
+	serviceUS, err := fullBatchServiceUS(eng, w, cfg)
 	if err != nil {
 		return nil, err
-	}
-	profiles, err := eng.EvalProfiles(cfg, gpusim.SingleGPU(), w.Model, w.Batch, []int{medSL})
-	if err != nil {
-		return nil, err
-	}
-	serviceUS := profiles[medSL].TimeUS
-	if serviceUS <= 0 {
-		return nil, fmt.Errorf("experiments: zero service time for %s at SL %d", w.Name, medSL)
 	}
 	return serving.NewDynamicBatch(w.Batch, serviceUS)
 }

@@ -34,6 +34,12 @@ type PlanProbeConfig struct {
 	// PolicyTimeoutUS is the batching window used when a candidate
 	// names a policy override; 0 uses the serve default.
 	PolicyTimeoutUS float64
+	// Trace, when set, replaces the per-rate Poisson traces with this
+	// recorded trace rescaled to each probed rate (ScaleToRate): the
+	// planner searches the load axis by compressing or dilating the
+	// trace's own arrival shape — diurnal peaks, clumps and tenant mix
+	// included — instead of substituting a memoryless process.
+	Trace *serving.Trace
 }
 
 // PlanProbe builds a planner probe for w served on cfg: one call
@@ -65,7 +71,11 @@ func PlanProbe(eng trainer.ProfileSource, w Workload, cfg gpusim.Config, pc Plan
 		trace, ok := traces[ratePerSec]
 		if !ok {
 			var err error
-			trace, err = serving.PoissonTrace(w.Train, pc.Requests, ratePerSec, w.Seed)
+			if pc.Trace != nil {
+				trace, err = pc.Trace.ScaleToRate(ratePerSec)
+			} else {
+				trace, err = serving.PoissonTrace(w.Train, pc.Requests, ratePerSec, w.Seed)
+			}
 			if err != nil {
 				return zero, err
 			}

@@ -429,6 +429,20 @@ func (s *Suite) RunAll(w io.Writer) error {
 		return err
 	}
 
+	if err := emit("Multi-tenant serving (FIFO starvation vs weighted-fair batching)", func() (string, error) {
+		var out string
+		for _, w := range s.Workloads() {
+			r, err := TenantSweep(s.Lab, w, calib, DefaultServeRequests, DefaultTenantLoadFactor)
+			if err != nil {
+				return "", err
+			}
+			out += r.Render()
+		}
+		return out, nil
+	}); err != nil {
+		return err
+	}
+
 	if err := emit("Section VI-F (dataset scaling)", func() (string, error) {
 		var out string
 		for _, tc := range []struct {

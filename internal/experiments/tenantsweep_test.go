@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"seqpoint/internal/engine"
+	"seqpoint/internal/gpusim"
+)
+
+// TestTenantSweepStarvationStory is the acceptance check for the
+// multi-tenant experiment's headline: under FIFO full-batch gating the
+// bulk tenant's clumps starve the interactive cohort (interactive p99
+// above batch p99), and weighted-fair batching recovers the
+// interactive tail at a small aggregate-throughput cost.
+func TestTenantSweepStarvationStory(t *testing.T) {
+	lab := NewLabWith(engine.New())
+	w := sweepWorkload()
+	res, err := TenantSweep(lab, w, gpusim.VegaFE(), 2048, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2 (fifo, wfq)", len(res.Rows))
+	}
+	fifo, wfq := res.Rows[0], res.Rows[1]
+	if !strings.HasPrefix(fifo.Policy, "fixed") {
+		t.Fatalf("row 0 policy = %q, want the FIFO fixed-batch baseline", fifo.Policy)
+	}
+	if !strings.HasPrefix(wfq.Policy, "wfq") {
+		t.Fatalf("row 1 policy = %q, want wfq", wfq.Policy)
+	}
+	// 3 chat tenants + 1 batch tenant.
+	if len(res.Tenants) != tenantSweepChatTenants+1 {
+		t.Fatalf("tenants = %v, want %d labels", res.Tenants, tenantSweepChatTenants+1)
+	}
+
+	// The starvation inversion: FIFO makes the cheap interactive
+	// requests wait behind the bulk clumps, so the interactive p99
+	// lands above the bulk tenant's own p99.
+	if fifo.InteractiveP99US <= fifo.BatchP99US {
+		t.Errorf("FIFO interactive p99 %.0fus not above batch p99 %.0fus; no starvation to fix",
+			fifo.InteractiveP99US, fifo.BatchP99US)
+	}
+
+	// The recovery: tenant-aware batching must strictly improve the
+	// interactive tail.
+	if wfq.InteractiveP99US >= fifo.InteractiveP99US {
+		t.Errorf("wfq interactive p99 %.0fus did not improve on FIFO's %.0fus",
+			wfq.InteractiveP99US, fifo.InteractiveP99US)
+	}
+
+	// The cost: fairness trades at most 10%% of aggregate throughput.
+	if wfq.ThroughputRPS < 0.9*fifo.ThroughputRPS {
+		t.Errorf("wfq throughput %.0f rps lost more than 10%% vs FIFO's %.0f rps",
+			wfq.ThroughputRPS, fifo.ThroughputRPS)
+	}
+
+	for _, frag := range []string{"Multi-tenant serving", "fixed", "wfq", "interactive p99"} {
+		if !strings.Contains(res.Render(), frag) {
+			t.Errorf("Render() missing %q", frag)
+		}
+	}
+	csv := res.CSV()
+	if !strings.HasPrefix(csv, "policy,throughput_rps") {
+		t.Errorf("CSV header = %q", strings.SplitN(csv, "\n", 2)[0])
+	}
+	if got := strings.Count(csv, "\n"); got != 3 {
+		t.Errorf("CSV has %d lines, want 3 (header + 2 policies)", got)
+	}
+}
+
+// TestTenantSweepErrors covers the input edges.
+func TestTenantSweepErrors(t *testing.T) {
+	lab := NewLabWith(engine.New())
+	w := sweepWorkload()
+	if _, err := TenantSweep(lab, w, gpusim.VegaFE(), 64, -1); err == nil {
+		t.Error("negative load factor accepted")
+	}
+}

@@ -85,6 +85,13 @@ type SLO struct {
 	// pointer so an explicit 0 ("drop nothing") is distinct from
 	// untargeted.
 	MaxDropRatePct *float64 `json:"max_drop_rate_pct,omitempty"`
+	// TenantTTFTP99US caps p99 time-to-first-token per tenant label —
+	// the multi-tenant sharpening of TTFTP99US, checked against the
+	// summary's per-tenant roll-ups. Like the aggregate target it needs
+	// the KV model; a targeted tenant absent from the summary (or with
+	// nothing served) fails its dimension. Dimensions are named
+	// "ttft_p99_us[<tenant>]" in sorted tenant order.
+	TenantTTFTP99US map[string]float64 `json:"tenant_ttft_p99_us,omitempty"`
 }
 
 // Validate rejects an empty or malformed SLO.
@@ -106,7 +113,16 @@ func (s SLO) Validate() error {
 			return fmt.Errorf("%s must be in [0, 100], got %v", DimMaxDropRate, d)
 		}
 	}
-	if s.TTFTP99US == 0 && s.LatencyP99US == 0 && s.MinThroughputRPS == 0 && s.MaxDropRatePct == nil {
+	for tenant, v := range s.TenantTTFTP99US {
+		if tenant == "" {
+			return fmt.Errorf("tenant_%s targets need a non-empty tenant label", DimTTFTP99)
+		}
+		if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("tenant_%s[%s] must be a finite positive target, got %v", DimTTFTP99, tenant, v)
+		}
+	}
+	if s.TTFTP99US == 0 && s.LatencyP99US == 0 && s.MinThroughputRPS == 0 &&
+		s.MaxDropRatePct == nil && len(s.TenantTTFTP99US) == 0 {
 		return errors.New("SLO needs at least one target")
 	}
 	return nil
@@ -142,6 +158,22 @@ func (s SLO) Check(sum serving.FleetSummary) ([]Dimension, bool) {
 	}
 	if s.TTFTP99US > 0 {
 		add(capDim(DimTTFTP99, s.TTFTP99US, sum.P99TTFTUS, sum.Served > 0))
+	}
+	if len(s.TenantTTFTP99US) > 0 {
+		tenants := make([]string, 0, len(s.TenantTTFTP99US))
+		for t := range s.TenantTTFTP99US {
+			tenants = append(tenants, t)
+		}
+		sort.Strings(tenants)
+		byTenant := make(map[string]serving.TenantStats, len(sum.PerTenant))
+		for _, ts := range sum.PerTenant {
+			byTenant[ts.Tenant] = ts
+		}
+		for _, t := range tenants {
+			ts, present := byTenant[t]
+			add(capDim(fmt.Sprintf("%s[%s]", DimTTFTP99, t),
+				s.TenantTTFTP99US[t], ts.P99TTFTUS, present && ts.Served > 0))
+		}
 	}
 	if s.LatencyP99US > 0 {
 		add(capDim(DimLatencyP99, s.LatencyP99US, sum.P99LatencyUS, sum.Served > 0))
@@ -381,7 +413,7 @@ func (sv *solver) probe(c Candidate, rate float64) (evaluation, error) {
 		return evaluation{}, fmt.Errorf("probing %d×%s at %.6g rps: %w", c.Replicas, c.Routing, rate, err)
 	}
 	sv.evals++
-	if sv.spec.SLO.TTFTP99US > 0 && sum.KVCapacityBytes == 0 {
+	if (sv.spec.SLO.TTFTP99US > 0 || len(sv.spec.SLO.TenantTTFTP99US) > 0) && sum.KVCapacityBytes == 0 {
 		return evaluation{}, fmt.Errorf("%s target needs the KV capacity model, but the probe simulates without one", DimTTFTP99)
 	}
 	dims, ok := sv.spec.SLO.Check(sum)

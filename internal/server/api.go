@@ -284,6 +284,10 @@ const (
 	// CodeKVCapacity marks a KV-cache-model misconfiguration: invalid
 	// kv_capacity_gb, or a KV-dependent knob without the model (400).
 	CodeKVCapacity = "kv_capacity"
+	// CodeBadTrace marks a malformed arrival trace: a trace_file that is
+	// corrupt, truncated, wrong-version, or whose arrivals are negative
+	// or non-monotone (400).
+	CodeBadTrace = "bad_trace"
 	// CodeMethodNotAllowed marks a wrong HTTP method (405).
 	CodeMethodNotAllowed = "method_not_allowed"
 	// CodeInfeasible marks a well-formed plan request whose SLO no

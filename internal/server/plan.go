@@ -37,6 +37,10 @@ type PlanSLO struct {
 	// pointer so an explicit 0 ("drop nothing") is distinct from
 	// untargeted.
 	MaxDropRatePct *float64 `json:"max_drop_rate_pct,omitempty"`
+	// TenantTTFTP99US caps p99 time-to-first-token per tenant label
+	// (e.g. {"chat-0": 20000}); needs the KV model and a multi-tenant
+	// workload (tenants or a tenanted trace_file).
+	TenantTTFTP99US map[string]float64 `json:"tenant_ttft_p99_us,omitempty"`
 }
 
 // slo maps the wire form to the planner's.
@@ -46,6 +50,7 @@ func (s PlanSLO) slo() planner.SLO {
 		LatencyP99US:     s.LatencyP99US,
 		MinThroughputRPS: s.MinThroughputRPS,
 		MaxDropRatePct:   s.MaxDropRatePct,
+		TenantTTFTP99US:  s.TenantTTFTP99US,
 	}
 }
 
@@ -102,9 +107,12 @@ func (s *Server) validatePlan(r PlanRequest) error {
 	if err := r.SLO.slo().Validate(); err != nil {
 		return err
 	}
-	if r.SLO.TTFTP99US > 0 && !r.hasKV() {
+	if (r.SLO.TTFTP99US > 0 || len(r.SLO.TenantTTFTP99US) > 0) && !r.hasKV() {
 		return withCode(CodeKVCapacity,
 			fmt.Errorf("ttft_p99_us target needs the KV model: set kv_capacity_gb or kv_capacities_gb"))
+	}
+	if r.TraceFile != "" && r.Rate <= 0 {
+		return fmt.Errorf("plan needs rate even with trace_file: the planner searches the load axis by rescaling the trace")
 	}
 	switch {
 	case r.MaxReplicas < 1:
@@ -171,20 +179,39 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	// Resolve the envelope exactly as /v1/serve and /v1/fleet do — the
 	// probe re-derives traces per searched rate, but this validates the
 	// model/config/policy/corpus combination up front as a 400.
-	workload, hw, policy, _, err := buildWorkloadSetup(req.WorkloadSpec)
+	workload, hw, policy, setupTrace, err := buildWorkloadSetup(req.WorkloadSpec)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	workload.Batch = req.Batch
 	workload.Seed = req.Seed
-	probe, err := experiments.PlanProbe(s.eng, workload, hw, experiments.PlanProbeConfig{
+	probeCfg := experiments.PlanProbeConfig{
 		Requests:        req.Requests,
 		QueueCap:        req.QueueCap,
 		KV:              req.kvConfig(),
 		Policy:          policy,
 		PolicyTimeoutUS: *req.TimeoutUS,
-	})
+	}
+	switch {
+	case req.TraceFile != "":
+		// The probe rescales the recorded trace per searched rate, so it
+		// needs the unscaled original, not the rate-scaled setup trace.
+		raw, err := loadTraceFile(req.TraceFile, 0)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		probeCfg.Trace = &raw
+	case len(req.Tenants) > 0 || req.Pattern != "":
+		// A generated workload searches the load axis the same way: the
+		// setup trace carries the tenant mix, clumps and diurnal shape,
+		// and the probe compresses or dilates it per probed rate —
+		// substituting a memoryless Poisson process here would erase the
+		// very tenants a tenant_ttft_p99_us SLO targets.
+		probeCfg.Trace = &setupTrace
+	}
+	probe, err := experiments.PlanProbe(s.eng, workload, hw, probeCfg)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return

@@ -1,0 +1,244 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"seqpoint/internal/workload"
+)
+
+// Wire-level coverage of the multi-tenant workload envelope: the
+// tenants/pattern generator knobs, trace_file replay, the bad_trace
+// error code, and the planner's per-tenant SLO dimension.
+
+// tenantBody is a small tenanted diurnal workload shared by the tests
+// below; seqlens keeps corpus synthesis hermetic like testSeqLens.
+const tenantBody = `{"model":"gnmt","rate":300,"batch":4,"policy":"wfq","requests":48,
+	"pattern":"diurnal",
+	"tenants":[{"class":"chat","count":2,"weight":4,"zipf_s":1.1,"seqlens":[4,7,9]},
+	           {"class":"bulk","count":1,"burst":8,"seqlens":[15,21]}]}`
+
+func TestTenantedWorkloadEnvelope(t *testing.T) {
+	s := testServer(Options{})
+	cases := []struct {
+		name       string
+		path       string
+		body       string
+		wantStatus int
+		wantInBody string
+	}{
+		{
+			name:       "tenanted serve rolls up per tenant",
+			path:       "/v1/serve",
+			body:       tenantBody,
+			wantStatus: http.StatusOK,
+			wantInBody: `"tenant": "chat-0"`,
+		},
+		{
+			name:       "tenanted fleet rolls up per tenant",
+			path:       "/v1/fleet",
+			body:       `{"replicas":2,` + tenantBody[1:],
+			wantStatus: http.StatusOK,
+			wantInBody: `"tenant": "bulk-0"`,
+		},
+		{
+			name:       "pattern without tenants stays untenanted",
+			path:       "/v1/serve",
+			body:       `{"model":"gnmt","rate":300,"batch":4,"requests":32,"pattern":"diurnal","seqlens":[4,7,9]}`,
+			wantStatus: http.StatusOK,
+			wantInBody: `"p99_latency_us"`,
+		},
+		{
+			name:       "unknown pattern rejected",
+			path:       "/v1/serve",
+			body:       `{"model":"gnmt","rate":300,"requests":32,"pattern":"lunar","seqlens":[4,7,9]}`,
+			wantStatus: http.StatusBadRequest,
+			wantInBody: "unknown pattern",
+		},
+		{
+			name:       "cohort without tenants rejected",
+			path:       "/v1/serve",
+			body:       `{"model":"gnmt","rate":300,"requests":32,"tenants":[{"class":"chat","count":0}]}`,
+			wantStatus: http.StatusBadRequest,
+			wantInBody: "count must be in [1, 128]",
+		},
+		{
+			name:       "trace_file with tenants rejected",
+			path:       "/v1/serve",
+			body:       `{"model":"gnmt","rate":300,"trace_file":"x.trace","tenants":[{"class":"chat","count":2}]}`,
+			wantStatus: http.StatusBadRequest,
+			wantInBody: "trace_file and tenants are incompatible",
+		},
+		{
+			name:       "trace_file with seqlens rejected",
+			path:       "/v1/serve",
+			body:       `{"model":"gnmt","rate":300,"trace_file":"x.trace","seqlens":[4,7]}`,
+			wantStatus: http.StatusBadRequest,
+			wantInBody: "trace_file and seqlens are incompatible",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := postJSON(t, s, tc.path, tc.body)
+			if w.Code != tc.wantStatus {
+				t.Fatalf("status %d, want %d: %s", w.Code, tc.wantStatus, w.Body.String())
+			}
+			if !bytes.Contains(w.Body.Bytes(), []byte(tc.wantInBody)) {
+				t.Fatalf("body lacks %q:\n%s", tc.wantInBody, w.Body.String())
+			}
+		})
+	}
+
+	// A second identical POST must be byte-identical — the generator is
+	// part of the deterministic surface.
+	first := postJSON(t, s, "/v1/fleet", `{"replicas":2,`+tenantBody[1:])
+	second := postJSON(t, s, "/v1/fleet", `{"replicas":2,`+tenantBody[1:])
+	if !bytes.Equal(first.Body.Bytes(), second.Body.Bytes()) {
+		t.Fatal("repeated tenanted fleet POSTs returned different bytes")
+	}
+}
+
+func TestTraceFileReplay(t *testing.T) {
+	s := testServer(Options{})
+	dir := t.TempDir()
+
+	// Record a small tenanted trace the way a client would: generate,
+	// save, replay through both serving endpoints.
+	trace, err := workload.Generate(workload.GenSpec{
+		Requests:   40,
+		RatePerSec: 250,
+		Seed:       7,
+		Cohorts: []workload.Cohort{
+			{Class: "chat", Tenants: 2, Weight: 3, SeqLens: []int{4, 7, 9}},
+			{Class: "bulk", Tenants: 1, Weight: 1, SeqLens: []int{15, 21}, Burst: 4},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "arrivals.trace")
+	if err := workload.SaveTrace(path, trace); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, endpoint := range []string{"/v1/serve", "/v1/fleet"} {
+		body := fmt.Sprintf(`{"model":"gnmt","batch":4,"trace_file":%q}`, path)
+		w := postJSON(t, s, endpoint, body)
+		if w.Code != http.StatusOK {
+			t.Fatalf("%s replay: status %d: %s", endpoint, w.Code, w.Body.String())
+		}
+		var resp struct {
+			Summary struct {
+				Requests  int `json:"requests"`
+				PerTenant []struct {
+					Tenant   string `json:"tenant"`
+					Requests int    `json:"requests"`
+				} `json:"per_tenant"`
+			} `json:"summary"`
+		}
+		if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+			t.Fatalf("%s replay: %v", endpoint, err)
+		}
+		if resp.Summary.Requests != len(trace.Requests) {
+			t.Fatalf("%s replay served %d requests, trace holds %d", endpoint, resp.Summary.Requests, len(trace.Requests))
+		}
+		if len(resp.Summary.PerTenant) != len(trace.Tenants()) {
+			t.Fatalf("%s replay has %d per-tenant rows, trace has %d tenants", endpoint, len(resp.Summary.PerTenant), len(trace.Tenants()))
+		}
+	}
+
+	// An explicit rate rescales the replay; the summary's offered rate
+	// follows it.
+	w := postJSON(t, s, "/v1/serve", fmt.Sprintf(`{"model":"gnmt","batch":4,"rate":500,"trace_file":%q}`, path))
+	if w.Code != http.StatusOK {
+		t.Fatalf("rescaled replay: status %d: %s", w.Code, w.Body.String())
+	}
+
+	// Corruption surfaces as a 400 with the typed bad_trace code, for
+	// every flavor: garbage, wrong version, and a missing file.
+	badCases := []struct {
+		name    string
+		content string
+	}{
+		{"garbage", "not json\n"},
+		{"wrong version", `{"magic":"seqpoint-workload-trace","version":99,"requests":0}` + "\n"},
+	}
+	for _, bc := range badCases {
+		t.Run(bc.name, func(t *testing.T) {
+			bad := filepath.Join(dir, "bad.trace")
+			if err := os.WriteFile(bad, []byte(bc.content), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			w := postJSON(t, s, "/v1/serve", fmt.Sprintf(`{"model":"gnmt","trace_file":%q}`, bad))
+			if w.Code != http.StatusBadRequest {
+				t.Fatalf("status %d, want 400: %s", w.Code, w.Body.String())
+			}
+			if !bytes.Contains(w.Body.Bytes(), []byte(`"code":"bad_trace"`)) &&
+				!bytes.Contains(w.Body.Bytes(), []byte(`"code": "bad_trace"`)) {
+				t.Fatalf("body lacks bad_trace code:\n%s", w.Body.String())
+			}
+		})
+	}
+}
+
+func TestPlanTenantSLO(t *testing.T) {
+	s := testServer(Options{})
+
+	// A per-tenant TTFT target must be judged against the tenanted
+	// trace the envelope describes — the probe threads the generated
+	// trace through the load-axis search, so the dimension resolves
+	// with real data instead of failing vacuously.
+	body := `{"model":"gnmt","rate":300,"batch":4,"requests":48,"max_replicas":4,
+		"kv_capacity_gb":2,"decode_steps":4,
+		"tenants":[{"class":"chat","count":2,"seqlens":[4,7,9]}],
+		"slo":{"tenant_ttft_p99_us":{"chat-0":60000000}}}`
+	w := postJSON(t, s, "/v1/plan", body)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	var resp struct {
+		Plan struct {
+			Replicas int `json:"replicas"`
+			SLO      []struct {
+				Name     string  `json:"name"`
+				Achieved float64 `json:"achieved"`
+				OK       bool    `json:"ok"`
+			} `json:"slo"`
+		} `json:"plan"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, d := range resp.Plan.SLO {
+		if d.Name == "ttft_p99_us[chat-0]" {
+			found = true
+			if !d.OK || d.Achieved <= 0 {
+				t.Fatalf("tenant dimension unresolved: %+v", d)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("plan carries no per-tenant dimension:\n%s", w.Body.String())
+	}
+
+	// Without the KV model the target is meaningless — typed kv_capacity.
+	w = postJSON(t, s, "/v1/plan",
+		`{"model":"gnmt","rate":300,"requests":48,"max_replicas":4,"seqlens":[4,7,9],
+		  "slo":{"tenant_ttft_p99_us":{"chat-0":60000000}}}`)
+	if w.Code != http.StatusBadRequest || !bytes.Contains(w.Body.Bytes(), []byte("kv_capacity")) {
+		t.Fatalf("tenant TTFT without KV: status %d body %s", w.Code, w.Body.String())
+	}
+
+	// trace_file without a rate cannot drive the load-axis search.
+	w = postJSON(t, s, "/v1/plan",
+		`{"model":"gnmt","trace_file":"x.trace","max_replicas":4,"slo":{"latency_p99_us":1000000}}`)
+	if w.Code != http.StatusBadRequest || !bytes.Contains(w.Body.Bytes(), []byte("plan needs rate")) {
+		t.Fatalf("plan trace_file without rate: status %d body %s", w.Code, w.Body.String())
+	}
+}

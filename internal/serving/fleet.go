@@ -197,6 +197,9 @@ type Rejection struct {
 	SeqLen int `json:"seqlen"`
 	// Reason is the typed rejection cause (RejectReasonQueueFull).
 	Reason string `json:"reason"`
+	// Tenant is the request's tenant label; empty (and omitted) on
+	// single-tenant traces.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // ReplicaStats is one replica's share of a fleet run.
@@ -680,6 +683,7 @@ func (f *fleetRun) retireBatch(r *fleetReplica) (n, waves int) {
 				BatchSize: len(r.inflight),
 				PaddedSL:  r.paddedSL,
 				Replica:   r.id,
+				Tenant:    q.Tenant,
 			}
 			f.isServed[q.ID] = true
 		}
@@ -697,6 +701,7 @@ func (f *fleetRun) retireBatch(r *fleetReplica) (n, waves int) {
 				BatchSize: t.batch,
 				PaddedSL:  t.paddedSL,
 				Replica:   r.id,
+				Tenant:    q.Tenant,
 			}
 			f.isServed[q.ID] = true
 		}
@@ -730,7 +735,7 @@ func (f *fleetRun) routeArrivals() error {
 		f.next++
 		if f.kv != nil && f.kv.peakBytes(req) > f.kv.capacity {
 			f.res.Rejections = append(f.res.Rejections, Rejection{
-				ID: req.ID, ArrivalUS: req.ArrivalUS, SeqLen: req.SeqLen, Reason: RejectReasonKVCapacity,
+				ID: req.ID, ArrivalUS: req.ArrivalUS, SeqLen: req.SeqLen, Reason: RejectReasonKVCapacity, Tenant: req.Tenant,
 			})
 			f.done++
 			continue
@@ -740,7 +745,7 @@ func (f *fleetRun) routeArrivals() error {
 		}
 		if eligible == 0 {
 			f.res.Rejections = append(f.res.Rejections, Rejection{
-				ID: req.ID, ArrivalUS: req.ArrivalUS, SeqLen: req.SeqLen, Reason: RejectReasonQueueFull,
+				ID: req.ID, ArrivalUS: req.ArrivalUS, SeqLen: req.SeqLen, Reason: RejectReasonQueueFull, Tenant: req.Tenant,
 			})
 			f.done++
 			continue

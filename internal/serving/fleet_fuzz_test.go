@@ -2,6 +2,7 @@ package serving
 
 import (
 	"bytes"
+	"fmt"
 	"math"
 	"reflect"
 	"testing"
@@ -25,18 +26,24 @@ import (
 //   - memory (kvMode > 0): no replica's cache peak exceeds the
 //     capacity ceiling, first-token instants sit inside each request's
 //     service window, and preemption counts attribute to replicas;
+//   - tenancy (tenantMode > 0): every served metric and rejection
+//     carries its trace request's tenant, the per-tenant roll-ups
+//     conserve arrivals (requests = served + rejected, summing to the
+//     fleet totals), and — for tenant-agnostic policies — the
+//     untenanted shadow of the trace reproduces the summary byte-for-
+//     byte outside the per-tenant block;
 //   - generalization: a 1-replica round-robin unbounded fleet matches
 //     the single-queue simulator byte-for-byte, KV model included.
 func FuzzFleetInvariants(f *testing.F) {
-	f.Add(int64(1), 200.0, uint8(40), uint8(1), uint8(0), uint8(0), uint8(0), false, uint8(0))
-	f.Add(int64(7), 900.0, uint8(120), uint8(3), uint8(4), uint8(1), uint8(1), false, uint8(0))
-	f.Add(int64(42), 5000.0, uint8(200), uint8(5), uint8(2), uint8(2), uint8(2), true, uint8(0))
-	f.Add(int64(-3), 50.0, uint8(10), uint8(2), uint8(1), uint8(3), uint8(1), true, uint8(0))
-	f.Add(int64(99), 1e6, uint8(255), uint8(8), uint8(8), uint8(2), uint8(0), false, uint8(0))
-	f.Add(int64(11), 800.0, uint8(96), uint8(4), uint8(0), uint8(4), uint8(1), false, uint8(5))
-	f.Add(int64(13), 3000.0, uint8(180), uint8(6), uint8(3), uint8(1), uint8(2), false, uint8(2))
+	f.Add(int64(1), 200.0, uint8(40), uint8(1), uint8(0), uint8(0), uint8(0), false, uint8(0), uint8(0))
+	f.Add(int64(7), 900.0, uint8(120), uint8(3), uint8(4), uint8(1), uint8(1), false, uint8(0), uint8(3))
+	f.Add(int64(42), 5000.0, uint8(200), uint8(5), uint8(2), uint8(2), uint8(2), true, uint8(0), uint8(2))
+	f.Add(int64(-3), 50.0, uint8(10), uint8(2), uint8(1), uint8(3), uint8(1), true, uint8(0), uint8(0))
+	f.Add(int64(99), 1e6, uint8(255), uint8(8), uint8(8), uint8(2), uint8(0), false, uint8(0), uint8(7))
+	f.Add(int64(11), 800.0, uint8(96), uint8(4), uint8(0), uint8(4), uint8(1), false, uint8(5), uint8(2))
+	f.Add(int64(13), 3000.0, uint8(180), uint8(6), uint8(3), uint8(1), uint8(3), false, uint8(2), uint8(3))
 
-	f.Fuzz(func(t *testing.T, seed int64, rate float64, n, replicas, queueCap, routing, policyKind uint8, autoscale bool, kvMode uint8) {
+	f.Fuzz(func(t *testing.T, seed int64, rate float64, n, replicas, queueCap, routing, policyKind uint8, autoscale bool, kvMode, tenantMode uint8) {
 		if rate <= 0 || math.IsNaN(rate) || math.IsInf(rate, 0) || rate > 1e8 {
 			t.Skip()
 		}
@@ -52,15 +59,26 @@ func FuzzFleetInvariants(f *testing.F) {
 		if err != nil || trace.Validate() != nil {
 			t.Skip() // degenerate rates can overflow arrivals
 		}
+		// tenantMode > 0 stamps 1-3 deterministic tenant labels across
+		// the trace, cycling by arrival index with a mode-dependent
+		// offset so tenant runs vary without extra randomness.
+		nTenants := int(tenantMode) % 4
+		if nTenants > 0 {
+			for i := range trace.Requests {
+				trace.Requests[i].Tenant = fmt.Sprintf("t%d", (i+int(tenantMode))%nTenants)
+			}
+		}
 
 		var policy Policy
-		switch policyKind % 3 {
+		switch policyKind % 4 {
 		case 0:
 			policy, err = NewFixedBatch(int(policyKind)%7 + 1)
 		case 1:
 			policy, err = NewDynamicBatch(int(policyKind)%5+1, float64(int(policyKind))*250)
-		default:
+		case 2:
 			policy, err = NewLengthAware(int(policyKind)%6 + 1)
+		default:
+			policy, err = NewWFQBatch(int(policyKind)%5+1, float64(int(policyKind))*125)
 		}
 		if err != nil {
 			t.Fatal(err)
@@ -177,6 +195,48 @@ func FuzzFleetInvariants(f *testing.F) {
 			t.Fatalf("negative replica-seconds %v", res.ReplicaSeconds)
 		}
 
+		// Tenancy: every outcome carries its trace request's tenant, and
+		// the per-tenant roll-ups conserve arrivals exactly.
+		tenantOf := make(map[int]string, requests)
+		arrivedBy := make(map[string]int)
+		for _, r := range trace.Requests {
+			tenantOf[r.ID] = r.Tenant
+			arrivedBy[r.Tenant]++
+		}
+		for _, m := range res.Requests {
+			if m.Tenant != tenantOf[m.ID] {
+				t.Fatalf("request %d served as tenant %q, trace says %q", m.ID, m.Tenant, tenantOf[m.ID])
+			}
+		}
+		for _, rej := range res.Rejections {
+			if rej.Tenant != tenantOf[rej.ID] {
+				t.Fatalf("request %d rejected as tenant %q, trace says %q", rej.ID, rej.Tenant, tenantOf[rej.ID])
+			}
+		}
+		sum := res.Summary()
+		if nTenants == 0 {
+			if sum.PerTenant != nil {
+				t.Fatalf("untenanted run produced %d per-tenant rows", len(sum.PerTenant))
+			}
+		} else {
+			if len(sum.PerTenant) != len(arrivedBy) {
+				t.Fatalf("summary has %d per-tenant rows, trace has %d tenants", len(sum.PerTenant), len(arrivedBy))
+			}
+			var total int
+			for _, ts := range sum.PerTenant {
+				if ts.Requests != ts.Served+ts.Rejected {
+					t.Fatalf("tenant %q: %d requests != %d served + %d rejected", ts.Tenant, ts.Requests, ts.Served, ts.Rejected)
+				}
+				if ts.Requests != arrivedBy[ts.Tenant] {
+					t.Fatalf("tenant %q: summary saw %d arrivals, trace sent %d", ts.Tenant, ts.Requests, arrivedBy[ts.Tenant])
+				}
+				total += ts.Requests
+			}
+			if total != requests {
+				t.Fatalf("per-tenant arrivals sum to %d, fleet saw %d", total, requests)
+			}
+		}
+
 		// Memory: the cache model never overdraws its ceiling, and
 		// first-token instants are inside each service window.
 		if kv != nil {
@@ -232,6 +292,31 @@ func FuzzFleetInvariants(f *testing.F) {
 			}
 			if !reflect.DeepEqual(res.Rejections, pres.Rejections) {
 				t.Fatalf("parallelism %d produced different rejections", pspec.Parallelism)
+			}
+		}
+
+		// Tenant neutrality: under every tenant-agnostic policy (all but
+		// wfq, whose fair pick reorders by design), labels must only add
+		// the per-tenant roll-up — the untenanted shadow of the trace
+		// reproduces the rest of the summary byte-for-byte.
+		if nTenants > 0 && policyKind%4 != 3 {
+			urouter, err := ParseRouting(routerNames[int(routing)%len(routerNames)], seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			uspec := spec
+			uspec.Trace = trace.Untenanted()
+			uspec.Router = urouter
+			ures, err := SimulateFleet(uspec, gpusim.VegaFE())
+			if err != nil {
+				t.Fatalf("untenanted SimulateFleet: %v", err)
+			}
+			tsum := sum
+			tsum.PerTenant = nil
+			want, _ := ures.Summary().Serialize()
+			got, _ := tsum.Serialize()
+			if !bytes.Equal(got, want) {
+				t.Fatalf("tenant labels changed the summary beyond the per-tenant block:\n%s\nvs\n%s", got, want)
 			}
 		}
 

@@ -55,6 +55,10 @@ type FleetSummary struct {
 	KVPeakBytes     float64 `json:"kv_peak_bytes,omitempty"`
 	Disagg          string  `json:"disagg,omitempty"`
 
+	// PerTenant rolls latency tails and drop rates up by tenant, sorted
+	// by label; nil (and omitted) on single-tenant traces.
+	PerTenant []TenantStats `json:"per_tenant,omitempty"`
+
 	PerReplica []ReplicaStats `json:"per_replica"`
 }
 
@@ -112,6 +116,7 @@ func (r *FleetResult) Summary() FleetSummary {
 		s.KVPeakBytes = r.KV.PeakBytes
 		s.Disagg = r.Disagg
 	}
+	s.PerTenant = perTenantStats(r.Requests, r.Rejections, r.KV != nil)
 	if s.Served == 0 {
 		return s
 	}

@@ -232,10 +232,12 @@ const (
 	PolicyFixed   = "fixed"
 	PolicyDynamic = "dynamic"
 	PolicyLength  = "length"
+	PolicyWFQ     = "wfq"
 )
 
 // ParsePolicy builds a policy from its CLI/HTTP spelling: "fixed",
-// "dynamic" or "length". timeoutUS applies to "dynamic" only.
+// "dynamic", "length" or "wfq". timeoutUS applies to "dynamic" and
+// "wfq" only.
 func ParsePolicy(name string, size int, timeoutUS float64) (Policy, error) {
 	switch name {
 	case PolicyFixed:
@@ -244,8 +246,10 @@ func ParsePolicy(name string, size int, timeoutUS float64) (Policy, error) {
 		return NewDynamicBatch(size, timeoutUS)
 	case PolicyLength:
 		return NewLengthAware(size)
+	case PolicyWFQ:
+		return NewWFQBatch(size, timeoutUS)
 	default:
-		return nil, fmt.Errorf("serving: unknown policy %q (want %s, %s or %s)",
-			name, PolicyFixed, PolicyDynamic, PolicyLength)
+		return nil, fmt.Errorf("serving: unknown policy %q (want %s, %s, %s or %s)",
+			name, PolicyFixed, PolicyDynamic, PolicyLength, PolicyWFQ)
 	}
 }

@@ -17,143 +17,101 @@
 // pre-generated seeded trace (Poisson or replayed), the event loop is
 // strictly sequential, and profiling parallelism only changes how fast
 // profiles are computed — never a single output byte.
+//
+// The arrival side — Request/Trace, the generators and the versioned
+// trace file format — lives in internal/workload; the aliases and
+// wrappers below keep this package's historical surface intact, so
+// simulator call sites and the public facade are untouched by the
+// extraction.
 package serving
 
 import (
-	"fmt"
-	"math"
-	"math/rand"
+	"io"
 
 	"seqpoint/internal/dataset"
+	"seqpoint/internal/workload"
 )
 
 // Request is one inference request of an arrival trace.
-type Request struct {
-	// ID is the request's index in the trace (arrival order).
-	ID int
-	// ArrivalUS is the arrival time in microseconds from trace start.
-	ArrivalUS float64
-	// SeqLen is the request's input sequence length.
-	SeqLen int
-	// DecodeSteps is the request's decode length under the KV-cache
-	// model (Spec.KV / FleetSpec.KV); 0 falls back to the configured
-	// default, and the field is inert with KV disabled.
-	DecodeSteps int
-}
+type Request = workload.Request
 
 // Trace is an arrival-ordered request sequence.
-type Trace struct {
-	// Name labels the trace in reports.
-	Name string
-	// Requests are the requests in non-decreasing arrival order.
-	Requests []Request
-}
+type Trace = workload.Trace
 
-// Validate reports whether the trace is well-formed: non-empty, IDs in
-// trace order, arrivals non-negative and non-decreasing, SLs positive.
-func (t Trace) Validate() error {
-	if len(t.Requests) == 0 {
-		return fmt.Errorf("serving: trace %q has no requests", t.Name)
-	}
-	prev := 0.0
-	for i, r := range t.Requests {
-		if r.ID != i {
-			return fmt.Errorf("serving: trace %q request %d has ID %d", t.Name, i, r.ID)
-		}
-		if r.SeqLen <= 0 {
-			return fmt.Errorf("serving: trace %q request %d has sequence length %d", t.Name, i, r.SeqLen)
-		}
-		if r.DecodeSteps < 0 {
-			return fmt.Errorf("serving: trace %q request %d has negative decode steps %d", t.Name, i, r.DecodeSteps)
-		}
-		if math.IsNaN(r.ArrivalUS) || math.IsInf(r.ArrivalUS, 0) || r.ArrivalUS < 0 {
-			return fmt.Errorf("serving: trace %q request %d has invalid arrival %v", t.Name, i, r.ArrivalUS)
-		}
-		if r.ArrivalUS < prev {
-			return fmt.Errorf("serving: trace %q request %d arrives at %v, before request %d at %v",
-				t.Name, i, r.ArrivalUS, i-1, prev)
-		}
-		prev = r.ArrivalUS
-	}
-	return nil
-}
-
-// UniqueSLs returns the distinct sequence lengths of the trace in
-// first-arrival order.
-func (t Trace) UniqueSLs() []int {
-	seen := make(map[int]bool)
-	var out []int
-	for _, r := range t.Requests {
-		if !seen[r.SeqLen] {
-			seen[r.SeqLen] = true
-			out = append(out, r.SeqLen)
-		}
-	}
-	return out
-}
+// ErrBadTrace is the typed cause every trace-validation failure wraps;
+// see workload.ErrBadTrace.
+var ErrBadTrace = workload.ErrBadTrace
 
 // PoissonTrace generates n requests with exponentially distributed
-// inter-arrival times at ratePerSec requests per second, each request's
-// sequence length drawn uniformly from the corpus. Everything is
-// seeded: the same (corpus, n, rate, seed) yields the same trace.
+// inter-arrival times at ratePerSec requests per second; see
+// workload.PoissonTrace.
 func PoissonTrace(c *dataset.Corpus, n int, ratePerSec float64, seed int64) (Trace, error) {
-	if c == nil || c.Size() == 0 {
-		return Trace{}, fmt.Errorf("serving: Poisson trace needs a non-empty corpus")
-	}
-	if n <= 0 {
-		return Trace{}, fmt.Errorf("serving: request count must be positive, got %d", n)
-	}
-	if ratePerSec <= 0 || math.IsNaN(ratePerSec) || math.IsInf(ratePerSec, 0) {
-		return Trace{}, fmt.Errorf("serving: arrival rate must be a positive finite rate, got %v", ratePerSec)
-	}
-	rng := rand.New(rand.NewSource(seed))
-	reqs := make([]Request, n)
-	t := 0.0
-	for i := range reqs {
-		t += rng.ExpFloat64() / ratePerSec * 1e6
-		reqs[i] = Request{ID: i, ArrivalUS: t, SeqLen: c.Lengths[rng.Intn(c.Size())]}
-	}
-	return Trace{
-		Name:     fmt.Sprintf("poisson(%s, %.4g rps, n=%d)", c.Name, ratePerSec, n),
-		Requests: reqs,
-	}, nil
+	return workload.PoissonTrace(c, n, ratePerSec, seed)
 }
 
-// BurstTrace generates n requests that all arrive at time zero, with
-// sequence lengths drawn uniformly from the corpus — a fully
-// backlogged server. Its achieved throughput is the serving capacity
-// of a (model, config, policy) triple, the normalizer load sweeps
-// express arrival rates against.
+// BurstTrace generates n requests that all arrive at time zero; see
+// workload.BurstTrace.
 func BurstTrace(c *dataset.Corpus, n int, seed int64) (Trace, error) {
-	if c == nil || c.Size() == 0 {
-		return Trace{}, fmt.Errorf("serving: burst trace needs a non-empty corpus")
-	}
-	if n <= 0 {
-		return Trace{}, fmt.Errorf("serving: request count must be positive, got %d", n)
-	}
-	rng := rand.New(rand.NewSource(seed))
-	reqs := make([]Request, n)
-	for i := range reqs {
-		reqs[i] = Request{ID: i, SeqLen: c.Lengths[rng.Intn(c.Size())]}
-	}
-	return Trace{Name: fmt.Sprintf("burst(%s, n=%d)", c.Name, n), Requests: reqs}, nil
+	return workload.BurstTrace(c, n, seed)
 }
 
-// ReplayTrace builds a trace from explicit arrival offsets (in
-// microseconds) and sequence lengths — the replayed-production-log
-// arrival process. The two slices pair up element-wise.
+// ReplayTrace builds a trace from explicit arrival offsets and
+// sequence lengths; see workload.ReplayTrace.
 func ReplayTrace(name string, arrivalsUS []float64, seqLens []int) (Trace, error) {
-	if len(arrivalsUS) != len(seqLens) {
-		return Trace{}, fmt.Errorf("serving: replay trace %q has %d arrivals but %d sequence lengths",
-			name, len(arrivalsUS), len(seqLens))
-	}
-	reqs := make([]Request, len(arrivalsUS))
-	for i := range reqs {
-		reqs[i] = Request{ID: i, ArrivalUS: arrivalsUS[i], SeqLen: seqLens[i]}
-	}
-	tr := Trace{Name: name, Requests: reqs}
-	if err := tr.Validate(); err != nil {
-		return Trace{}, err
-	}
-	return tr, nil
+	return workload.ReplayTrace(name, arrivalsUS, seqLens)
+}
+
+// GenSpec describes one generated multi-tenant workload; see
+// workload.GenSpec.
+type GenSpec = workload.GenSpec
+
+// Cohort is one tenant class of a generated workload; see
+// workload.Cohort.
+type Cohort = workload.Cohort
+
+// Pattern shapes a generated arrival process's rate over time; see
+// workload.Pattern.
+type Pattern = workload.Pattern
+
+// Arrival-pattern kinds accepted by Pattern.Kind.
+const (
+	// PatternUniform is a homogeneous Poisson process.
+	PatternUniform = workload.PatternUniform
+	// PatternDiurnal modulates the rate sinusoidally.
+	PatternDiurnal = workload.PatternDiurnal
+)
+
+// Generate produces a multi-tenant trace — pattern-shaped arrivals,
+// weighted cohorts, Zipf tenant popularity, bulk clumps; see
+// workload.Generate.
+func Generate(spec GenSpec) (Trace, error) {
+	return workload.Generate(spec)
+}
+
+// TraceFileVersion is the trace file format version WriteTrace emits;
+// see workload.TraceVersion.
+const TraceFileVersion = workload.TraceVersion
+
+// WriteTrace writes the versioned JSON-lines trace format; see
+// workload.WriteTrace.
+func WriteTrace(w io.Writer, t Trace) error {
+	return workload.WriteTrace(w, t)
+}
+
+// ReadTrace parses and fully validates a trace file; see
+// workload.ReadTrace.
+func ReadTrace(r io.Reader) (Trace, error) {
+	return workload.ReadTrace(r)
+}
+
+// SaveTrace atomically writes a trace file to path; see
+// workload.SaveTrace.
+func SaveTrace(path string, t Trace) error {
+	return workload.SaveTrace(path, t)
+}
+
+// LoadTrace reads and fully validates the trace file at path; see
+// workload.LoadTrace.
+func LoadTrace(path string) (Trace, error) {
+	return workload.LoadTrace(path)
 }

@@ -283,7 +283,7 @@ func TestLengthAwareDeepBacklogBounded(t *testing.T) {
 }
 
 func TestParsePolicy(t *testing.T) {
-	for _, name := range []string{PolicyFixed, PolicyDynamic, PolicyLength} {
+	for _, name := range []string{PolicyFixed, PolicyDynamic, PolicyLength, PolicyWFQ} {
 		p, err := ParsePolicy(name, 4, 100)
 		if err != nil {
 			t.Errorf("ParsePolicy(%q): %v", name, err)

@@ -69,6 +69,10 @@ type RequestMetric struct {
 	// Replica is the fleet replica that served the request; always 0 in
 	// single-queue (Simulate) runs.
 	Replica int `json:"replica"`
+	// Tenant is the request's tenant label; empty (and omitted) on
+	// single-tenant traces, keeping their metrics byte-identical to the
+	// pre-tenant format.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // WaitUS is the request's queueing delay.
@@ -231,6 +235,7 @@ func Simulate(spec Spec, hw gpusim.Config) (*Result, error) {
 							DoneUS:    clock,
 							BatchSize: len(batch),
 							PaddedSL:  paddedSL,
+							Tenant:    r.Tenant,
 						}
 						done++
 					}
@@ -265,6 +270,7 @@ func Simulate(spec Spec, hw gpusim.Config) (*Result, error) {
 							DoneUS:    start + t.doneOff,
 							BatchSize: t.batch,
 							PaddedSL:  t.paddedSL,
+							Tenant:    r.Tenant,
 						}
 						done++
 					}
@@ -362,6 +368,10 @@ type Summary struct {
 	Preemptions     int     `json:"preemptions,omitempty"`
 	KVCapacityBytes float64 `json:"kv_capacity_bytes,omitempty"`
 	KVPeakBytes     float64 `json:"kv_peak_bytes,omitempty"`
+
+	// PerTenant rolls latency tails and drop rates up by tenant, sorted
+	// by label; nil (and omitted) on single-tenant traces.
+	PerTenant []TenantStats `json:"per_tenant,omitempty"`
 }
 
 // ttftDigest ranks per-request TTFTs (arrival → prefill completion)
@@ -445,6 +455,7 @@ func (r *Result) Summary() Summary {
 		s.KVPeakBytes = r.KV.PeakBytes
 		s.MeanTTFTUS, s.P50TTFTUS, s.P95TTFTUS, s.P99TTFTUS = ttftDigest(r.Requests)
 	}
+	s.PerTenant = perTenantStats(r.Requests, nil, r.KV != nil)
 	return s
 }
 

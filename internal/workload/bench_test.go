@@ -1,0 +1,32 @@
+package workload
+
+import "testing"
+
+// BenchmarkWorkloadGen generates a one-million-request diurnal
+// two-cohort Zipf trace — the workload-subsystem hot path the perf
+// trajectory tracks alongside the serving event loops. One iteration
+// is one full generation: pattern thinning, cohort/tenant draws, and
+// final whole-trace validation.
+func BenchmarkWorkloadGen(b *testing.B) {
+	spec := GenSpec{
+		Requests:   1_000_000,
+		RatePerSec: 400_000,
+		Seed:       42,
+		Pattern:    Pattern{Kind: PatternDiurnal, PeriodUS: 1e6, Amplitude: 0.5},
+		Cohorts: []Cohort{
+			{Class: "chat", Tenants: 16, Weight: 3, ZipfS: 1.1, SeqLens: []int{4, 8, 12, 16}},
+			{Class: "bulk", Tenants: 4, Weight: 1, ZipfS: 0.8, SeqLens: []int{32, 40, 48}, DecodeSteps: 8, Burst: 32},
+		},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr, err := Generate(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tr.Requests) != spec.Requests {
+			b.Fatalf("generated %d requests, want %d", len(tr.Requests), spec.Requests)
+		}
+	}
+}

@@ -113,6 +113,56 @@ const (
 	RoutingKV = serving.RoutingKV
 )
 
+// Workload generation and trace replay (internal/workload, via the
+// serving wrappers): a production-shaped multi-tenant arrival
+// generator — diurnal rate modulation, weighted cohort mixes,
+// Zipf-skewed tenant popularity, bulk-submission clumps — plus a
+// versioned JSON-lines trace file format, so the same recorded
+// arrivals replay byte-identically through serving, fleet and planner
+// runs. Tenanted traces roll up per-tenant latency tails (TenantStats)
+// and can be batched tenant-aware (NewWFQBatch) so a clumping bulk
+// tenant cannot starve sparse interactive ones.
+type (
+	// WorkloadGenSpec describes one generated multi-tenant workload.
+	WorkloadGenSpec = serving.GenSpec
+	// WorkloadCohort is one tenant class of a generated workload.
+	WorkloadCohort = serving.Cohort
+	// WorkloadPattern shapes the generated arrival rate over time.
+	WorkloadPattern = serving.Pattern
+	// TenantStats is one tenant's slice of a serving or fleet roll-up.
+	TenantStats = serving.TenantStats
+)
+
+// Arrival-pattern spellings for WorkloadPattern.Kind.
+const (
+	// PatternUniform is a homogeneous Poisson process.
+	PatternUniform = serving.PatternUniform
+	// PatternDiurnal modulates the arrival rate sinusoidally.
+	PatternDiurnal = serving.PatternDiurnal
+	// TraceFileVersion is the trace file format version WriteTrace
+	// emits and ReadTrace accepts.
+	TraceFileVersion = serving.TraceFileVersion
+)
+
+var (
+	// GenerateTrace produces a multi-tenant trace from a
+	// WorkloadGenSpec, deterministic at any parallelism.
+	GenerateTrace = serving.Generate
+	// WriteTrace and ReadTrace stream the versioned JSON-lines trace
+	// format; SaveTrace and LoadTrace are their file-path forms
+	// (SaveTrace writes atomically via temp-and-rename).
+	WriteTrace = serving.WriteTrace
+	ReadTrace  = serving.ReadTrace
+	SaveTrace  = serving.SaveTrace
+	LoadTrace  = serving.LoadTrace
+	// NewWFQBatch builds the tenant-aware weighted-fair batching
+	// policy: dynamic-style gating with a per-tenant round-robin pick.
+	NewWFQBatch = serving.NewWFQBatch
+	// ErrBadTrace is the typed cause every trace-validation failure
+	// wraps; match with errors.Is.
+	ErrBadTrace = serving.ErrBadTrace
+)
+
 var (
 	// SimulateServing runs an online-serving simulation.
 	SimulateServing = serving.Simulate

@@ -168,22 +168,23 @@ func TestCompareAllocGate(t *testing.T) {
 // snapshot against its predecessor must also pass — the trajectory
 // only ever improved.
 func TestGateCommittedBaseline(t *testing.T) {
-	pr9, err := filepath.Abs("../../BENCH_pr9.json")
+	pr10, err := filepath.Abs("../../BENCH_pr10.json")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := os.Stat(pr9); err != nil {
+	if _, err := os.Stat(pr10); err != nil {
 		t.Skipf("committed baseline not found: %v", err)
 	}
-	report, ok, err := Gate(pr9, pr9, 25, 10)
+	report, ok, err := Gate(pr10, pr10, 25, 10)
 	if err != nil || !ok {
 		t.Fatalf("self-comparison failed; ok=%v err=%v\n%s", ok, err, report)
 	}
-	dir := filepath.Dir(pr9)
+	dir := filepath.Dir(pr10)
 	seed := filepath.Join(dir, "BENCH_seed.json")
 	pr6 := filepath.Join(dir, "BENCH_pr6.json")
 	pr7 := filepath.Join(dir, "BENCH_pr7.json")
 	pr8 := filepath.Join(dir, "BENCH_pr8.json")
+	pr9 := filepath.Join(dir, "BENCH_pr9.json")
 	report, ok, err = Gate(seed, pr6, 25, 10)
 	if err != nil || !ok {
 		t.Fatalf("PR 6 numbers regressed against the seed; ok=%v err=%v\n%s", ok, err, report)
@@ -208,6 +209,13 @@ func TestGateCommittedBaseline(t *testing.T) {
 	report, ok, err = Gate(pr8, pr9, 25, 10)
 	if err != nil || !ok {
 		t.Fatalf("PR 9 numbers regressed against PR 8; ok=%v err=%v\n%s", ok, err, report)
+	}
+	// PR 10 adds the metrics middleware (and a new render benchmark,
+	// skipped against pr9); per-request overhead is one histogram
+	// observation plus a map bump, so the existing paths hold.
+	report, ok, err = Gate(pr9, pr10, 25, 10)
+	if err != nil || !ok {
+		t.Fatalf("PR 10 numbers regressed against PR 9; ok=%v err=%v\n%s", ok, err, report)
 	}
 }
 

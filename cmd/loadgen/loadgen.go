@@ -1,0 +1,205 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+
+	"seqpoint/internal/server"
+	"seqpoint/internal/stats"
+)
+
+// Config parameterizes one load run. Everything that shapes the
+// offered load is derived from Seed, so two runs with the same config
+// issue byte-identical request sequences on identical schedules.
+type Config struct {
+	// BaseURL is the daemon under test, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// RPS is the target offered rate. The generator is open-loop: it
+	// fires on schedule whether or not earlier requests came back, the
+	// arrival model that actually exposes queueing collapse (a
+	// closed-loop generator self-throttles and hides it).
+	RPS float64
+	// Duration is how long to offer load.
+	Duration time.Duration
+	// Seed drives the arrival process and the request mix.
+	Seed int64
+	// Models cycles the request mix across these model names; empty
+	// defaults to gnmt.
+	Models []string
+	// P99Budget is the latency SLO; a run whose p99 exceeds it fails
+	// (exit nonzero from main). Zero disables the check.
+	P99Budget time.Duration
+	// MaxErrorRate is the tolerated fraction of failed requests,
+	// in [0, 1]. Requests rejected by the limiter (429) count as
+	// errors: an overloaded target is a failed run, not background
+	// noise.
+	MaxErrorRate float64
+}
+
+// Report is one load run's outcome.
+type Report struct {
+	Sent      int
+	OK        int
+	Errors    int
+	Elapsed   time.Duration
+	Achieved  float64 // completed requests per second
+	P50       time.Duration
+	P95       time.Duration
+	P99       time.Duration
+	MaxLat    time.Duration
+	LastError string
+}
+
+// SLOViolation explains a failed run; errors.As-able from Run's error.
+type SLOViolation struct{ Reason string }
+
+func (v *SLOViolation) Error() string { return "slo violation: " + v.Reason }
+
+// schedule precomputes the open-loop arrival offsets: exponential
+// inter-arrivals at rate rps (a Poisson process), seeded. Returned
+// offsets are relative to the run start and strictly increasing.
+func schedule(seed int64, rps float64, d time.Duration) []time.Duration {
+	rng := rand.New(rand.NewSource(seed))
+	var out []time.Duration
+	t := 0.0
+	for {
+		t += -math.Log(1-rng.Float64()) / rps
+		off := time.Duration(t * float64(time.Second))
+		if off >= d {
+			return out
+		}
+		out = append(out, off)
+	}
+}
+
+// requestMix derives the i-th request deterministically from the seed:
+// a handful of distinct (batch, seqlens) shapes so the target sees
+// both cache hits and genuine computation.
+func requestMix(seed int64, models []string, n int) []server.SimulateRequest {
+	if len(models) == 0 {
+		models = []string{"gnmt"}
+	}
+	rng := rand.New(rand.NewSource(seed + 1))
+	reqs := make([]server.SimulateRequest, n)
+	for i := range reqs {
+		batch := 1 + rng.Intn(4)
+		seqlens := make([]int, batch)
+		for j := range seqlens {
+			seqlens[j] = 4 + rng.Intn(12)
+		}
+		reqs[i] = server.SimulateRequest{
+			Model:   models[rng.Intn(len(models))],
+			Batch:   batch,
+			SeqLens: seqlens,
+		}
+	}
+	return reqs
+}
+
+// Run offers cfg.RPS of simulate load to cfg.BaseURL for cfg.Duration
+// and reports achieved throughput and latency percentiles. It returns
+// a *SLOViolation error when the run breaches the configured budget;
+// the Report is valid either way.
+func Run(ctx context.Context, cfg Config) (Report, error) {
+	if cfg.RPS <= 0 {
+		return Report{}, fmt.Errorf("loadgen: rps must be positive, got %v", cfg.RPS)
+	}
+	if cfg.Duration <= 0 {
+		return Report{}, fmt.Errorf("loadgen: duration must be positive, got %v", cfg.Duration)
+	}
+	arrivals := schedule(cfg.Seed, cfg.RPS, cfg.Duration)
+	reqs := requestMix(cfg.Seed, cfg.Models, len(arrivals))
+	client := server.NewClient(cfg.BaseURL, nil)
+
+	var (
+		mu        sync.Mutex
+		latencies []float64 // seconds
+		okCount   int
+		errCount  int
+		lastErr   string
+		wg        sync.WaitGroup
+	)
+	start := time.Now()
+	timer := time.NewTimer(0)
+	defer timer.Stop()
+fire:
+	for i, off := range arrivals {
+		timer.Reset(time.Until(start.Add(off)))
+		select {
+		case <-ctx.Done():
+			break fire
+		case <-timer.C:
+		}
+		wg.Add(1)
+		go func(req server.SimulateRequest) {
+			defer wg.Done()
+			t0 := time.Now()
+			_, err := client.Simulate(ctx, req)
+			lat := time.Since(t0).Seconds()
+			mu.Lock()
+			defer mu.Unlock()
+			latencies = append(latencies, lat)
+			if err != nil {
+				errCount++
+				lastErr = err.Error()
+				return
+			}
+			okCount++
+		}(reqs[i])
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := Report{
+		Sent:      len(latencies),
+		OK:        okCount,
+		Errors:    errCount,
+		Elapsed:   elapsed,
+		LastError: lastErr,
+	}
+	if elapsed > 0 {
+		rep.Achieved = float64(okCount) / elapsed.Seconds()
+	}
+	if len(latencies) > 0 {
+		ps, err := stats.PercentilesInPlace(latencies, 50, 95, 99, 100)
+		if err != nil {
+			return rep, fmt.Errorf("loadgen: percentiles: %w", err)
+		}
+		rep.P50 = secondsToDuration(ps[0])
+		rep.P95 = secondsToDuration(ps[1])
+		rep.P99 = secondsToDuration(ps[2])
+		rep.MaxLat = secondsToDuration(ps[3])
+	}
+
+	if err := ctx.Err(); err != nil && !errors.Is(err, context.Canceled) {
+		return rep, err
+	}
+	if rep.Sent == 0 {
+		return rep, &SLOViolation{Reason: "no requests were sent"}
+	}
+	if rate := float64(rep.Errors) / float64(rep.Sent); rate > cfg.MaxErrorRate {
+		return rep, &SLOViolation{Reason: fmt.Sprintf("error rate %.2f%% exceeds budget %.2f%% (last error: %s)",
+			rate*100, cfg.MaxErrorRate*100, rep.LastError)}
+	}
+	if cfg.P99Budget > 0 && rep.P99 > cfg.P99Budget {
+		return rep, &SLOViolation{Reason: fmt.Sprintf("p99 %s exceeds budget %s", rep.P99, cfg.P99Budget)}
+	}
+	return rep, nil
+}
+
+func secondsToDuration(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}
+
+// String renders the report the way the CLI prints it.
+func (r Report) String() string {
+	return fmt.Sprintf("sent %d ok %d errors %d in %s (%.1f req/s) | p50 %s p95 %s p99 %s max %s",
+		r.Sent, r.OK, r.Errors, r.Elapsed.Round(time.Millisecond), r.Achieved,
+		r.P50.Round(10*time.Microsecond), r.P95.Round(10*time.Microsecond),
+		r.P99.Round(10*time.Microsecond), r.MaxLat.Round(10*time.Microsecond))
+}

@@ -1,0 +1,156 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"seqpoint/internal/server"
+)
+
+// TestScheduleDeterministic: the same seed yields the same arrival
+// offsets and the same request mix — a failing run replays exactly.
+func TestScheduleDeterministic(t *testing.T) {
+	a := schedule(7, 200, time.Second)
+	b := schedule(7, 200, time.Second)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different arrival schedules")
+	}
+	if len(a) == 0 {
+		t.Fatal("schedule(200 rps, 1s) produced no arrivals")
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i] <= a[i-1] {
+			t.Fatalf("arrival %d at %v not after arrival %d at %v", i, a[i], i-1, a[i-1])
+		}
+	}
+	if last := a[len(a)-1]; last >= time.Second {
+		t.Fatalf("arrival beyond the run window: %v", last)
+	}
+	// ~200 expected; Poisson spread leaves a wide but bounded band.
+	if len(a) < 120 || len(a) > 300 {
+		t.Fatalf("schedule produced %d arrivals for 200 rps over 1s", len(a))
+	}
+
+	ra := requestMix(7, nil, 16)
+	rb := requestMix(7, nil, 16)
+	if !reflect.DeepEqual(ra, rb) {
+		t.Fatal("same seed produced different request mixes")
+	}
+	if schedule(8, 200, time.Second)[0] == a[0] {
+		t.Fatal("different seeds produced identical first arrivals")
+	}
+}
+
+// TestRunRejectsBadConfig: nonsense configs fail fast, before any
+// traffic is offered.
+func TestRunRejectsBadConfig(t *testing.T) {
+	if _, err := Run(context.Background(), Config{RPS: 0, Duration: time.Second}); err == nil {
+		t.Error("rps 0 accepted")
+	}
+	if _, err := Run(context.Background(), Config{RPS: 10, Duration: 0}); err == nil {
+		t.Error("duration 0 accepted")
+	}
+}
+
+// TestSoakSmoke runs the generator against an in-process daemon: the
+// CI soak job's core. Default duration keeps `go test` quick; CI sets
+// LOADGEN_SOAK_DURATION=10s for the real soak. The default p99 budget
+// is generous because this test also runs under -race (where the
+// simulations are an order of magnitude slower); the soak job pins a
+// tight budget via LOADGEN_P99_BUDGET.
+func TestSoakSmoke(t *testing.T) {
+	duration := 1500 * time.Millisecond
+	if v := os.Getenv("LOADGEN_SOAK_DURATION"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			t.Fatalf("LOADGEN_SOAK_DURATION %q: %v", v, err)
+		}
+		duration = d
+	}
+	budget := 30 * time.Second
+	if v := os.Getenv("LOADGEN_P99_BUDGET"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			t.Fatalf("LOADGEN_P99_BUDGET %q: %v", v, err)
+		}
+		budget = d
+	}
+
+	ts := httptest.NewServer(server.New(server.Options{}))
+	defer ts.Close()
+
+	rep, err := Run(context.Background(), Config{
+		BaseURL:   ts.URL,
+		RPS:       40,
+		Duration:  duration,
+		Seed:      1,
+		P99Budget: budget,
+	})
+	t.Logf("soak report: %s", rep)
+	if err != nil {
+		t.Fatalf("soak run failed: %v (report: %s)", err, rep)
+	}
+	if rep.OK == 0 || rep.Errors != 0 {
+		t.Fatalf("soak report ok=%d errors=%d (last error: %s)", rep.OK, rep.Errors, rep.LastError)
+	}
+	if rep.P99 <= 0 || rep.P50 > rep.P95 || rep.P95 > rep.P99 || rep.P99 > rep.MaxLat {
+		t.Fatalf("incoherent percentiles in report: %s", rep)
+	}
+}
+
+// TestRunFlagsSLOBreach: an impossible p99 budget turns into a typed
+// SLOViolation (the CLI's nonzero exit), with the report still filled.
+func TestRunFlagsSLOBreach(t *testing.T) {
+	ts := httptest.NewServer(server.New(server.Options{}))
+	defer ts.Close()
+
+	rep, err := Run(context.Background(), Config{
+		BaseURL:   ts.URL,
+		RPS:       20,
+		Duration:  500 * time.Millisecond,
+		Seed:      3,
+		P99Budget: time.Nanosecond,
+	})
+	var slo *SLOViolation
+	if err == nil {
+		t.Fatalf("nanosecond p99 budget passed (report: %s)", rep)
+	}
+	if !errors.As(err, &slo) {
+		t.Fatalf("want *SLOViolation, got %v", err)
+	}
+	if !strings.Contains(slo.Reason, "p99") {
+		t.Fatalf("violation reason %q does not name p99", slo.Reason)
+	}
+	if rep.Sent == 0 {
+		t.Fatal("report empty despite completed run")
+	}
+}
+
+// TestRunCountsErrors: a target that refuses work (draining) makes the
+// run fail its error budget rather than report a clean pass.
+func TestRunCountsErrors(t *testing.T) {
+	srv := server.New(server.Options{})
+	srv.StartDrain()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	rep, err := Run(context.Background(), Config{
+		BaseURL:  ts.URL,
+		RPS:      20,
+		Duration: 500 * time.Millisecond,
+		Seed:     5,
+	})
+	var slo *SLOViolation
+	if err == nil || !errors.As(err, &slo) {
+		t.Fatalf("draining target passed the run: err=%v report=%s", err, rep)
+	}
+	if rep.Errors != rep.Sent {
+		t.Fatalf("draining target: errors=%d sent=%d, want all rejected", rep.Errors, rep.Sent)
+	}
+}

@@ -1,0 +1,59 @@
+// Command loadgen drives a running seqpointd with seeded, open-loop
+// simulate traffic and reports achieved throughput and latency
+// percentiles. It exits nonzero when the run breaches its SLO (p99
+// over budget or too many errors), so it doubles as a CI soak gate:
+//
+//	loadgen -url http://127.0.0.1:8080 -rps 50 -duration 10s \
+//	        -p99-budget 250ms
+//
+// The arrival schedule and request mix derive entirely from -seed, so
+// a failing run is replayable bit-for-bit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+)
+
+func main() {
+	var (
+		url       = flag.String("url", "http://127.0.0.1:8080", "seqpointd base URL")
+		rps       = flag.Float64("rps", 50, "target offered requests per second")
+		duration  = flag.Duration("duration", 10*time.Second, "how long to offer load")
+		seed      = flag.Int64("seed", 1, "seed for the arrival schedule and request mix")
+		models    = flag.String("models", "gnmt", "comma-separated model mix")
+		p99Budget = flag.Duration("p99-budget", 0, "p99 latency SLO; 0 disables the check")
+		maxErrPct = flag.Float64("max-error-pct", 0, "tolerated request error percentage")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	rep, err := Run(ctx, Config{
+		BaseURL:      *url,
+		RPS:          *rps,
+		Duration:     *duration,
+		Seed:         *seed,
+		Models:       strings.Split(*models, ","),
+		P99Budget:    *p99Budget,
+		MaxErrorRate: *maxErrPct / 100,
+	})
+	fmt.Println(rep)
+	if err != nil {
+		var slo *SLOViolation
+		if errors.As(err, &slo) {
+			fmt.Fprintln(os.Stderr, "loadgen:", slo.Reason)
+		} else {
+			fmt.Fprintln(os.Stderr, "loadgen:", err)
+		}
+		os.Exit(1)
+	}
+}

@@ -11,9 +11,16 @@
 //	          -parallelism 8 -max-inflight 32
 //
 // Endpoints: POST /v1/simulate, POST /v1/sweep, POST /v1/seqpoint,
-// POST /v1/serve, GET /healthz, GET /v1/stats. See the README's
-// "Running as a service" and "Online serving simulation" sections for
-// request examples.
+// POST /v1/serve, GET /healthz, GET /v1/stats, GET /metrics. See the
+// README's "Running as a service" and "Online serving simulation"
+// sections for request examples.
+//
+// On SIGINT/SIGTERM the daemon drains instead of dropping work: new
+// simulations are refused with a typed 503 ("draining"), in-flight
+// computations — including detached ones whose waiters already timed
+// out — are given -drain-window to finish, and only then is the final
+// cache snapshot written, so everything priced by in-flight work
+// survives the restart.
 package main
 
 import (
@@ -22,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -33,6 +41,22 @@ import (
 	"seqpoint/internal/server"
 )
 
+// options carries everything run needs, so tests can drive a full
+// daemon lifecycle in-process without flags or signals.
+type options struct {
+	addr        string
+	cacheFile   string
+	parallelism int
+	maxInflight int
+	timeout     time.Duration
+	snapshotInt time.Duration
+	drainWindow time.Duration
+	// ready, when set, is called once with the bound listen address —
+	// the test hook that makes ":0" usable.
+	ready func(addr string)
+	logf  func(format string, args ...any)
+}
+
 func main() {
 	var (
 		addr        = flag.String("addr", ":8080", "listen address")
@@ -41,45 +65,68 @@ func main() {
 		maxInflight = flag.Int("max-inflight", server.DefaultMaxInflight, "max concurrently executing simulation requests")
 		timeout     = flag.Duration("request-timeout", server.DefaultRequestTimeout, "per-request wall-clock budget")
 		snapshotInt = flag.Duration("snapshot-interval", 0, "periodic cache-snapshot interval; 0 snapshots only on shutdown")
+		drainWindow = flag.Duration("drain-window", 30*time.Second, "how long shutdown waits for in-flight simulations")
 	)
 	flag.Parse()
 
-	if err := run(*addr, *cacheFile, *parallelism, *maxInflight, *timeout, *snapshotInt); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	err := run(ctx, options{
+		addr:        *addr,
+		cacheFile:   *cacheFile,
+		parallelism: *parallelism,
+		maxInflight: *maxInflight,
+		timeout:     *timeout,
+		snapshotInt: *snapshotInt,
+		drainWindow: *drainWindow,
+	})
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "seqpointd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, cacheFile string, parallelism, maxInflight int, timeout, snapshotInt time.Duration) error {
-	eng := engine.New()
-	eng.SetParallelism(parallelism)
+func run(ctx context.Context, opts options) error {
+	if opts.logf == nil {
+		opts.logf = log.Printf
+	}
+	if opts.drainWindow <= 0 {
+		opts.drainWindow = 30 * time.Second
+	}
 
-	if cacheFile != "" {
-		n, err := eng.LoadSnapshot(cacheFile)
+	eng := engine.New()
+	eng.SetParallelism(opts.parallelism)
+
+	if opts.cacheFile != "" {
+		n, err := eng.LoadSnapshot(opts.cacheFile)
 		switch {
 		case err != nil:
 			// A corrupt, truncated or version-mismatched snapshot is not
 			// fatal: log why and serve cold.
-			log.Printf("cache %s unusable, starting cold: %v", cacheFile, err)
+			opts.logf("cache %s unusable, starting cold: %v", opts.cacheFile, err)
 		case n > 0:
-			log.Printf("restored %d cached profiles from %s", n, cacheFile)
+			opts.logf("restored %d cached profiles from %s", n, opts.cacheFile)
 		default:
-			log.Printf("no cache at %s, starting cold", cacheFile)
+			opts.logf("no cache at %s, starting cold", opts.cacheFile)
 		}
 	}
 
 	srv := server.New(server.Options{
 		Engine:         eng,
-		MaxInflight:    maxInflight,
-		RequestTimeout: timeout,
+		MaxInflight:    opts.maxInflight,
+		RequestTimeout: opts.timeout,
 	})
+	ln, err := net.Listen("tcp", opts.addr)
+	if err != nil {
+		return err
+	}
 	httpSrv := &http.Server{
-		Addr:              addr,
 		Handler:           srv,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := context.WithCancel(ctx)
 	defer stop()
 
 	// The periodic snapshotter is stopped AND joined before the final
@@ -87,20 +134,23 @@ func run(addr, cacheFile string, parallelism, maxInflight int, timeout, snapshot
 	// signal could still be mid-write and win the atomic-rename race,
 	// persisting a snapshot older than the shutdown one.
 	var snapWG sync.WaitGroup
-	if cacheFile != "" && snapshotInt > 0 {
+	if opts.cacheFile != "" && opts.snapshotInt > 0 {
 		snapWG.Add(1)
 		go func() {
 			defer snapWG.Done()
-			tick := time.NewTicker(snapshotInt)
+			tick := time.NewTicker(opts.snapshotInt)
 			defer tick.Stop()
 			for {
 				select {
 				case <-ctx.Done():
 					return
 				case <-tick.C:
-					if err := eng.SaveSnapshot(cacheFile); err != nil {
-						log.Printf("periodic cache snapshot: %v", err)
+					n, err := eng.SaveSnapshot(opts.cacheFile)
+					if err != nil {
+						opts.logf("periodic cache snapshot: %v", err)
+						continue
 					}
+					srv.ObserveSnapshot(int64(n))
 				}
 			}
 		}()
@@ -108,10 +158,13 @@ func run(addr, cacheFile string, parallelism, maxInflight int, timeout, snapshot
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("seqpointd listening on %s (parallelism=%d, max-inflight=%d)",
-			addr, eng.Parallelism(), maxInflight)
-		errc <- httpSrv.ListenAndServe()
+		opts.logf("seqpointd listening on %s (parallelism=%d, max-inflight=%d)",
+			ln.Addr(), eng.Parallelism(), opts.maxInflight)
+		errc <- httpSrv.Serve(ln)
 	}()
+	if opts.ready != nil {
+		opts.ready(ln.Addr().String())
+	}
 
 	select {
 	case err := <-errc:
@@ -119,24 +172,34 @@ func run(addr, cacheFile string, parallelism, maxInflight int, timeout, snapshot
 	case <-ctx.Done():
 	}
 
-	log.Printf("shutting down")
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	// Drain in dependency order: refuse new simulations first, then
+	// close the HTTP side (connected clients get typed 503s until their
+	// connections wind down), then join the detached computations that
+	// outlive their handlers, then the snapshotter — and only once
+	// nothing can add another profile, write the final snapshot.
+	opts.logf("shutting down: draining (window %s)", opts.drainWindow)
+	srv.StartDrain()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), opts.drainWindow)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Printf("shutdown: %v", err)
+		opts.logf("shutdown: %v", err)
 	}
-
-	// Stop and join the snapshotter before the final save so no stale
-	// periodic write can land after (and over) the shutdown snapshot.
+	if err := srv.Drain(shutdownCtx); err != nil {
+		opts.logf("drain incomplete, snapshotting what finished: %v", err)
+	}
 	stop()
 	snapWG.Wait()
 
-	if cacheFile != "" {
-		stats := eng.Stats()
-		if err := eng.SaveSnapshot(cacheFile); err != nil {
+	if opts.cacheFile != "" {
+		start := time.Now()
+		n, err := eng.SaveSnapshot(opts.cacheFile)
+		if err != nil {
 			return fmt.Errorf("saving cache snapshot: %w", err)
 		}
-		log.Printf("saved %d cached profiles to %s", stats.Entries, cacheFile)
+		// n is what actually landed on disk — not a stats reading taken
+		// before the write, which missed work that completed during the
+		// drain.
+		opts.logf("saved %d cached profiles to %s in %s", n, opts.cacheFile, time.Since(start).Round(time.Millisecond))
 	}
 	return nil
 }

@@ -1,19 +1,22 @@
 // The service example runs the whole seqpointd story in one process:
 // it starts the HTTP simulation service on a random port, queries it
 // through the typed client — a simulate, the same simulate again
-// (answered from cache), and a SeqPoint selection — then snapshots the
-// profile cache to disk and shows a "restarted" engine answering warm
-// from the snapshot.
+// (answered from cache), and a SeqPoint selection — scrapes /metrics,
+// then replays the daemon's shutdown sequence in miniature (drain,
+// typed 503 for late arrivals, final snapshot) and shows a
+// "restarted" engine answering warm from the snapshot.
 package main
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log"
 	"net"
 	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"seqpoint"
 )
@@ -82,6 +85,29 @@ func run() error {
 	fmt.Printf("seqpoint:  %d unique SLs -> %d points (k=%d, self error %.3f%%)\n",
 		sel.UniqueSLs, len(sel.Points), sel.Bins, sel.ErrorPct)
 
+	// The observability surface: the same counters in Prometheus form,
+	// plus per-endpoint request counts and latency histograms.
+	exposition, err := client.Metrics(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("metrics:   %d series exposed; has per-endpoint counters: %v\n",
+		strings.Count(exposition, "\n")-strings.Count(exposition, "#"),
+		strings.Contains(exposition, `seqpoint_requests_total{endpoint="/v1/simulate"`))
+
+	// The daemon's shutdown sequence in miniature: drain (late arrivals
+	// get a typed 503), join in-flight work, then snapshot — so the
+	// snapshot provably contains everything the server priced.
+	if err := srv.Drain(ctx); err != nil {
+		return err
+	}
+	_, err = client.Simulate(ctx, req)
+	var apiErr *seqpoint.ServiceAPIError
+	if !errors.As(err, &apiErr) {
+		return fmt.Errorf("draining server accepted work: %v", err)
+	}
+	fmt.Printf("drain:     late request refused with %d %q\n", apiErr.Status, apiErr.Code)
+
 	// Persistence: snapshot the cache, load it into a fresh engine (a
 	// stand-in for a daemon restart with -cache-file) and answer warm.
 	dir, err := os.MkdirTemp("", "seqpoint-cache-*")
@@ -90,9 +116,11 @@ func run() error {
 	}
 	defer os.RemoveAll(dir)
 	cachePath := filepath.Join(dir, "cache.json")
-	if err := eng.SaveSnapshot(cachePath); err != nil {
+	saved, err := eng.SaveSnapshot(cachePath)
+	if err != nil {
 		return err
 	}
+	fmt.Printf("snapshot:  %d profiles written to disk\n", saved)
 	restarted := seqpoint.NewEngine()
 	n, err := restarted.LoadSnapshot(cachePath)
 	if err != nil {

@@ -37,10 +37,13 @@ type snapshotEntry struct {
 }
 
 // WriteSnapshot serializes every completed, non-error cache entry to w
-// as versioned JSON. Entries are emitted in a deterministic order
-// (sorted by key), so identical cache contents always produce identical
-// bytes. In-flight computations are skipped, not waited for.
-func (e *Engine) WriteSnapshot(w io.Writer) error {
+// as versioned JSON and returns how many entries it wrote. Entries are
+// emitted in a deterministic order (sorted by key), so identical cache
+// contents always produce identical bytes. In-flight computations are
+// skipped, not waited for — which is why the returned count, not a
+// stats reading taken around the call, is the truth about what landed
+// on disk.
+func (e *Engine) WriteSnapshot(w io.Writer) (int, error) {
 	snap := snapshotFile{Magic: snapshotMagic, Version: SnapshotVersion}
 	for i := range e.shards {
 		s := &e.shards[i]
@@ -61,7 +64,10 @@ func (e *Engine) WriteSnapshot(w io.Writer) error {
 
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
-	return enc.Encode(snap)
+	if err := enc.Encode(snap); err != nil {
+		return 0, err
+	}
+	return len(snap.Entries), nil
 }
 
 // keyLess is a total order over cache keys (every Key field
@@ -176,18 +182,19 @@ func validateEntry(se snapshotEntry) error {
 	return nil
 }
 
-// SaveSnapshot atomically writes the cache snapshot to path: the bytes
-// land in a temporary file in the same directory, which is renamed over
-// path only after a successful write, so a crash mid-save can never
-// leave a truncated snapshot behind.
-func (e *Engine) SaveSnapshot(path string) (err error) {
+// SaveSnapshot atomically writes the cache snapshot to path and
+// returns how many entries it wrote: the bytes land in a temporary
+// file in the same directory, which is renamed over path only after a
+// successful write, so a crash mid-save can never leave a truncated
+// snapshot behind.
+func (e *Engine) SaveSnapshot(path string) (n int, err error) {
 	dir := filepath.Dir(path)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return fmt.Errorf("engine: creating cache directory: %w", err)
+		return 0, fmt.Errorf("engine: creating cache directory: %w", err)
 	}
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
-		return fmt.Errorf("engine: creating temporary cache file: %w", err)
+		return 0, fmt.Errorf("engine: creating temporary cache file: %w", err)
 	}
 	defer func() {
 		if err != nil {
@@ -195,16 +202,16 @@ func (e *Engine) SaveSnapshot(path string) (err error) {
 			os.Remove(tmp.Name())
 		}
 	}()
-	if err = e.WriteSnapshot(tmp); err != nil {
-		return err
+	if n, err = e.WriteSnapshot(tmp); err != nil {
+		return 0, err
 	}
 	if err = tmp.Close(); err != nil {
-		return fmt.Errorf("engine: closing temporary cache file: %w", err)
+		return 0, fmt.Errorf("engine: closing temporary cache file: %w", err)
 	}
 	if err = os.Rename(tmp.Name(), path); err != nil {
-		return fmt.Errorf("engine: installing cache file: %w", err)
+		return 0, fmt.Errorf("engine: installing cache file: %w", err)
 	}
-	return nil
+	return n, nil
 }
 
 // LoadSnapshot restores the cache from path, returning how many entries

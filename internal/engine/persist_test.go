@@ -66,7 +66,8 @@ func dumpCache(e *Engine) map[Key]string {
 func TestSnapshotRoundTrip(t *testing.T) {
 	src := warmEngine(t)
 	path := filepath.Join(t.TempDir(), "cache.json")
-	if err := src.SaveSnapshot(path); err != nil {
+	wrote, err := src.SaveSnapshot(path)
+	if err != nil {
 		t.Fatalf("SaveSnapshot: %v", err)
 	}
 
@@ -76,6 +77,9 @@ func TestSnapshotRoundTrip(t *testing.T) {
 		t.Fatalf("LoadSnapshot: %v", err)
 	}
 	want := dumpCache(src)
+	if wrote != len(want) {
+		t.Fatalf("SaveSnapshot reported %d entries written, want %d", wrote, len(want))
+	}
 	if n != len(want) {
 		t.Fatalf("LoadSnapshot restored %d entries, want %d", n, len(want))
 	}
@@ -98,11 +102,16 @@ func TestSnapshotRoundTrip(t *testing.T) {
 func TestSnapshotDeterministicBytes(t *testing.T) {
 	e := warmEngine(t)
 	var a, b bytes.Buffer
-	if err := e.WriteSnapshot(&a); err != nil {
+	na, err := e.WriteSnapshot(&a)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if err := e.WriteSnapshot(&b); err != nil {
+	nb, err := e.WriteSnapshot(&b)
+	if err != nil {
 		t.Fatal(err)
+	}
+	if na != nb {
+		t.Fatalf("two snapshots of the same cache reported %d and %d entries", na, nb)
 	}
 	if !bytes.Equal(a.Bytes(), b.Bytes()) {
 		t.Fatal("two snapshots of the same cache produced different bytes")
@@ -121,7 +130,7 @@ func TestLoadSnapshotCorruptFallsBackCold(t *testing.T) {
 	src := warmEngine(t)
 	dir := t.TempDir()
 	path := filepath.Join(dir, "cache.json")
-	if err := src.SaveSnapshot(path); err != nil {
+	if _, err := src.SaveSnapshot(path); err != nil {
 		t.Fatal(err)
 	}
 	good, err := os.ReadFile(path)
@@ -156,7 +165,7 @@ func TestLoadSnapshotCorruptFallsBackCold(t *testing.T) {
 func TestLoadSnapshotRejectsTamperedEntries(t *testing.T) {
 	src := warmEngine(t)
 	path := filepath.Join(t.TempDir(), "cache.json")
-	if err := src.SaveSnapshot(path); err != nil {
+	if _, err := src.SaveSnapshot(path); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -187,7 +196,7 @@ func TestLoadSnapshotRejectsTamperedEntries(t *testing.T) {
 func TestLoadSnapshotVersionMismatchInvalidates(t *testing.T) {
 	src := warmEngine(t)
 	path := filepath.Join(t.TempDir(), "cache.json")
-	if err := src.SaveSnapshot(path); err != nil {
+	if _, err := src.SaveSnapshot(path); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -217,8 +226,12 @@ func TestSaveSnapshotAtomicNoTempLeftover(t *testing.T) {
 	e := warmEngine(t)
 	dir := t.TempDir()
 	path := filepath.Join(dir, "sub", "cache.json")
-	if err := e.SaveSnapshot(path); err != nil {
+	n, err := e.SaveSnapshot(path)
+	if err != nil {
 		t.Fatalf("SaveSnapshot into fresh subdirectory: %v", err)
+	}
+	if n == 0 {
+		t.Fatal("SaveSnapshot of a warm engine reported 0 entries written")
 	}
 	entries, err := os.ReadDir(filepath.Dir(path))
 	if err != nil {
@@ -236,7 +249,7 @@ func TestSaveSnapshotAtomicNoTempLeftover(t *testing.T) {
 func TestReadSnapshotKeepsExistingEntries(t *testing.T) {
 	src := warmEngine(t)
 	var buf bytes.Buffer
-	if err := src.WriteSnapshot(&buf); err != nil {
+	if _, err := src.WriteSnapshot(&buf); err != nil {
 		t.Fatal(err)
 	}
 

@@ -264,15 +264,22 @@ type StatsResponse struct {
 	Engine engine.Stats `json:"engine"`
 	// Requests counts simulation requests accepted for processing.
 	Requests int64 `json:"requests"`
+	// Completed counts accepted simulations that finished computing
+	// (successfully, with an error, or by contained panic). At
+	// quiescence Requests == Completed and Inflight == 0.
+	Completed int64 `json:"completed"`
 	// Coalesced counts requests that shared another identical in-flight
 	// request's response instead of computing.
 	Coalesced int64 `json:"coalesced"`
-	// Rejected counts requests turned away by the in-flight limiter.
+	// Rejected counts requests turned away without computing: by the
+	// in-flight limiter (429) or by drain mode (503).
 	Rejected int64 `json:"rejected"`
 	// Inflight is the number of simulations currently executing.
 	Inflight int64 `json:"inflight"`
 	// MaxInflight is the limiter bound.
 	MaxInflight int `json:"max_inflight"`
+	// Draining reports whether the server has begun graceful shutdown.
+	Draining bool `json:"draining"`
 }
 
 // Machine-readable error codes carried by every non-2xx response's
@@ -290,6 +297,9 @@ const (
 	CodeBadTrace = "bad_trace"
 	// CodeMethodNotAllowed marks a wrong HTTP method (405).
 	CodeMethodNotAllowed = "method_not_allowed"
+	// CodeTooLarge marks a request body over the server's byte limit
+	// (413).
+	CodeTooLarge = "too_large"
 	// CodeInfeasible marks a well-formed plan request whose SLO no
 	// candidate within bounds can meet (422).
 	CodeInfeasible = "infeasible"
@@ -300,6 +310,9 @@ const (
 	// CodeCancelled marks a request abandoned because the client went
 	// away (503).
 	CodeCancelled = "cancelled"
+	// CodeDraining marks a simulation rejected because the server is
+	// draining for shutdown (503).
+	CodeDraining = "draining"
 	// CodeTimeout marks a request that outlived the server's
 	// per-request deadline (504).
 	CodeTimeout = "timeout"

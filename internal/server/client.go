@@ -85,6 +85,29 @@ func (c *Client) Stats(ctx context.Context) (StatsResponse, error) {
 	return out, err
 }
 
+// Metrics fetches the Prometheus text exposition from /metrics, raw.
+// Callers feed it to a parser or scrape pipeline; the client does not
+// interpret it.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return "", fmt.Errorf("server client: building /metrics request: %w", err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return "", fmt.Errorf("server client: GET /metrics: %w", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return "", fmt.Errorf("server client: reading /metrics response: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("server client: /metrics: %w", &APIError{Status: resp.StatusCode, Message: string(bytes.TrimSpace(body))})
+	}
+	return string(body), nil
+}
+
 // Health reports whether the server answers its liveness probe.
 func (c *Client) Health(ctx context.Context) error {
 	return c.get(ctx, "/healthz", &struct {

@@ -1,0 +1,199 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"seqpoint/internal/stats"
+)
+
+// latencyEdges are the request-duration bucket upper bounds in
+// seconds. The range is wide on purpose: a cache-hit stats probe
+// lands in the sub-millisecond buckets while a cold multi-GPU sweep
+// can legitimately take minutes.
+var latencyEdges = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120,
+}
+
+// endpointMetrics accumulates one route's request counts (by status
+// code) and latency histogram.
+type endpointMetrics struct {
+	mu       sync.Mutex
+	byStatus map[int]int64
+	latency  *stats.TimingHistogram
+}
+
+func (m *endpointMetrics) observe(status int, seconds float64) {
+	m.latency.Observe(seconds)
+	m.mu.Lock()
+	m.byStatus[status]++
+	m.mu.Unlock()
+}
+
+// metricsState is the server's observability surface: per-endpoint
+// counters and histograms filled by the ServeHTTP middleware, plus the
+// last cache-snapshot observation reported by the daemon.
+type metricsState struct {
+	paths     []string // sorted route paths
+	endpoints map[string]*endpointMetrics
+
+	snapMu      sync.Mutex
+	snapTime    time.Time
+	snapEntries int64
+}
+
+func newMetricsState(paths []string) *metricsState {
+	ms := &metricsState{
+		paths:     append([]string(nil), paths...),
+		endpoints: make(map[string]*endpointMetrics, len(paths)),
+	}
+	sort.Strings(ms.paths)
+	for _, p := range ms.paths {
+		h, err := stats.NewTimingHistogram(latencyEdges)
+		if err != nil {
+			// latencyEdges is a package constant; a bad edge list is a
+			// programming error caught by any test that builds a Server.
+			panic(err)
+		}
+		ms.endpoints[p] = &endpointMetrics{byStatus: make(map[int]int64), latency: h}
+	}
+	return ms
+}
+
+// endpoint returns the metrics slot for a route path, nil for
+// unregistered paths (those fall through unrecorded).
+func (ms *metricsState) endpoint(path string) *endpointMetrics { return ms.endpoints[path] }
+
+// ObserveSnapshot records that a cache snapshot with the given entry
+// count was just written; /metrics reports its age and size. The
+// daemon calls this after every successful SaveSnapshot.
+func (s *Server) ObserveSnapshot(entries int64) {
+	ms := s.metrics
+	ms.snapMu.Lock()
+	ms.snapTime = s.now()
+	ms.snapEntries = entries
+	ms.snapMu.Unlock()
+}
+
+// statusWriter captures the status code a handler writes, defaulting
+// to 200 for handlers that never call WriteHeader explicitly.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}
+
+// handleMetrics serves GET /metrics in the Prometheus text exposition
+// format (version 0.0.4): per-endpoint request counters and latency
+// histograms, engine cache counters with the derived hit ratio,
+// service gauges, and — when the daemon persists its cache — the age
+// and size of the last snapshot. Output ordering is deterministic
+// (endpoints and status codes sorted), so scrapes of identical state
+// are byte-identical.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeMethodNotAllowed(w, http.MethodGet, r.Method)
+		return
+	}
+	var b strings.Builder
+	s.renderMetrics(&b)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	w.Write([]byte(b.String()))
+}
+
+func (s *Server) renderMetrics(b *strings.Builder) {
+	ms := s.metrics
+
+	b.WriteString("# HELP seqpoint_requests_total HTTP requests served, by endpoint and status code.\n")
+	b.WriteString("# TYPE seqpoint_requests_total counter\n")
+	for _, path := range ms.paths {
+		em := ms.endpoints[path]
+		em.mu.Lock()
+		statuses := make([]int, 0, len(em.byStatus))
+		for st := range em.byStatus {
+			statuses = append(statuses, st)
+		}
+		sort.Ints(statuses)
+		for _, st := range statuses {
+			fmt.Fprintf(b, "seqpoint_requests_total{endpoint=%q,status=\"%d\"} %d\n", path, st, em.byStatus[st])
+		}
+		em.mu.Unlock()
+	}
+
+	b.WriteString("# HELP seqpoint_request_duration_seconds HTTP request latency, by endpoint.\n")
+	b.WriteString("# TYPE seqpoint_request_duration_seconds histogram\n")
+	for _, path := range ms.paths {
+		snap := ms.endpoints[path].latency.Snapshot()
+		if snap.Count == 0 {
+			// An endpoint nobody has hit contributes no series; scrapes
+			// stay compact and a first hit simply makes it appear.
+			continue
+		}
+		cum := snap.Cumulative()
+		for i, edge := range snap.Edges {
+			fmt.Fprintf(b, "seqpoint_request_duration_seconds_bucket{endpoint=%q,le=%q} %d\n",
+				path, formatFloat(edge), cum[i])
+		}
+		fmt.Fprintf(b, "seqpoint_request_duration_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", path, snap.Count)
+		fmt.Fprintf(b, "seqpoint_request_duration_seconds_sum{endpoint=%q} %s\n", path, formatFloat(snap.Sum))
+		fmt.Fprintf(b, "seqpoint_request_duration_seconds_count{endpoint=%q} %d\n", path, snap.Count)
+	}
+
+	eng := s.eng.Stats()
+	writeCounter(b, "seqpoint_cache_hits_total", "Profile requests served from a completed cache entry.", eng.Hits)
+	writeCounter(b, "seqpoint_cache_misses_total", "Profiles actually computed (one per unique key).", eng.Misses)
+	writeCounter(b, "seqpoint_cache_dedups_total", "Profile requests that waited on an in-flight computation.", eng.Dedups)
+	writeGauge(b, "seqpoint_cache_entries", "Profiles currently cached.", float64(eng.Entries))
+	ratio := 0.0
+	if eng.Hits+eng.Misses > 0 {
+		ratio = float64(eng.Hits) / float64(eng.Hits+eng.Misses)
+	}
+	writeGauge(b, "seqpoint_cache_hit_ratio", "Fraction of profile lookups served from cache: hits / (hits + misses).", ratio)
+
+	writeCounter(b, "seqpoint_simulations_total", "Simulation requests accepted for processing.", s.requests.Load())
+	writeCounter(b, "seqpoint_simulations_completed_total", "Accepted simulations that finished computing.", s.completed.Load())
+	writeCounter(b, "seqpoint_coalesced_total", "Requests that shared an identical in-flight request's response.", s.coalesced.Load())
+	writeCounter(b, "seqpoint_rejected_total", "Requests rejected by the in-flight limiter or drain mode.", s.rejected.Load())
+	writeGauge(b, "seqpoint_inflight", "Simulations currently executing.", float64(s.inflight.Load()))
+	writeGauge(b, "seqpoint_max_inflight", "In-flight limiter bound.", float64(s.opts.MaxInflight))
+	draining := 0.0
+	if s.draining.Load() {
+		draining = 1
+	}
+	writeGauge(b, "seqpoint_draining", "1 while the server drains for shutdown, else 0.", draining)
+
+	ms.snapMu.Lock()
+	snapTime, snapEntries := ms.snapTime, ms.snapEntries
+	ms.snapMu.Unlock()
+	if !snapTime.IsZero() {
+		writeGauge(b, "seqpoint_snapshot_age_seconds", "Seconds since the last cache snapshot was written.",
+			s.now().Sub(snapTime).Seconds())
+		writeGauge(b, "seqpoint_snapshot_entries", "Profiles written by the last cache snapshot.", float64(snapEntries))
+	}
+}
+
+func writeCounter(b *strings.Builder, name, help string, v int64) {
+	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+}
+
+func writeGauge(b *strings.Builder, name, help string, v float64) {
+	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n", name, help, name, name, formatFloat(v))
+}
+
+// formatFloat renders a float the shortest way that round-trips,
+// matching the exposition format's expectations ("0.005", not
+// "5e-03").
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

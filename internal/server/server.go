@@ -16,6 +16,7 @@
 //	POST /v1/plan      — SLO-driven capacity planning → minimal-cost fleet plan
 //	GET  /healthz      — liveness probe
 //	GET  /v1/stats     — engine cache + service counters
+//	GET  /metrics      — Prometheus text-format metrics
 //
 // Three throttles protect the process: a bounded in-flight limiter
 // (excess simulation requests get 429 instead of queueing unboundedly),
@@ -23,6 +24,13 @@
 // coalescing — identical concurrent queries share one computation and
 // one response, stacking on top of the engine's per-profile
 // singleflight underneath.
+//
+// For operability the server also supports graceful drain: StartDrain
+// flips it into a mode where new simulations are rejected with 503
+// (code "draining") while in-flight ones run to completion, and
+// Drain waits — bounded by its context — for every detached
+// computation to finish, so a shutdown cache snapshot provably
+// contains every profile priced by in-flight work.
 package server
 
 import (
@@ -132,6 +140,17 @@ type Server struct {
 	coalesced atomic.Int64
 	rejected  atomic.Int64
 	inflight  atomic.Int64
+	completed atomic.Int64
+
+	// draining rejects new simulations while computeWG tracks the
+	// detached ones still running; together they implement Drain.
+	draining  atomic.Bool
+	computeWG sync.WaitGroup
+
+	metrics *metricsState
+	// now is the clock, swappable by tests (latency observation and
+	// snapshot age both read it).
+	now func() time.Time
 }
 
 // New builds a Server over opts.Engine.
@@ -143,24 +162,76 @@ func New(opts Options) *Server {
 		mux:     http.NewServeMux(),
 		sem:     make(chan struct{}, opts.MaxInflight),
 		flights: make(map[string]*flight),
+		now:     time.Now,
 	}
-	s.mux.HandleFunc("/healthz", s.handleHealthz)
-	s.mux.HandleFunc("/v1/stats", s.handleStats)
-	s.mux.HandleFunc("/v1/simulate", s.handleSimulate)
-	s.mux.HandleFunc("/v1/sweep", s.handleSweep)
-	s.mux.HandleFunc("/v1/seqpoint", s.handleSeqPoint)
-	s.mux.HandleFunc("/v1/serve", s.handleServe)
-	s.mux.HandleFunc("/v1/fleet", s.handleFleet)
-	s.mux.HandleFunc("/v1/plan", s.handlePlan)
+	routes := []struct {
+		path string
+		h    http.HandlerFunc
+	}{
+		{"/healthz", s.handleHealthz},
+		{"/v1/stats", s.handleStats},
+		{"/metrics", s.handleMetrics},
+		{"/v1/simulate", s.handleSimulate},
+		{"/v1/sweep", s.handleSweep},
+		{"/v1/seqpoint", s.handleSeqPoint},
+		{"/v1/serve", s.handleServe},
+		{"/v1/fleet", s.handleFleet},
+		{"/v1/plan", s.handlePlan},
+	}
+	paths := make([]string, len(routes))
+	for i, rt := range routes {
+		s.mux.HandleFunc(rt.path, rt.h)
+		paths[i] = rt.path
+	}
+	s.metrics = newMetricsState(paths)
 	return s
 }
 
 // Engine returns the engine the server simulates on.
 func (s *Server) Engine() *engine.Engine { return s.eng }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler. Every registered route passes
+// through the metrics middleware, so per-endpoint request counts and
+// latency histograms cover each handler uniformly.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	em := s.metrics.endpoint(r.URL.Path)
+	if em == nil {
+		s.mux.ServeHTTP(w, r)
+		return
+	}
+	start := s.now()
+	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+	s.mux.ServeHTTP(sw, r)
+	em.observe(sw.status, s.now().Sub(start).Seconds())
+}
+
+// StartDrain flips the server into drain mode: every subsequent
+// simulation request is rejected with 503 and wire code "draining"
+// (counted as rejected), while already-running computations continue.
+// Drain mode is one-way; a draining server is shutting down.
+func (s *Server) StartDrain() { s.draining.Store(true) }
+
+// Draining reports whether the server is in drain mode.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Drain enters drain mode and waits for every detached computation to
+// finish, bounded by ctx. After a nil return the server is quiescent:
+// no simulation goroutine is running, so an engine cache snapshot
+// taken now contains every profile priced by in-flight work.
+func (s *Server) Drain(ctx context.Context) error {
+	s.StartDrain()
+	done := make(chan struct{})
+	go func() {
+		s.computeWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("drain interrupted with %d simulations still in flight: %w",
+			s.inflight.Load(), ctx.Err())
+	}
 }
 
 // Stats snapshots the service and engine counters.
@@ -168,24 +239,30 @@ func (s *Server) Stats() StatsResponse {
 	return StatsResponse{
 		Engine:      s.eng.Stats(),
 		Requests:    s.requests.Load(),
+		Completed:   s.completed.Load(),
 		Coalesced:   s.coalesced.Load(),
 		Rejected:    s.rejected.Load(),
 		Inflight:    s.inflight.Load(),
 		MaxInflight: s.opts.MaxInflight,
+		Draining:    s.draining.Load(),
 	}
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed; use GET", r.Method))
+		writeMethodNotAllowed(w, http.MethodGet, r.Method)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	status := "ok"
+	if s.draining.Load() {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": status})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed; use GET", r.Method))
+		writeMethodNotAllowed(w, http.MethodGet, r.Method)
 		return
 	}
 	writeJSON(w, http.StatusOK, s.Stats())
@@ -348,14 +425,23 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 
 // decodePost enforces the POST method and strict JSON decoding; it
 // writes the error response itself and reports whether to continue.
+// Bodies over the server's byte limit are a distinct failure mode —
+// 413 with wire code "too_large" — so clients can tell "shrink the
+// request" apart from "fix the request".
 func (s *Server) decodePost(w http.ResponseWriter, r *http.Request, dst any) bool {
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed; use POST", r.Method))
+		writeMethodNotAllowed(w, http.MethodPost, r.Method)
 		return false
 	}
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds the %d-byte limit", mbe.Limit))
+			return false
+		}
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request body: %w", err))
 		return false
 	}
@@ -422,6 +508,16 @@ func coalesceKey(endpoint string, req any) string {
 // populates the flight so later identical requests still benefit — but
 // the waiting handler returns as soon as its context is done.
 func (s *Server) execute(ctx context.Context, key string, compute func() (int, []byte)) (int, []byte) {
+	if s.draining.Load() {
+		// Draining: the process is shutting down, so no new simulation
+		// may start (it could outlive the final cache snapshot). Counted
+		// as rejected, like the limiter's 429.
+		s.rejected.Add(1)
+		status := http.StatusServiceUnavailable
+		return status, errorBody(status, withCode(CodeDraining,
+			errors.New("server is draining for shutdown; retry against another instance")))
+	}
+
 	ctx, cancel := context.WithTimeout(ctx, s.opts.RequestTimeout)
 	defer cancel()
 
@@ -469,11 +565,26 @@ func (s *Server) execute(ctx context.Context, key string, compute func() (int, [
 
 	s.requests.Add(1)
 	s.inflight.Add(1)
+	s.computeWG.Add(1)
 	go func() {
+		// The goroutine is detached from the handler (a timed-out waiter
+		// returns while the computation finishes and warms the cache), so
+		// a panicking simulation must be contained here: waiters get a
+		// 500, the limiter token and inflight gauge are released, and the
+		// daemon lives on. Deferred LIFO: recover + finish first, then
+		// the semaphore token, then the drain join.
+		defer s.computeWG.Done()
+		defer func() { <-s.sem }()
+		defer func() {
+			s.inflight.Add(-1)
+			s.completed.Add(1)
+			if p := recover(); p != nil {
+				status := http.StatusInternalServerError
+				finish(status, errorBody(status, fmt.Errorf("simulation panicked: %v", p)))
+			}
+		}()
 		status, body := compute()
-		s.inflight.Add(-1)
 		finish(status, body)
-		<-s.sem
 	}()
 
 	select {
@@ -531,6 +642,8 @@ func errorCode(status int, err error) string {
 		return CodeBadRequest
 	case http.StatusMethodNotAllowed:
 		return CodeMethodNotAllowed
+	case http.StatusRequestEntityTooLarge:
+		return CodeTooLarge
 	case http.StatusUnprocessableEntity:
 		return CodeInfeasible
 	case http.StatusTooManyRequests:
@@ -564,6 +677,14 @@ func writeRaw(w http.ResponseWriter, status int, body []byte) {
 
 func writeError(w http.ResponseWriter, status int, err error) {
 	writeRaw(w, status, errorBody(status, err))
+}
+
+// writeMethodNotAllowed writes the 405 response with the
+// RFC-9110-required Allow header naming the one method the endpoint
+// accepts.
+func writeMethodNotAllowed(w http.ResponseWriter, allow, method string) {
+	w.Header().Set("Allow", allow)
+	writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed; use %s", method, allow))
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -39,6 +39,7 @@ func TestHandlerTable(t *testing.T) {
 		body       string
 		wantStatus int
 		wantInBody string
+		wantAllow  string
 	}{
 		{
 			name:   "simulate ok",
@@ -136,6 +137,7 @@ func TestHandlerTable(t *testing.T) {
 			method: http.MethodGet, path: "/v1/simulate",
 			wantStatus: http.StatusMethodNotAllowed,
 			wantInBody: "use POST",
+			wantAllow:  http.MethodPost,
 		},
 		{
 			name:   "stats wrong method",
@@ -143,6 +145,7 @@ func TestHandlerTable(t *testing.T) {
 			body:       `{}`,
 			wantStatus: http.StatusMethodNotAllowed,
 			wantInBody: "use GET",
+			wantAllow:  http.MethodGet,
 		},
 		{
 			name:   "healthz ok",
@@ -204,6 +207,9 @@ func TestHandlerTable(t *testing.T) {
 			}
 			if ct := w.Header().Get("Content-Type"); tc.wantStatus != http.StatusNotFound && ct != "application/json" {
 				t.Fatalf("Content-Type %q, want application/json", ct)
+			}
+			if got := w.Header().Get("Allow"); got != tc.wantAllow {
+				t.Fatalf("Allow header %q, want %q", got, tc.wantAllow)
 			}
 		})
 	}

@@ -1,0 +1,112 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// TimingHistogram is the concurrency-safe, float-domain sibling of
+// Histogram: a fixed set of upper-bound edges plus an implicit
+// overflow bucket, with lock-free observation. Histogram bins a
+// finished sample set once (the paper's Fig. 7 path); TimingHistogram
+// accumulates observations while they happen — request latencies on
+// the serving daemon's hot path — and is snapshotted by the /metrics
+// endpoint in Prometheus histogram form (cumulative "le" buckets).
+//
+// Observe is safe for concurrent use and never allocates. Snapshot is
+// safe to call concurrently with Observe; it reads each counter
+// atomically but not the set of counters as one atomic unit, so a
+// snapshot taken mid-burst may be off by the observations that landed
+// while it was reading — the standard (and harmless) metrics-scrape
+// semantics.
+type TimingHistogram struct {
+	edges   []float64
+	counts  []atomic.Int64 // len(edges)+1; the last is the overflow bucket
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits of the running sum
+}
+
+// NewTimingHistogram builds a histogram over the given bucket upper
+// bounds, which must be finite and strictly increasing. Bucket i
+// counts observations v with edges[i-1] < v <= edges[i]; everything
+// above the last edge lands in the overflow bucket (Prometheus's
+// +Inf).
+func NewTimingHistogram(edges []float64) (*TimingHistogram, error) {
+	if len(edges) == 0 {
+		return nil, fmt.Errorf("stats: timing histogram needs at least one bucket edge")
+	}
+	for i, e := range edges {
+		if math.IsNaN(e) || math.IsInf(e, 0) {
+			return nil, fmt.Errorf("stats: timing histogram edge %d is not finite: %v", i, e)
+		}
+		if i > 0 && e <= edges[i-1] {
+			return nil, fmt.Errorf("stats: timing histogram edges must be strictly increasing, got %v after %v", e, edges[i-1])
+		}
+	}
+	return &TimingHistogram{
+		edges:  append([]float64(nil), edges...),
+		counts: make([]atomic.Int64, len(edges)+1),
+	}, nil
+}
+
+// Observe records one sample. NaN clamps to the overflow bucket (a
+// non-finite duration is an upstream bug, but a metrics primitive must
+// never panic on the hot path); values at or below the first edge land
+// in the first bucket.
+func (h *TimingHistogram) Observe(v float64) {
+	i := len(h.edges)
+	if !math.IsNaN(v) {
+		// First edge >= v: the Prometheus "le" bucket.
+		i = sort.SearchFloat64s(h.edges, v)
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// TimingSnapshot is one point-in-time read of a TimingHistogram.
+type TimingSnapshot struct {
+	// Edges are the bucket upper bounds, as configured.
+	Edges []float64
+	// Counts holds per-bucket (non-cumulative) observation counts;
+	// len(Edges)+1 entries, the last being the overflow bucket.
+	Counts []int64
+	// Count is the total number of observations.
+	Count int64
+	// Sum is the running sum of all observed values.
+	Sum float64
+}
+
+// Cumulative returns the running totals Prometheus buckets carry: the
+// i-th entry counts observations <= Edges[i], and the final entry (the
+// +Inf bucket) equals Count.
+func (s TimingSnapshot) Cumulative() []int64 {
+	out := make([]int64, len(s.Counts))
+	var run int64
+	for i, c := range s.Counts {
+		run += c
+		out[i] = run
+	}
+	return out
+}
+
+// Snapshot reads the histogram's current state.
+func (h *TimingHistogram) Snapshot() TimingSnapshot {
+	s := TimingSnapshot{
+		Edges:  append([]float64(nil), h.edges...),
+		Counts: make([]int64, len(h.counts)),
+		Count:  h.count.Load(),
+		Sum:    math.Float64frombits(h.sumBits.Load()),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}

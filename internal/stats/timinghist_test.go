@@ -1,0 +1,112 @@
+package stats
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestTimingHistogramEdgesValidated(t *testing.T) {
+	cases := []struct {
+		name  string
+		edges []float64
+	}{
+		{"empty", nil},
+		{"non-increasing", []float64{1, 1}},
+		{"decreasing", []float64{2, 1}},
+		{"nan", []float64{1, math.NaN()}},
+		{"inf", []float64{1, math.Inf(1)}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := NewTimingHistogram(tc.edges); err == nil {
+				t.Fatalf("NewTimingHistogram(%v) accepted invalid edges", tc.edges)
+			}
+		})
+	}
+}
+
+func TestTimingHistogramBucketAssignment(t *testing.T) {
+	h, err := NewTimingHistogram([]float64{0.01, 0.1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One observation per region: below first edge, exactly on an edge
+	// (le-semantics: belongs to that edge's bucket), interior, above the
+	// last edge, and NaN (clamped to overflow).
+	for _, v := range []float64{0.001, 0.01, 0.5, 7, math.NaN()} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	wantCounts := []int64{2, 0, 1, 2}
+	for i, w := range wantCounts {
+		if s.Counts[i] != w {
+			t.Errorf("Counts[%d] = %d, want %d (full: %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Count != 5 {
+		t.Errorf("Count = %d, want 5", s.Count)
+	}
+	cum := s.Cumulative()
+	if got, want := cum[len(cum)-1], s.Count; got != want {
+		t.Errorf("+Inf cumulative bucket = %d, want Count %d", got, want)
+	}
+	for i := 1; i < len(cum); i++ {
+		if cum[i] < cum[i-1] {
+			t.Errorf("cumulative counts not monotone at %d: %v", i, cum)
+		}
+	}
+}
+
+func TestTimingHistogramSum(t *testing.T) {
+	h, err := NewTimingHistogram([]float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{0.25, 0.5, 2} {
+		h.Observe(v)
+	}
+	if s := h.Snapshot(); s.Sum != 2.75 {
+		t.Errorf("Sum = %v, want 2.75", s.Sum)
+	}
+}
+
+// TestTimingHistogramConcurrent hammers Observe from many goroutines
+// and checks conservation: every observation is counted exactly once,
+// in exactly one bucket, and the sum matches. Run under -race this
+// also proves the lock-free paths are clean.
+func TestTimingHistogramConcurrent(t *testing.T) {
+	h, err := NewTimingHistogram([]float64{0.001, 0.01, 0.1, 1, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines, perG = 8, 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Observe(float64(g*perG+i) * 1e-4)
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	s := h.Snapshot()
+	if want := int64(goroutines * perG); s.Count != want {
+		t.Fatalf("Count = %d, want %d", s.Count, want)
+	}
+	var bucketTotal int64
+	for _, c := range s.Counts {
+		bucketTotal += c
+	}
+	if bucketTotal != s.Count {
+		t.Fatalf("bucket total %d != Count %d", bucketTotal, s.Count)
+	}
+	n := goroutines * perG
+	wantSum := float64(n) * float64(n-1) / 2 * 1e-4
+	if math.Abs(s.Sum-wantSum) > wantSum*1e-9 {
+		t.Fatalf("Sum = %v, want ~%v", s.Sum, wantSum)
+	}
+}

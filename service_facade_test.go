@@ -7,8 +7,10 @@ package seqpoint_test
 
 import (
 	"context"
+	"errors"
 	"net/http/httptest"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"seqpoint"
@@ -42,7 +44,7 @@ func TestServiceFacadeRoundTrip(t *testing.T) {
 	// Snapshot through the facade, restore into a fresh engine, and
 	// verify the restarted server answers the same query warm.
 	cachePath := filepath.Join(t.TempDir(), "cache.json")
-	if err := eng.SaveSnapshot(cachePath); err != nil {
+	if _, err := eng.SaveSnapshot(cachePath); err != nil {
 		t.Fatalf("SaveSnapshot: %v", err)
 	}
 	restarted := seqpoint.NewEngine()
@@ -78,5 +80,58 @@ func TestServiceFacadeRoundTrip(t *testing.T) {
 
 	if seqpoint.CacheSnapshotVersion < 1 {
 		t.Fatalf("CacheSnapshotVersion = %d, want >= 1", seqpoint.CacheSnapshotVersion)
+	}
+}
+
+// TestServiceFacadeObservability: the facade is enough to scrape
+// metrics and drain a server — the daemon's shutdown story without
+// internal packages.
+func TestServiceFacadeObservability(t *testing.T) {
+	srv := seqpoint.NewServer(seqpoint.ServerOptions{})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	client := seqpoint.NewServiceClient(ts.URL, nil)
+	ctx := context.Background()
+	if _, err := client.Simulate(ctx, seqpoint.SimulateRequest{
+		Model: "gnmt", Batch: 2, SeqLens: []int{4, 7},
+	}); err != nil {
+		t.Fatalf("simulate: %v", err)
+	}
+
+	exposition, err := client.Metrics(ctx)
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	for _, series := range []string{
+		`seqpoint_requests_total{endpoint="/v1/simulate",status="200"}`,
+		"seqpoint_request_duration_seconds_bucket",
+		"seqpoint_cache_hit_ratio",
+	} {
+		if !strings.Contains(exposition, series) {
+			t.Errorf("metrics exposition missing %s", series)
+		}
+	}
+
+	if err := srv.Drain(ctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	_, err = client.Simulate(ctx, seqpoint.SimulateRequest{
+		Model: "gnmt", Batch: 2, SeqLens: []int{5, 9},
+	})
+	var apiErr *seqpoint.ServiceAPIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("drained server accepted work: %v", err)
+	}
+	if apiErr.Code != "draining" {
+		t.Fatalf("drain rejection code = %q, want draining", apiErr.Code)
+	}
+
+	st, err := client.Stats(ctx)
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if !st.Draining || st.Inflight != 0 {
+		t.Fatalf("post-drain stats = %+v, want Draining=true Inflight=0", st)
 	}
 }
